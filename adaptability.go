@@ -1,0 +1,156 @@
+package vmt
+
+import (
+	"fmt"
+
+	"vmt/internal/pcm"
+	"vmt/internal/thermal"
+)
+
+// This file implements the studies behind the paper's motivation
+// (Section I): a passive TTS deployment is pinned to one physical
+// melting temperature, so ambient changes (season to season) or
+// workload power drift (over a server's lifetime) strand the wax,
+// while VMT retunes in software by adjusting the GV.
+
+// AdaptabilityPoint is one operating condition in an adaptability
+// sweep.
+type AdaptabilityPoint struct {
+	// Condition is the swept value: inlet temperature (°C) for the
+	// ambient sweep, power scale for the drift sweep.
+	Condition float64
+	// TTSReductionPct is what the fixed 35.7 °C wax achieves under
+	// passive round-robin placement (vs a wax-free fleet).
+	TTSReductionPct float64
+	// BestGV is the grouping value VMT retuned to.
+	BestGV float64
+	// VMTReductionPct is what VMT-TA achieves at BestGV (vs the same
+	// wax-free fleet).
+	VMTReductionPct float64
+}
+
+// noWax returns cfg with the PCM replaced by an inert filler of equal
+// thermal mass — the "no TTS" reference fleet.
+func noWax(cfg Config) Config {
+	cfg.Material = pcm.Inert()
+	return cfg
+}
+
+// reductionVsNoWax runs cfg and an identical wax-free round-robin
+// fleet, returning cfg's peak reduction against it.
+func reductionVsNoWax(cfg Config) (float64, error) {
+	ref := noWax(cfg)
+	ref.Policy = PolicyRoundRobin
+	ref.GV = 0
+	runs, err := RunMany([]Config{ref, cfg})
+	if err != nil {
+		return 0, err
+	}
+	base := runs[0].PeakCoolingW()
+	if base <= 0 {
+		return 0, fmt.Errorf("vmt: non-positive baseline peak")
+	}
+	return (base - runs[1].PeakCoolingW()) / base * 100, nil
+}
+
+// bestVMT returns the best VMT-TA reduction over the GV grid, with the
+// winning GV.
+func bestVMT(cfg Config, gvs []float64) (bestGV, bestRed float64, err error) {
+	cfgs := make([]Config, len(gvs))
+	for i, gv := range gvs {
+		c := cfg
+		c.Policy = PolicyVMTTA
+		c.GV = gv
+		cfgs[i] = c
+	}
+	ref := noWax(cfg)
+	ref.Policy = PolicyRoundRobin
+	ref.GV = 0
+	all := append([]Config{ref}, cfgs...)
+	runs, err := RunMany(all)
+	if err != nil {
+		return 0, 0, err
+	}
+	base := runs[0].PeakCoolingW()
+	if base <= 0 {
+		return 0, 0, fmt.Errorf("vmt: non-positive baseline peak")
+	}
+	bestRed = -1e9
+	for i, gv := range gvs {
+		red := (base - runs[i+1].PeakCoolingW()) / base * 100
+		if red > bestRed {
+			bestGV, bestRed = gv, red
+		}
+	}
+	return bestGV, bestRed, nil
+}
+
+// AmbientSweep evaluates TTS vs retuned VMT across inlet temperatures
+// (the "season to season" motivation). The fixed wax only helps in the
+// narrow ambient band where round-robin temperatures happen to cross
+// its melting point; VMT tracks the band by re-selecting the GV.
+func AmbientSweep(servers int, inletsC, gvs []float64) ([]AdaptabilityPoint, error) {
+	if len(inletsC) == 0 || len(gvs) == 0 {
+		return nil, fmt.Errorf("vmt: need inlets and a GV grid")
+	}
+	out := make([]AdaptabilityPoint, 0, len(inletsC))
+	for _, inlet := range inletsC {
+		cfg := Scenario(servers, PolicyRoundRobin, 0)
+		cfg.InletTempC = inlet
+		tts, err := reductionVsNoWax(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gv, vmtRed, err := bestVMT(cfg, gvs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AdaptabilityPoint{
+			Condition:       inlet,
+			TTSReductionPct: tts,
+			BestGV:          gv,
+			VMTReductionPct: vmtRed,
+		})
+	}
+	return out, nil
+}
+
+// DriftSweep evaluates TTS vs retuned VMT as workload power drifts
+// (the "power profile changes over the lifetime of a server"
+// motivation), by scaling the per-core power model.
+func DriftSweep(servers int, powerScales, gvs []float64) ([]AdaptabilityPoint, error) {
+	if len(powerScales) == 0 || len(gvs) == 0 {
+		return nil, fmt.Errorf("vmt: need power scales and a GV grid")
+	}
+	out := make([]AdaptabilityPoint, 0, len(powerScales))
+	for _, scale := range powerScales {
+		spec := thermal.PaperServer()
+		spec.PowerScale = scale
+		cfg := Scenario(servers, PolicyRoundRobin, 0)
+		cfg.Server = spec
+		tts, err := reductionVsNoWax(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gv, vmtRed, err := bestVMT(cfg, gvs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AdaptabilityPoint{
+			Condition:       scale,
+			TTSReductionPct: tts,
+			BestGV:          gv,
+			VMTReductionPct: vmtRed,
+		})
+	}
+	return out, nil
+}
+
+// DefaultGVGrid is the retuning grid the adaptability studies search:
+// from aggressive concentration (GV=18) to whole-cluster spreading
+// (GV=PMT, where the hot group is the entire fleet and VMT degenerates
+// to balanced placement — the right answer when passive melting is
+// already too eager).
+func DefaultGVGrid() []float64 {
+	return []float64{18, 20, 22, 24, 26, 28, 30, 32, 35.7}
+}

@@ -1,0 +1,104 @@
+package vmt
+
+import "testing"
+
+func TestAdaptabilityValidation(t *testing.T) {
+	if _, err := AmbientSweep(10, nil, DefaultGVGrid()); err == nil {
+		t.Fatal("empty inlets should fail")
+	}
+	if _, err := AmbientSweep(10, []float64{22}, nil); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+	if _, err := DriftSweep(10, nil, DefaultGVGrid()); err == nil {
+		t.Fatal("empty scales should fail")
+	}
+	if _, err := DriftSweep(10, []float64{1.5}, nil); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+}
+
+// The season-to-season motivation: fixed wax is useless across the
+// cool ambient band where VMT extracts double-digit reductions, and
+// retuned VMT never does meaningfully worse than TTS anywhere.
+func TestAmbientSweepMotivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full cluster runs")
+	}
+	pts, err := AmbientSweep(100, []float64{20, 22, 24, 26}, DefaultGVGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInlet := map[float64]AdaptabilityPoint{}
+	for _, p := range pts {
+		byInlet[p.Condition] = p
+	}
+	// Cool ambient: TTS dead, VMT strong.
+	for _, inlet := range []float64{20.0, 22.0} {
+		p := byInlet[inlet]
+		if p.TTSReductionPct > 1 {
+			t.Errorf("inlet %v: TTS %.1f%% should be ≈0", inlet, p.TTSReductionPct)
+		}
+		if p.VMTReductionPct < 7 {
+			t.Errorf("inlet %v: VMT %.1f%% should be large", inlet, p.VMTReductionPct)
+		}
+	}
+	// VMT never loses to TTS by more than noise, at any ambient.
+	for _, p := range pts {
+		if p.VMTReductionPct < p.TTSReductionPct-1 {
+			t.Errorf("inlet %v: VMT %.1f%% below TTS %.1f%%",
+				p.Condition, p.VMTReductionPct, p.TTSReductionPct)
+		}
+	}
+	// The retuned GV moves with ambient (adaptation is real): warmer
+	// rooms need bigger (cooler) hot groups.
+	if !(byInlet[24].BestGV > byInlet[22].BestGV) {
+		t.Errorf("best GV should grow with ambient: %v at 22 vs %v at 24",
+			byInlet[22].BestGV, byInlet[24].BestGV)
+	}
+}
+
+// The lifetime-drift motivation: as workload power drifts down, fixed
+// wax strands, while VMT retunes and keeps melting.
+func TestDriftSweepMotivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full cluster runs")
+	}
+	pts, err := DriftSweep(100, []float64{1.3, 1.5, 1.7}, DefaultGVGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.VMTReductionPct < p.TTSReductionPct-1 {
+			t.Errorf("scale %v: VMT %.1f%% below TTS %.1f%%",
+				p.Condition, p.VMTReductionPct, p.TTSReductionPct)
+		}
+	}
+	// At the low-power end TTS is dead but VMT is not.
+	low := pts[0]
+	if low.TTSReductionPct > 1 {
+		t.Errorf("low-power TTS %.1f%% should be ≈0", low.TTSReductionPct)
+	}
+	if low.VMTReductionPct < 5 {
+		t.Errorf("low-power VMT %.1f%% should remain substantial", low.VMTReductionPct)
+	}
+	// GV rises as power rises.
+	if !(pts[len(pts)-1].BestGV > pts[0].BestGV) {
+		t.Errorf("best GV should rise with power: %v -> %v",
+			pts[0].BestGV, pts[len(pts)-1].BestGV)
+	}
+}
+
+func TestDefaultGVGrid(t *testing.T) {
+	grid := DefaultGVGrid()
+	if len(grid) < 5 {
+		t.Fatal("grid too small")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatal("grid must be increasing")
+		}
+	}
+	if grid[len(grid)-1] != 35.7 {
+		t.Fatal("grid must include the degenerate whole-cluster GV")
+	}
+}

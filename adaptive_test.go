@@ -1,0 +1,95 @@
+package vmt
+
+import "testing"
+
+func TestAdaptiveGVValidation(t *testing.T) {
+	if _, err := RunAdaptiveGVStudy(10, 10, []float64{0.9}, DefaultGVGrid()); err == nil {
+		t.Fatal("single day should fail")
+	}
+	if _, err := RunAdaptiveGVStudy(10, 10, []float64{0.9, 0.9}, nil); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+}
+
+func TestGVScheduleValidation(t *testing.T) {
+	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg.Trace = smallTrace()
+	cfg.GVSchedule = []GVChange{{At: 0, GV: 20}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("baselines cannot retune a GV")
+	}
+	cfg = Scenario(5, PolicyVMTTA, 22)
+	cfg.Trace = smallTrace()
+	cfg.GVSchedule = []GVChange{{At: 0, GV: -1}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("non-positive retune GV should fail")
+	}
+}
+
+// Retuning takes effect: a run that switches GV mid-trace changes its
+// hot group size at the boundary.
+func TestGVScheduleRetunes(t *testing.T) {
+	cfg := Scenario(20, PolicyVMTTA, 22)
+	cfg.Trace = smallTrace()
+	cfg.GVSchedule = []GVChange{{At: 12 * 3600e9, GV: 28}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := res.HotGroupSize.Values[60]                       // hour 1
+	late := res.HotGroupSize.Values[res.HotGroupSize.Len()-60] // near the end
+	if early != 12 {                                           // 22/35.7×20 ≈ 12.3 → 12
+		t.Fatalf("early hot group = %v, want 12", early)
+	}
+	if late != 16 { // 28/35.7×20 ≈ 15.7 → 16
+		t.Fatalf("late hot group = %v, want 16", late)
+	}
+}
+
+// The closed loop on a regime-shift week (three mild days, then three
+// hot days): day-ahead retuning beats the best static GV on mild days
+// by concentrating harder, tracks the regime change within one day,
+// and pays a bounded price only on the transition day it could not
+// foresee — the Section V-C trade-off, quantified.
+func TestAdaptiveGVRegimeShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full cluster runs")
+	}
+	week := []float64{0.75, 0.76, 0.74, 0.95, 0.94, 0.95}
+	st, err := RunAdaptiveGVStudy(100, 50, week, []float64{16, 18, 20, 22, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptation is real: the controller does not sit on one value.
+	distinct := map[float64]bool{}
+	for _, gv := range st.ChosenGVs {
+		distinct[gv] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("controller never retuned: %v", st.ChosenGVs)
+	}
+	// Mild days: adaptive concentration clearly beats the hot-day
+	// compromise the static value has to make.
+	for d := 0; d < 3; d++ {
+		if st.AdaptiveDaily[d] < st.StaticDaily[d]+1 {
+			t.Errorf("mild day %d: adaptive %.1f%% should beat static %.1f%%",
+				d, st.AdaptiveDaily[d], st.StaticDaily[d])
+		}
+	}
+	// Aggregate: adaptive at least matches the hindsight-optimal
+	// static value.
+	if st.MeanAdaptivePct < st.MeanStaticPct-0.5 {
+		t.Fatalf("adaptive mean %.2f%% below static %.2f%%",
+			st.MeanAdaptivePct, st.MeanStaticPct)
+	}
+	// The forecast is sane.
+	if st.ForecastMAE <= 0 || st.ForecastMAE > 0.15 {
+		t.Fatalf("forecast MAE %v implausible", st.ForecastMAE)
+	}
+	// The transition day (first hot day on a mild forecast) is the
+	// known weak spot; the wax-aware policy must keep it from going
+	// to zero.
+	if st.AdaptiveDaily[3] < 1 {
+		t.Fatalf("transition day collapsed: %.2f%%", st.AdaptiveDaily[3])
+	}
+}

@@ -1,0 +1,113 @@
+// Command vmtplan is the operator's deployment planner: given a
+// datacenter's ambient temperature and workload mix, it answers the
+// questions an SRE asks before buying wax — can the fixed 35.7 °C
+// paraffin ever melt here, what grouping value should VMT run, what is
+// the peak cooling reduction worth, and how does that compare to the
+// exotic-wax alternative.
+//
+// Usage:
+//
+//	vmtplan                       # plan for the paper's datacenter
+//	vmtplan -inlet 24             # a warmer machine room
+//	vmtplan -servers 200 -mw 10   # a smaller facility
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmt"
+	"vmt/internal/energy"
+	"vmt/internal/feasibility"
+	"vmt/internal/report"
+	"vmt/internal/tco"
+	"vmt/internal/workload"
+)
+
+func main() {
+	inlet := flag.Float64("inlet", 22, "mean server inlet temperature (°C)")
+	servers := flag.Int("servers", 100, "pilot cluster size for the planning simulations")
+	mw := flag.Float64("mw", 25, "facility critical power (MW) for the TCO projection")
+	flag.Parse()
+
+	if err := plan(*inlet, *servers, *mw); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func plan(inlet float64, servers int, mw float64) error {
+	fmt.Printf("Deployment plan: %d-server pilot, %.0f °C inlet, %.0f MW facility\n\n",
+		servers, inlet, mw)
+
+	// 1. Feasibility: can anything melt here?
+	fp := feasibility.PaperParams()
+	fp.InletTempC = inlet
+	pt, err := fp.ClassifyMix(workload.PaperMix())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Step 1 — feasibility at this ambient: %s\n", pt.Class)
+	fmt.Printf("  balanced-placement peak exhaust: %.1f °C (wax melts at 35.7)\n",
+		pt.BalancedTempC)
+	fmt.Printf("  hottest achievable concentration: %.1f °C\n\n", pt.SegregatedTempC)
+	if pt.Class == feasibility.Neither {
+		fmt.Println("No placement policy can melt commercial wax here; do not deploy PCM.")
+		return nil
+	}
+
+	// 2. Tune the GV for this ambient.
+	fmt.Println("Step 2 — tuning the grouping value (simulating the two-day worst case)...")
+	grid := vmt.DefaultGVGrid()
+	pts, err := vmt.AmbientSweep(servers, []float64{inlet}, grid)
+	if err != nil {
+		return err
+	}
+	best := pts[0]
+	tb := report.Table{Headers: []string{"Quantity", "Value"}}
+	tb.AddRow("Best GV", fmt.Sprintf("%g", best.BestGV))
+	tb.AddRow("VMT peak cooling reduction", fmt.Sprintf("%.1f%%", best.VMTReductionPct))
+	tb.AddRow("Passive TTS alone", fmt.Sprintf("%.1f%%", best.TTSReductionPct))
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// 3. Price it.
+	fmt.Println("\nStep 3 — facility economics:")
+	params := tco.PaperParams()
+	params.CriticalPowerMW = mw
+	out, err := tco.Evaluate(params, best.VMTReductionPct)
+	if err != nil {
+		return err
+	}
+	et := report.Table{Headers: []string{"Option", "Value"}}
+	et.AddRow("Smaller cooling plant (lifetime savings)",
+		fmt.Sprintf("$%.0f", out.GrossCoolingSavingsUSD))
+	et.AddRow("Or extra servers under the same plant",
+		fmt.Sprintf("%d (+%.1f%%)", out.ExtraServers, out.ExtraServersPct))
+	et.AddRow("Commercial wax cost", fmt.Sprintf("$%.0f", params.WaxDeploymentCostUSD()))
+	nAlt, err := tco.NParaffinAlternativeCostUSD(params, 30)
+	if err != nil {
+		return err
+	}
+	et.AddRow("n-paraffin alternative (30 °C wax, passive)", fmt.Sprintf("$%.0f", nAlt))
+	if err := et.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// 4. Energy-cost bonus under a time-of-use tariff.
+	fmt.Println("\nStep 4 — time-of-use energy bonus (typical 2:1 TOU tariff):")
+	es, err := vmt.RunEnergyCostStudy(servers, best.BestGV, energy.TypicalTOU())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  cooling energy in the expensive window: %.1f%% → %.1f%%\n",
+		es.PeakShareRR*100, es.PeakShareVMT*100)
+	fmt.Printf("  cooling energy bill reduction: %.1f%%\n", es.SavingsPct)
+
+	fmt.Println("\nRecommendation: deploy 4.0 L of commercial 35.7 °C paraffin per server,")
+	fmt.Printf("run VMT-WA at GV=%g with the 0.98 wax threshold, and retune the GV\n", best.BestGV)
+	fmt.Println("day-ahead if your load is forecastable (see examples/seasons).")
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command vmtsim runs one cluster simulation and prints a summary plus
+// an optional cooling-load time series.
+//
+// Usage:
+//
+//	vmtsim -policy vmt-ta -gv 22 -servers 1000
+//	vmtsim -policy round-robin -servers 100 -series
+//	vmtsim -policy vmt-wa -gv 20 -threshold 0.95 -inlet-stdev 2 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmt"
+	"vmt/internal/report"
+	"vmt/internal/stats"
+)
+
+func main() {
+	policy := flag.String("policy", "vmt-ta", "placement policy: round-robin, coolest-first, vmt-ta, vmt-wa")
+	gv := flag.Float64("gv", 22, "grouping value for the VMT policies")
+	servers := flag.Int("servers", 100, "cluster size")
+	threshold := flag.Float64("threshold", 0.98, "VMT-WA wax threshold")
+	inletStdev := flag.Float64("inlet-stdev", 0, "per-server inlet temperature stdev (°C)")
+	seed := flag.Uint64("seed", 0, "random seed for inlet variation")
+	series := flag.Bool("series", false, "print the hourly cooling-load series")
+	jobStream := flag.Bool("jobstream", false, "use the query-level load model (Poisson task arrivals)")
+	baseline := flag.Bool("baseline", true, "also run a round-robin baseline and report the peak reduction")
+	flag.Parse()
+
+	cfg := vmt.Config{
+		Servers:      *servers,
+		Policy:       vmt.Policy(*policy),
+		GV:           *gv,
+		WaxThreshold: *threshold,
+		InletStdevC:  *inletStdev,
+		Seed:         *seed,
+		JobStream:    *jobStream,
+	}
+	res, err := vmt.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
+		os.Exit(1)
+	}
+	sum, err := res.CoolingSummary()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	tb := report.Table{
+		Title:   fmt.Sprintf("%s on %d servers over the two-day trace", cfg.Policy, cfg.Servers),
+		Headers: []string{"Metric", "Value"},
+	}
+	tb.AddRow("Peak cooling load", fmt.Sprintf("%.1f kW at %.1f h", sum.PeakW/1000, sum.PeakAt.Hours()))
+	tb.AddRow("Mean cooling load", fmt.Sprintf("%.1f kW", sum.MeanW/1000))
+	tb.AddRow("Trough cooling load", fmt.Sprintf("%.1f kW", sum.TroughW/1000))
+	tb.AddRow("Load flatness (trough/peak)", fmt.Sprintf("%.1f%%", sum.FlatnessPct))
+	peakMelt, at, _ := res.MeanMeltFrac.Peak()
+	tb.AddRow("Peak fleet wax melted", fmt.Sprintf("%.1f%% at %.1f h", peakMelt*100, at.Hours()))
+	peakTemp, _, _ := res.MeanAirTempC.Peak()
+	tb.AddRow("Peak mean air temperature", fmt.Sprintf("%.2f °C", peakTemp))
+	if res.HotGroupSize != nil {
+		maxHot, _, _ := res.HotGroupSize.Peak()
+		tb.AddRow("Hot group size (initial→max)",
+			fmt.Sprintf("%.0f → %.0f", res.HotGroupSize.Values[0], maxHot))
+	}
+	if res.TaskArrivals > 0 {
+		tb.AddRow("Task arrivals / drops",
+			fmt.Sprintf("%d / %d", res.TaskArrivals, res.TaskDrops))
+	}
+	if *baseline && cfg.Policy != vmt.PolicyRoundRobin {
+		red, err := vmt.PeakReductionPct(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmtsim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		tb.AddRow("Peak reduction vs round robin", fmt.Sprintf("%.2f%%", red))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *series {
+		hourly := res.CoolingLoadW.Downsample(60)
+		if err := report.SeriesCSV(os.Stdout, []string{"cooling_kw"},
+			[]*stats.Series{scaled(hourly, 1e-3)}); err != nil {
+			fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// scaled returns a copy of s with values multiplied by k.
+func scaled(s *stats.Series, k float64) *stats.Series {
+	out := &stats.Series{Start: s.Start, Step: s.Step, Values: make([]float64, s.Len())}
+	for i, v := range s.Values {
+		out.Values[i] = v * k
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Command vmtsweep runs parameter sweeps over the VMT design space:
+// the grouping value (Figure 18), the wax threshold (Figure 17), and
+// inlet temperature variation (Figures 19–20).
+//
+// Usage:
+//
+//	vmtsweep -kind gv -servers 100 -from 10 -to 30 -step 2
+//	vmtsweep -kind threshold -gv 22
+//	vmtsweep -kind inlet -policy vmt-wa -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmt"
+	"vmt/internal/report"
+)
+
+func main() {
+	kind := flag.String("kind", "gv", "sweep kind: gv, threshold, inlet, pmt, volume")
+	policy := flag.String("policy", "vmt-ta", "policy for gv/inlet sweeps: vmt-ta or vmt-wa")
+	servers := flag.Int("servers", 100, "cluster size")
+	gv := flag.Float64("gv", 22, "grouping value (threshold sweep)")
+	from := flag.Float64("from", 10, "sweep start (gv sweep)")
+	to := flag.Float64("to", 30, "sweep end (gv sweep)")
+	step := flag.Float64("step", 2, "sweep step (gv sweep)")
+	runs := flag.Int("runs", 5, "runs per point (inlet sweep)")
+	flag.Parse()
+
+	var err error
+	switch *kind {
+	case "gv":
+		err = sweepGV(vmt.Policy(*policy), *servers, *from, *to, *step)
+	case "threshold":
+		err = sweepThreshold(*servers, *gv)
+	case "inlet":
+		err = sweepInlet(vmt.Policy(*policy), *servers, *runs)
+	case "pmt":
+		err = sweepMaterial(*servers, "pmt")
+	case "volume":
+		err = sweepMaterial(*servers, "volume")
+	default:
+		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func sweepGV(policy vmt.Policy, servers int, from, to, step float64) error {
+	if step <= 0 || to < from {
+		return fmt.Errorf("bad sweep range %v..%v step %v", from, to, step)
+	}
+	var gvs []float64
+	for gv := from; gv <= to+1e-9; gv += step {
+		gvs = append(gvs, gv)
+	}
+	pts, err := vmt.GVSweep(servers, policy, gvs)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Peak cooling load reduction vs GV (%s, %d servers)", policy, servers),
+		Headers: []string{"GV", "Reduction (%)"},
+	}
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%g", p.GV), fmt.Sprintf("%.2f", p.ReductionPct))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepThreshold(servers int, gv float64) error {
+	pts, err := vmt.WaxThresholdSweep(servers, gv,
+		[]float64{0.85, 0.90, 0.95, 0.98, 0.99, 1.00})
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Peak cooling load reduction vs wax threshold (VMT-WA, GV=%g, %d servers)", gv, servers),
+		Headers: []string{"Threshold", "Reduction (%)"},
+	}
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%.2f", p.WaxThreshold), fmt.Sprintf("%.2f", p.ReductionPct))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepInlet(policy vmt.Policy, servers, runs int) error {
+	gvs := []float64{16, 18, 20, 22, 24, 26, 28}
+	pts, err := vmt.InletVariationStudy(servers, policy, gvs, []float64{0, 1, 2}, runs)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title:   fmt.Sprintf("Peak reduction vs GV with inlet variation (%s, avg of %d runs)", policy, runs),
+		Headers: []string{"GV", "Stdev (°C)", "Reduction (%)"},
+	}
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%g", p.GV), fmt.Sprintf("%g", p.StdevC), fmt.Sprintf("%.2f", p.ReductionPct))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepMaterial(servers int, kind string) error {
+	grid := []float64{18, 20, 22, 24, 26}
+	var (
+		pts   []vmt.MaterialSweepPoint
+		err   error
+		title string
+		unit  string
+	)
+	if kind == "pmt" {
+		pts, err = vmt.PMTSweep(servers, []float64{33.7, 34.7, 35.7, 37, 38.5, 40, 42}, grid)
+		title = "Peak reduction vs wax melting temperature (VMT-TA, GV retuned per point)"
+		unit = "PMT (°C)"
+	} else {
+		pts, err = vmt.VolumeSweep(servers, []float64{1, 2, 3, 4, 5, 6, 8}, grid)
+		title = "Peak reduction vs wax volume per server (VMT-TA, GV retuned per point)"
+		unit = "Volume (L)"
+	}
+	if err != nil {
+		return err
+	}
+	tb := report.Table{Title: title, Headers: []string{unit, "Reduction (%)", "Best GV"}}
+	for _, p := range pts {
+		tb.AddRow(fmt.Sprintf("%g", p.Value), fmt.Sprintf("%.1f", p.ReductionPct),
+			fmt.Sprintf("%g", p.BestGV))
+	}
+	return tb.Render(os.Stdout)
+}

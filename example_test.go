@@ -1,0 +1,38 @@
+package vmt_test
+
+import (
+	"fmt"
+
+	"vmt"
+)
+
+// The TCO arithmetic is exact, so its examples double as the paper's
+// Section V-E numbers.
+func ExampleRunTCOStudy() {
+	study, err := vmt.RunTCOStudy(12.8) // the paper's headline reduction
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cooling system: %.1f MW instead of 25 MW\n", study.Best.CoolingLoadMW)
+	fmt.Printf("lifetime savings: $%.0f\n", study.Best.GrossCoolingSavingsUSD)
+	fmt.Printf("or extra servers: %d\n", study.Best.ExtraServers)
+	fmt.Printf("conservative 6%%: $%.0f or %d servers\n",
+		study.Conservative.GrossCoolingSavingsUSD, study.Conservative.ExtraServers)
+	// Output:
+	// cooling system: 21.8 MW instead of 25 MW
+	// lifetime savings: $2688000
+	// or extra servers: 7339
+	// conservative 6%: $1260000 or 3191 servers
+}
+
+func ExampleScenario() {
+	cfg := vmt.Scenario(1000, vmt.PolicyVMTWA, 22)
+	fmt.Println(cfg.Servers, cfg.Policy, cfg.GV)
+	// Output: 1000 vmt-wa 22
+}
+
+func ExampleConfig_Validate() {
+	bad := vmt.Scenario(100, vmt.PolicyVMTTA, 0) // VMT needs a GV
+	fmt.Println(bad.Validate())
+	// Output: vmt: policy vmt-ta requires a positive GV
+}

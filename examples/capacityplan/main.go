@@ -1,0 +1,59 @@
+// Capacity planning: turn a measured peak cooling reduction into
+// dollars and servers.
+//
+// A datacenter operator deciding whether to deploy VMT cares about two
+// oversubscription options (Section V-E): build the next facility with
+// a smaller cooling plant, or pack more servers under the existing
+// one. This example measures the reduction on a simulated cluster,
+// then prices both options for a 25 MW facility — including the
+// conservative variant an operator would actually commit to, and the
+// counterfactual cost of achieving the same effect with exotic
+// low-melting-point n-paraffin instead of VMT.
+//
+//	go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmt"
+)
+
+func main() {
+	// Step 1: measure. A 100-server pilot cluster is enough to
+	// estimate the reduction; the TCO model scales it to the facility.
+	fmt.Println("Measuring peak cooling reduction on a 100-server pilot (VMT-WA, GV=22)...")
+	reduction, err := vmt.PeakReductionPct(vmt.Scenario(100, vmt.PolicyVMTWA, 22))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  measured reduction: %.1f%%\n\n", reduction)
+
+	// Step 2: price it.
+	study, err := vmt.RunTCOStudy(reduction)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := study.Params
+	fmt.Printf("Facility: %.0f MW critical power, %d servers, cooling depreciation $%.0f/MW over %g years\n\n",
+		p.CriticalPowerMW, p.Servers(), p.CoolingCostUSDPerMW(), p.CoolingLifetimeYears)
+
+	fmt.Printf("Option A — smaller cooling plant (full %.1f%% reduction):\n", study.Best.ReductionPct)
+	fmt.Printf("  cooling system sized for %.1f MW instead of %.0f MW\n",
+		study.Best.CoolingLoadMW, p.CriticalPowerMW)
+	fmt.Printf("  lifetime savings: $%.0f gross, $%.0f net of wax\n\n",
+		study.Best.GrossCoolingSavingsUSD, study.Best.SmallerCoolingSavingsUSD)
+
+	fmt.Printf("Option B — more servers under the same cooling budget:\n")
+	fmt.Printf("  +%.1f%% servers = %d fleet-wide (%d per 1,000-server cluster)\n\n",
+		study.Best.ExtraServersPct, study.Best.ExtraServers, study.Best.ExtraServersPerCluster)
+
+	fmt.Printf("Conservative plan (%.0f%% of peak, guarding against load variation):\n", study.ConservativePct)
+	fmt.Printf("  savings $%.0f, or +%d servers\n\n",
+		study.Conservative.GrossCoolingSavingsUSD, study.Conservative.ExtraServers)
+
+	fmt.Printf("Counterfactual — buy n-paraffin with a low enough melting point for passive TTS:\n")
+	fmt.Printf("  $%.0f for the fleet vs $%.0f for commercial wax (%.0fx), exceeding the savings it enables\n",
+		study.NParaffinUSD, study.CommercialUSD, study.NParaffinUSD/study.CommercialUSD)
+}

@@ -1,0 +1,58 @@
+// Day-ahead operation: the closed loop a production deployment would
+// actually run.
+//
+// Section V-C of the paper observes that operators who can predict
+// load "can actually change the GV to the optimal value each day", and
+// that VMT-WA makes the risk of a mistuned day survivable. This
+// example runs that loop over a regime-shift week — three mild days,
+// then three hot days — and prints what the controller chose, what it
+// earned, and what it cost on the one day the forecast could not see
+// coming.
+//
+//	go run ./examples/dayahead
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmt"
+)
+
+func main() {
+	week := []float64{0.75, 0.76, 0.74, 0.95, 0.94, 0.95}
+	grid := []float64{16, 18, 20, 22, 24}
+
+	fmt.Println("Running the day-ahead loop: observe → forecast → tune GV → retune at midnight")
+	fmt.Printf("Week of daily peaks: %v (regime shift after day 2)\n\n", week)
+
+	st, err := vmt.RunAdaptiveGVStudy(100, 50, week, grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Forecast quality: %.3f mean absolute utilization error, one day ahead\n", st.ForecastMAE)
+	fmt.Printf("Hindsight-best static GV for the whole week: %g\n\n", st.StaticGV)
+
+	fmt.Println("Day  Peak   Chosen GV   Adaptive   Static(best)")
+	for d := range st.DayPeaks {
+		marker := ""
+		switch {
+		case st.AdaptiveDaily[d] > st.StaticDaily[d]+0.5:
+			marker = "  <- adaptation wins"
+		case st.AdaptiveDaily[d] < st.StaticDaily[d]-0.5:
+			marker = "  <- forecast miss (regime shift)"
+		}
+		fmt.Printf("%3d  %.2f   %6g      %5.1f%%     %5.1f%%%s\n",
+			d, st.DayPeaks[d], st.ChosenGVs[d],
+			st.AdaptiveDaily[d], st.StaticDaily[d], marker)
+	}
+	fmt.Printf("\nMean daily peak reduction: adaptive %.2f%% vs static %.2f%%\n",
+		st.MeanAdaptivePct, st.MeanStaticPct)
+
+	fmt.Println("\nReading: on mild days the controller concentrates harder (lower GV)")
+	fmt.Println("and collects reductions the compromise static value leaves behind;")
+	fmt.Println("it tracks the regime change within one day. The transition day is")
+	fmt.Println("the price of forecasting — wax-aware placement and the tuner's 10%")
+	fmt.Println("risk margin keep it from going to zero, the Section V-C trade-off.")
+}

@@ -1,0 +1,123 @@
+package vmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vmt/internal/trace"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := Scenario(4, PolicyVMTTA, 22)
+	cfg.Trace = smallTrace()
+	cfg.RecordGrids = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Config.Policy != PolicyVMTTA || back.Config.Servers != 4 || back.Config.GV != 22 {
+		t.Fatalf("config fields lost: %+v", back.Config)
+	}
+	if back.CoolingLoadW.Len() != res.CoolingLoadW.Len() {
+		t.Fatal("series length lost")
+	}
+	for i, v := range res.CoolingLoadW.Values {
+		if back.CoolingLoadW.Values[i] != v {
+			t.Fatalf("cooling value %d changed", i)
+		}
+	}
+	if back.HotGroupTempC == nil {
+		t.Fatal("hot group series lost")
+	}
+	if back.PeakCoolingW() != res.PeakCoolingW() {
+		t.Fatal("peak changed across round trip")
+	}
+	if len(back.AirTempGrid) != len(res.AirTempGrid) {
+		t.Fatal("grids lost")
+	}
+}
+
+func TestResultJSONOmitsAbsentSeries(t *testing.T) {
+	cfg := Scenario(3, PolicyRoundRobin, 0)
+	cfg.Trace = smallTrace()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "hot_group_temp_c") {
+		t.Fatal("baseline export should omit hot-group series")
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.HotGroupTempC != nil {
+		t.Fatal("absent series should stay nil")
+	}
+}
+
+func TestReadResultJSONErrors(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader("{garbage")); err == nil {
+		t.Fatal("bad json should fail")
+	}
+	if _, err := ReadResultJSON(strings.NewReader(`{"step_seconds":0}`)); err == nil {
+		t.Fatal("zero step should fail")
+	}
+	if _, err := ReadResultJSON(strings.NewReader(`{"step_seconds":60,"series":{}}`)); err == nil {
+		t.Fatal("missing cooling series should fail")
+	}
+}
+
+func TestCustomTraceDrivesRun(t *testing.T) {
+	// A flat 50% trace: cooling load should settle near the implied
+	// steady state and stay flat.
+	var lines strings.Builder
+	for i := 0; i < 12*60; i++ {
+		lines.WriteString("0.5\n")
+	}
+	tr, err := trace.FromReader(strings.NewReader(lines.String()), 60_000_000_000) // 1 min
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Scenario(4, PolicyRoundRobin, 0)
+	cfg.CustomTrace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.CoolingLoadW.Len()
+	if n != 12*60-1 {
+		t.Fatalf("samples = %d", n)
+	}
+	// After warm-up, the load is flat.
+	late := res.CoolingLoadW.Values[n-1]
+	mid := res.CoolingLoadW.Values[n-120]
+	if diff := late - mid; diff > 10 || diff < -10 {
+		t.Fatalf("flat trace should give flat load: %v vs %v", mid, late)
+	}
+	// Custom trace too short is rejected.
+	short, err := trace.FromReader(strings.NewReader("0.5\n0.5\n"), 60_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = short
+	bad := Scenario(2, PolicyRoundRobin, 0)
+	bad.CustomTrace = nil
+	bad.Trace.Days = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad spec without custom trace should fail")
+	}
+}

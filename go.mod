@@ -1,0 +1,3 @@
+module vmt
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package chiller models the datacenter cooling plant that the VMT
+// paper's economics implicitly size: a heat-removal system with a
+// finite capacity and a part-load efficiency curve. It turns cluster
+// cooling-load series into plant electrical energy, detects capacity
+// violations (the failure mode oversubscription risks), and sizes
+// plants for a given load.
+//
+// The efficiency model is a standard water-cooled chiller abstraction:
+// a nominal coefficient of performance (COP — watts of heat removed
+// per electrical watt) derated at part load, since pumps/fans/controls
+// impose a floor:
+//
+//	P_elec(q) = q / COP(q/cap),  COP(x) = nominal × x / (x + k(1−x))
+//
+// with k the part-load penalty (k=0: constant COP).
+package chiller
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+// Plant describes one cooling plant.
+type Plant struct {
+	// CapacityW is the maximum heat removal rate.
+	CapacityW float64
+	// NominalCOP is the full-load coefficient of performance
+	// (typical water-cooled plants: 4–6).
+	NominalCOP float64
+	// PartLoadPenalty is k in the derating curve; 0 disables it.
+	PartLoadPenalty float64
+}
+
+// PaperPlant returns a plant sized at capacityW with a COP of 4.5 and
+// a modest part-load penalty, representative of the chilled-water
+// systems the paper's $/kW figures describe.
+func PaperPlant(capacityW float64) Plant {
+	return Plant{CapacityW: capacityW, NominalCOP: 4.5, PartLoadPenalty: 0.15}
+}
+
+// Validate reports whether the plant is usable.
+func (p Plant) Validate() error {
+	switch {
+	case p.CapacityW <= 0:
+		return fmt.Errorf("chiller: capacity must be positive")
+	case p.NominalCOP <= 0:
+		return fmt.Errorf("chiller: COP must be positive")
+	case p.PartLoadPenalty < 0 || p.PartLoadPenalty >= 1:
+		return fmt.Errorf("chiller: part-load penalty %v out of [0,1)", p.PartLoadPenalty)
+	}
+	return nil
+}
+
+// COPAt returns the effective COP at heat load q (W). Below-zero loads
+// are treated as zero; loads beyond capacity run at nominal COP (the
+// plant cannot remove them — see Evaluate's violation accounting).
+func (p Plant) COPAt(q float64) float64 {
+	if q <= 0 {
+		return p.NominalCOP
+	}
+	x := q / p.CapacityW
+	if x >= 1 {
+		return p.NominalCOP
+	}
+	if p.PartLoadPenalty == 0 {
+		return p.NominalCOP
+	}
+	return p.NominalCOP * x / (x + p.PartLoadPenalty*(1-x))
+}
+
+// ElectricalPowerW returns the plant draw while removing heat at q W.
+func (p Plant) ElectricalPowerW(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	return q / p.COPAt(q)
+}
+
+// Evaluation summarizes a plant against a heat-load series.
+type Evaluation struct {
+	// EnergyKWh is the plant's electrical energy over the series.
+	EnergyKWh float64
+	// PeakElectricalW is the plant's maximum draw.
+	PeakElectricalW float64
+	// Violations counts samples whose heat load exceeded capacity —
+	// intervals where the room heats up instead.
+	Violations int
+	// ViolationTime is the total duration over capacity.
+	ViolationTime time.Duration
+	// WorstOverloadPct is the largest excursion over capacity, as a
+	// percentage of capacity (0 when no violation).
+	WorstOverloadPct float64
+	// UtilizationPct is mean load over capacity.
+	UtilizationPct float64
+}
+
+// Evaluate runs the plant against a cooling-load series (watts).
+func (p Plant) Evaluate(load *stats.Series) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if load.Len() == 0 {
+		return Evaluation{}, fmt.Errorf("chiller: empty load series")
+	}
+	var ev Evaluation
+	stepH := load.Step.Hours()
+	for _, q := range load.Values {
+		e := p.ElectricalPowerW(q)
+		ev.EnergyKWh += e * stepH / 1000
+		if e > ev.PeakElectricalW {
+			ev.PeakElectricalW = e
+		}
+		if q > p.CapacityW {
+			ev.Violations++
+			ev.ViolationTime += load.Step
+			if over := (q - p.CapacityW) / p.CapacityW * 100; over > ev.WorstOverloadPct {
+				ev.WorstOverloadPct = over
+			}
+		}
+	}
+	ev.UtilizationPct = load.Mean() / p.CapacityW * 100
+	return ev, nil
+}
+
+// SizeForPeak returns a plant whose capacity covers the series' peak
+// with the given fractional margin (e.g. 0.05 for 5% headroom).
+func SizeForPeak(load *stats.Series, marginFrac float64) (Plant, error) {
+	if marginFrac < 0 {
+		return Plant{}, fmt.Errorf("chiller: negative margin")
+	}
+	peak, _, err := load.Peak()
+	if err != nil {
+		return Plant{}, fmt.Errorf("chiller: %w", err)
+	}
+	if peak <= 0 {
+		return Plant{}, fmt.Errorf("chiller: non-positive peak %v", peak)
+	}
+	return PaperPlant(peak * (1 + marginFrac)), nil
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/pcm"
+	"vmt/internal/stats"
+	"vmt/internal/thermal"
+	"vmt/internal/workload"
+)
+
+// Config describes a homogeneous cluster (the paper schedules at the
+// cluster level within homogeneous clusters; the scale-out study uses
+// 1,000 servers, parameter sweeps 100).
+type Config struct {
+	// NumServers is the cluster size.
+	NumServers int
+	// Server is the per-server hardware/thermal specification.
+	Server thermal.ServerSpec
+	// Material is the deployed PCM.
+	Material pcm.Material
+	// InletTempC is the mean server inlet temperature.
+	InletTempC float64
+	// InletStdevC adds per-server normally distributed inlet
+	// variation (Figures 19–20); zero for a uniform room.
+	InletStdevC float64
+	// Seed drives the inlet variation draw.
+	Seed uint64
+}
+
+// PaperCluster returns the scale-out configuration: n paper servers
+// with commercial paraffin at a 22 °C inlet.
+func PaperCluster(n int) Config {
+	return Config{
+		NumServers: n,
+		Server:     thermal.PaperServer(),
+		Material:   pcm.CommercialParaffin(),
+		InletTempC: 22,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.NumServers <= 0 {
+		return fmt.Errorf("cluster: need a positive server count, got %d", c.NumServers)
+	}
+	if c.InletStdevC < 0 {
+		return fmt.Errorf("cluster: negative inlet stdev")
+	}
+	if err := c.Server.Validate(); err != nil {
+		return err
+	}
+	return c.Material.Validate()
+}
+
+// Cluster is a collection of servers stepped in lockstep.
+type Cluster struct {
+	cfg     Config
+	servers []*Server
+	reg     *registry
+}
+
+// New builds a cluster per the configuration. With InletStdevC > 0,
+// each server's inlet is drawn once from N(InletTempC, InletStdevC²)
+// using the configured seed.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	reg := newRegistry()
+	servers := make([]*Server, cfg.NumServers)
+	for i := range servers {
+		inlet := cfg.InletTempC
+		if cfg.InletStdevC > 0 {
+			inlet = rng.Normal(cfg.InletTempC, cfg.InletStdevC)
+		}
+		s, err := newServer(i, cfg.Server, cfg.Material, inlet, reg)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = s
+	}
+	return &Cluster{cfg: cfg, servers: servers, reg: reg}, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Len returns the number of servers.
+func (c *Cluster) Len() int { return len(c.servers) }
+
+// Server returns server i.
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// Servers returns the server slice (shared; do not reorder).
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// TotalCores returns the cluster-wide core count.
+func (c *Cluster) TotalCores() int {
+	return len(c.servers) * c.cfg.Server.Cores()
+}
+
+// BusyCores returns the cluster-wide occupied core count.
+func (c *Cluster) BusyCores() int {
+	var n int
+	for _, s := range c.servers {
+		n += s.busyCores
+	}
+	return n
+}
+
+// WorkloadIndex returns the registry index for w (assigning one if w
+// is new to the cluster). Schedulers resolve the index once per scan
+// and use Server.JobsAt for hash-free count reads.
+func (c *Cluster) WorkloadIndex(w workload.Workload) int {
+	return c.reg.intern(w)
+}
+
+// JobCount returns the cluster-wide job count for workload w.
+func (c *Cluster) JobCount(w workload.Workload) int {
+	i, ok := c.reg.lookup(w)
+	if !ok {
+		return 0
+	}
+	var n int
+	for _, s := range c.servers {
+		n += s.JobsAt(i)
+	}
+	return n
+}
+
+// Sample is one cluster-wide observation after a Step.
+type Sample struct {
+	// TotalPowerW is the aggregate electrical draw.
+	TotalPowerW float64
+	// CoolingLoadW is the aggregate heat ejected to the room — what
+	// the cooling system must remove right now.
+	CoolingLoadW float64
+	// WaxFlowW is the aggregate heat flow into wax (negative while
+	// stored heat is being released).
+	WaxFlowW float64
+	// MeanAirTempC and MeanMeltFrac summarize the fleet.
+	MeanAirTempC float64
+	MeanMeltFrac float64
+	// MaxCPUTempC is the fleet's hottest estimated die temperature,
+	// and ThrottlingServers counts servers over the CPU limit — the
+	// constraint VMT's concentrated placement must not break.
+	MaxCPUTempC       float64
+	ThrottlingServers int
+	// AirTempC and MeltFrac are per-server snapshots (ground truth),
+	// indexed by server ID — the raw material of the paper's heat
+	// maps.
+	AirTempC []float64
+	MeltFrac []float64
+}
+
+// Step advances every server by dt and returns the aggregate sample.
+func (c *Cluster) Step(dt time.Duration) (Sample, error) {
+	sample := Sample{
+		AirTempC: make([]float64, len(c.servers)),
+		MeltFrac: make([]float64, len(c.servers)),
+	}
+	for i, s := range c.servers {
+		res, err := s.step(dt)
+		if err != nil {
+			return Sample{}, fmt.Errorf("cluster: server %d: %w", i, err)
+		}
+		sample.TotalPowerW += s.PowerW()
+		sample.CoolingLoadW += res.CoolingLoadW
+		sample.WaxFlowW += res.WaxFlowW
+		sample.AirTempC[i] = res.AirTempC
+		sample.MeltFrac[i] = res.MeltFrac
+		if cpu := c.cfg.Server.CPUTempC(s.PowerW(), res.AirTempC); cpu > sample.MaxCPUTempC {
+			sample.MaxCPUTempC = cpu
+		}
+		if c.cfg.Server.WouldThrottle(s.PowerW(), res.AirTempC) {
+			sample.ThrottlingServers++
+		}
+	}
+	sample.MeanAirTempC = stats.Mean(sample.AirTempC)
+	sample.MeanMeltFrac = stats.Mean(sample.MeltFrac)
+	return sample, nil
+}

@@ -1,0 +1,35 @@
+package cluster
+
+import "vmt/internal/workload"
+
+// registry interns workloads into dense indices shared by every server
+// in a cluster. Placement scans compare per-workload job counts across
+// hundreds of servers per decision; keying those counts by the
+// Workload struct would hash it once per server per scan, which
+// profiling shows dominating whole-cluster runs. With the registry a
+// scan resolves the index once and reads plain slice elements.
+type registry struct {
+	index map[workload.Workload]int
+	list  []workload.Workload
+}
+
+func newRegistry() *registry {
+	return &registry{index: make(map[workload.Workload]int)}
+}
+
+// intern returns the workload's index, assigning one on first use.
+func (r *registry) intern(w workload.Workload) int {
+	if i, ok := r.index[w]; ok {
+		return i
+	}
+	i := len(r.list)
+	r.index[w] = i
+	r.list = append(r.list, w)
+	return i
+}
+
+// lookup returns the index without assigning.
+func (r *registry) lookup(w workload.Workload) (int, bool) {
+	i, ok := r.index[w]
+	return i, ok
+}

@@ -1,0 +1,177 @@
+// Package cluster implements the simulated server cluster: servers
+// that combine the thermal model with job occupancy and the linear
+// per-core power model, plus the cluster-wide stepping and sampling
+// machinery that the schedulers and experiments drive.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmt/internal/pcm"
+	"vmt/internal/thermal"
+	"vmt/internal/workload"
+)
+
+// Server is one simulated machine: thermal state plus job bookkeeping.
+// Jobs are single-core tasks tagged with their workload; per Section
+// IV-B they are assigned separate physical cores and never share SMT
+// contexts.
+type Server struct {
+	id   int
+	spec thermal.ServerSpec
+	node *thermal.Node
+	est  *pcm.Estimator
+
+	// reg is the cluster-wide workload interner; counts[i] is the job
+	// count for the workload with registry index i.
+	reg       *registry
+	counts    []int
+	busyCores int
+	// dynamicPowerW tracks the summed per-core power of placed jobs
+	// incrementally. Summing counts on demand would be slow in the
+	// scheduler's scan loops, and map-based summation would add floats
+	// in randomized iteration order, breaking determinism.
+	dynamicPowerW float64
+}
+
+func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64, reg *registry) (*Server, error) {
+	node, err := thermal.NewNode(spec, mat, inletC)
+	if err != nil {
+		return nil, err
+	}
+	est, err := pcm.NewEstimator(mat, spec.WaxVolumeL, inletC, spec.WaxConductanceWPerK)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		id:   id,
+		spec: spec,
+		node: node,
+		est:  est,
+		reg:  reg,
+	}, nil
+}
+
+// ID returns the server's index within its cluster.
+func (s *Server) ID() int { return s.id }
+
+// Cores returns the server's total core count.
+func (s *Server) Cores() int { return s.spec.Cores() }
+
+// BusyCores returns the number of occupied cores.
+func (s *Server) BusyCores() int { return s.busyCores }
+
+// FreeCores returns the number of unoccupied cores.
+func (s *Server) FreeCores() int { return s.spec.Cores() - s.busyCores }
+
+// Jobs returns the job count for workload w.
+func (s *Server) Jobs(w workload.Workload) int {
+	i, ok := s.reg.lookup(w)
+	if !ok {
+		return 0
+	}
+	return s.JobsAt(i)
+}
+
+// JobsAt returns the job count for the workload with the given
+// registry index (see Cluster.WorkloadIndex) — the allocation- and
+// hash-free fast path the schedulers' scan loops use.
+func (s *Server) JobsAt(i int) int {
+	if i < 0 || i >= len(s.counts) {
+		return 0
+	}
+	return s.counts[i]
+}
+
+// Workloads returns the workloads currently running on the server,
+// sorted by name for deterministic iteration.
+func (s *Server) Workloads() []workload.Workload {
+	var out []workload.Workload
+	for i, n := range s.counts {
+		if n > 0 {
+			out = append(out, s.reg.list[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Utilization returns busy cores over total cores.
+func (s *Server) Utilization() float64 {
+	return float64(s.busyCores) / float64(s.spec.Cores())
+}
+
+// Place assigns one job of workload w to a free core.
+func (s *Server) Place(w workload.Workload) error {
+	if s.FreeCores() == 0 {
+		return fmt.Errorf("cluster: server %d full", s.id)
+	}
+	i := s.reg.intern(w)
+	for len(s.counts) <= i {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[i]++
+	s.busyCores++
+	s.dynamicPowerW += w.PerCorePowerW() * s.spec.PowerScale
+	return nil
+}
+
+// Remove evicts one job of workload w.
+func (s *Server) Remove(w workload.Workload) error {
+	i, ok := s.reg.lookup(w)
+	if !ok || s.JobsAt(i) == 0 {
+		return fmt.Errorf("cluster: server %d has no %s job", s.id, w.Name)
+	}
+	s.counts[i]--
+	s.busyCores--
+	s.dynamicPowerW -= w.PerCorePowerW() * s.spec.PowerScale
+	if s.busyCores == 0 {
+		s.dynamicPowerW = 0 // shed any accumulated rounding residue
+	}
+	return nil
+}
+
+// PowerW returns the server's current draw under the linear per-core
+// model: idle power plus each occupied core's workload-specific
+// dynamic power, capped at the nameplate peak.
+func (s *Server) PowerW() float64 {
+	p := s.spec.IdlePowerW + s.dynamicPowerW
+	if p > s.spec.PeakPowerW {
+		p = s.spec.PeakPowerW
+	}
+	return p
+}
+
+// AirTempC returns the current air temperature at the wax.
+func (s *Server) AirTempC() float64 { return s.node.AirTempC() }
+
+// MeltFrac returns the ground-truth wax melt fraction.
+func (s *Server) MeltFrac() float64 { return s.node.MeltFrac() }
+
+// ReportedMeltFrac returns the melt fraction from the server's
+// lookup-table estimator — the value the cluster scheduler actually
+// sees (VMT-WA consumes this, not ground truth).
+func (s *Server) ReportedMeltFrac() float64 { return s.est.MeltFrac() }
+
+// InletTempC returns the server's inlet temperature.
+func (s *Server) InletTempC() float64 { return s.node.InletTempC() }
+
+// SetInletTempC overrides the inlet temperature (inlet variation
+// studies).
+func (s *Server) SetInletTempC(c float64) { s.node.SetInletTempC(c) }
+
+// Node exposes the underlying thermal node for tests and reporting.
+func (s *Server) Node() *thermal.Node { return s.node }
+
+// step advances the server's physics by dt at its current power draw
+// and feeds the estimator the same sensed air temperature.
+func (s *Server) step(dt time.Duration) (thermal.StepResult, error) {
+	res, err := s.node.Step(s.PowerW(), dt)
+	if err != nil {
+		return res, err
+	}
+	s.est.Update(res.AirTempC, dt)
+	return res, nil
+}

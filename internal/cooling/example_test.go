@@ -1,0 +1,17 @@
+package cooling_test
+
+import (
+	"fmt"
+
+	"vmt/internal/cooling"
+)
+
+func ExampleExtraServersPct() {
+	// The Section V-E conversion: shaving 12.8% off the peak leaves
+	// room for 14.7% more servers under the unchanged cooling budget.
+	fmt.Printf("%.1f%%\n", cooling.ExtraServersPct(12.8))
+	fmt.Printf("%.1f%%\n", cooling.ExtraServersPct(6))
+	// Output:
+	// 14.7%
+	// 6.4%
+}

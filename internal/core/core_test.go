@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/sched"
+	"vmt/internal/workload"
+)
+
+func newCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.PaperCluster(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHotGroupSizeEquation(t *testing.T) {
+	// Eq. 1 with the paper's numbers: GV=22, PMT=35.7, 1000 servers.
+	if got := HotGroupSize(22, 35.7, 1000); got != 616 {
+		t.Fatalf("hot group = %d, want 616", got)
+	}
+	if got := HotGroupSize(0, 35.7, 1000); got != 0 {
+		t.Fatalf("GV=0 hot group = %d", got)
+	}
+	if got := HotGroupSize(50, 35.7, 1000); got != 1000 {
+		t.Fatalf("oversized GV should clamp, got %d", got)
+	}
+	if got := HotGroupSize(22, 0, 1000); got != 0 {
+		t.Fatalf("zero PMT should yield 0, got %d", got)
+	}
+	if got := HotGroupSize(-5, 35.7, 1000); got != 0 {
+		t.Fatalf("negative GV should clamp to 0, got %d", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{GV: 22, WaxThreshold: 0.98}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{GV: 0}).Validate(); err == nil {
+		t.Fatal("zero GV should fail")
+	}
+	if err := (Config{GV: 22, WaxThreshold: 1.5}).Validate(); err == nil {
+		t.Fatal("bad threshold should fail")
+	}
+}
+
+func TestTAGrouping(t *testing.T) {
+	c := newCluster(t, 100)
+	ta, err := NewThermalAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Name() != "vmt-ta" {
+		t.Fatal("name")
+	}
+	// 22/35.7×100 ≈ 61.6 → 62 servers.
+	if got := ta.HotGroupSize(); got != 62 {
+		t.Fatalf("hot group = %d, want 62", got)
+	}
+	if !ta.IsHot(c.Server(0)) || ta.IsHot(c.Server(62)) {
+		t.Fatal("group membership wrong")
+	}
+}
+
+func TestTAPlacesByClass(t *testing.T) {
+	c := newCluster(t, 10)
+	ta, err := NewThermalAware(c, Config{GV: 22}) // hot group = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		s, err := ta.Place(workload.WebSearch) // hot
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ta.IsHot(s) {
+			t.Fatalf("hot job placed on cold server %d", s.ID())
+		}
+		if err := s.Place(workload.WebSearch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		s, err := ta.Place(workload.DataCaching) // cold
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ta.IsHot(s) {
+			t.Fatalf("cold job placed on hot server %d", s.ID())
+		}
+		if err := s.Place(workload.DataCaching); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Even distribution: 12 hot jobs over 6 hot servers = 2 each.
+	for i := 0; i < 6; i++ {
+		if got := c.Server(i).Jobs(workload.WebSearch); got != 2 {
+			t.Fatalf("hot server %d has %d jobs, want 2", i, got)
+		}
+	}
+	// 8 cold jobs over 4 cold servers = 2 each.
+	for i := 6; i < 10; i++ {
+		if got := c.Server(i).Jobs(workload.DataCaching); got != 2 {
+			t.Fatalf("cold server %d has %d jobs, want 2", i, got)
+		}
+	}
+}
+
+func TestTASpillsWhenGroupFull(t *testing.T) {
+	c := newCluster(t, 4)
+	ta, err := NewThermalAware(c, Config{GV: 22}) // hot group = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the hot group (2×32 cores), then one more hot job.
+	for i := 0; i < 65; i++ {
+		s, err := ta.Place(workload.Clustering)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Place(workload.Clustering); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spilled := c.Server(2).Jobs(workload.Clustering) + c.Server(3).Jobs(workload.Clustering)
+	if spilled != 1 {
+		t.Fatalf("spilled jobs = %d, want 1", spilled)
+	}
+	// Removal evicts the spilled job first.
+	s, err := ta.SelectRemoval(workload.Clustering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.IsHot(s) {
+		t.Fatalf("removal chose hot server %d before spilled job", s.ID())
+	}
+}
+
+func TestTAFullCluster(t *testing.T) {
+	c := newCluster(t, 2)
+	ta, err := NewThermalAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		s, err := ta.Place(workload.VirusScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Place(workload.VirusScan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ta.Place(workload.VirusScan); !errors.Is(err, sched.ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+	if _, err := ta.SelectRemoval(workload.WebSearch); !errors.Is(err, sched.ErrNoJob) {
+		t.Fatalf("want ErrNoJob for absent workload")
+	}
+}
+
+func TestWAStartsLikeTA(t *testing.T) {
+	c := newCluster(t, 100)
+	wa, err := NewWaxAware(c, Config{GV: 22, WaxThreshold: 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.Name() != "vmt-wa" {
+		t.Fatal("name")
+	}
+	if wa.HotGroupSize() != 62 || wa.BaseHotGroupSize() != 62 {
+		t.Fatalf("initial group sizes: %d/%d", wa.HotGroupSize(), wa.BaseHotGroupSize())
+	}
+	wa.Tick(0)
+	if wa.HotGroupSize() != 62 {
+		t.Fatalf("unmelted cluster should keep the base size, got %d", wa.HotGroupSize())
+	}
+	s, err := wa.Place(workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wa.IsHot(s) {
+		t.Fatal("hot job should land in the hot group")
+	}
+	cs, err := wa.Place(workload.VirusScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.IsHot(cs) {
+		t.Fatal("cold job should land in the cold group")
+	}
+}
+
+func TestWADefaultThreshold(t *testing.T) {
+	c := newCluster(t, 10)
+	wa, err := NewWaxAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.cfg.WaxThreshold != DefaultWaxThreshold {
+		t.Fatalf("threshold = %v, want default", wa.cfg.WaxThreshold)
+	}
+}
+
+// meltServers drives the given servers' wax fully molten concurrently
+// (sequential melting would let the first refreeze) and leaves them
+// loaded enough to stay molten.
+func meltServers(t *testing.T, c *cluster.Cluster, ids ...int) {
+	t.Helper()
+	for _, id := range ids {
+		s := c.Server(id)
+		for s.FreeCores() > 0 {
+			if err := s.Place(workload.VideoEncoding); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	allMelted := func() bool {
+		for _, id := range ids {
+			if c.Server(id).ReportedMeltFrac() < 0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 12*60 && !allMelted(); i++ {
+		if _, err := c.Step(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !allMelted() {
+		t.Fatal("failed to melt servers")
+	}
+	// Shed most load but keep the servers warm enough to stay molten.
+	for _, id := range ids {
+		s := c.Server(id)
+		for s.BusyCores() > 16 {
+			if err := s.Remove(workload.VideoEncoding); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestWAExtendsHotGroupWhenMelted(t *testing.T) {
+	c := newCluster(t, 10)
+	wa, err := NewWaxAware(c, Config{GV: 22, WaxThreshold: 0.98}) // base 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	meltServers(t, c, 0, 1)
+	wa.Tick(0)
+	if got := wa.HotGroupSize(); got != 8 {
+		t.Fatalf("hot group = %d, want base 6 + 2 melted = 8", got)
+	}
+	// Hot jobs now prefer hot-group servers that can still melt wax —
+	// not the two fully melted ones (they are also the least busy, so
+	// naive least-busy placement would pick them).
+	s, err := wa.Place(workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() == 0 || s.ID() == 1 {
+		t.Fatalf("hot job went to fully melted server %d", s.ID())
+	}
+	if !wa.IsHot(s) {
+		t.Fatal("hot job left the hot group")
+	}
+}
+
+func TestWAPlaceColdAvoidsUnmeltedHot(t *testing.T) {
+	c := newCluster(t, 4)
+	wa, err := NewWaxAware(c, Config{GV: 22, WaxThreshold: 0.98}) // base 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the cold group completely.
+	for i := 2; i < 4; i++ {
+		for c.Server(i).FreeCores() > 0 {
+			if err := c.Server(i).Place(workload.DataCaching); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Cold placement must now overflow into the hot group (rule 3,
+	// since nothing is melted).
+	s, err := wa.Place(workload.DataCaching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wa.IsHot(s) {
+		t.Fatal("expected overflow into the hot group")
+	}
+}
+
+func TestWARemovalPrefersSpilledJobs(t *testing.T) {
+	c := newCluster(t, 4)
+	wa, err := NewWaxAware(c, Config{GV: 22, WaxThreshold: 0.98}) // base 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hot job in the hot group and one spilled to the cold group.
+	if err := c.Server(0).Place(workload.WebSearch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Server(3).Place(workload.WebSearch); err != nil {
+		t.Fatal(err)
+	}
+	s, err := wa.SelectRemoval(workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != 3 {
+		t.Fatalf("removal chose server %d, want spilled job on 3", s.ID())
+	}
+	// Cold jobs spilled into the hot group are evicted first too.
+	if err := c.Server(0).Place(workload.DataCaching); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Server(2).Place(workload.DataCaching); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := wa.SelectRemoval(workload.DataCaching)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ID() != 0 {
+		t.Fatalf("cold removal chose server %d, want spilled job on 0", cs.ID())
+	}
+}
+
+func TestWAErrorPaths(t *testing.T) {
+	c := newCluster(t, 1)
+	wa, err := NewWaxAware(c, Config{GV: 22, WaxThreshold: 0.98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wa.SelectRemoval(workload.WebSearch); !errors.Is(err, sched.ErrNoJob) {
+		t.Fatal("want ErrNoJob")
+	}
+	for c.Server(0).FreeCores() > 0 {
+		if err := c.Server(0).Place(workload.VirusScan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := wa.Place(workload.VirusScan); !errors.Is(err, sched.ErrNoCapacity) {
+		t.Fatal("want ErrNoCapacity")
+	}
+	if _, err := wa.Place(workload.WebSearch); !errors.Is(err, sched.ErrNoCapacity) {
+		t.Fatal("want ErrNoCapacity for hot jobs too")
+	}
+}
+
+func TestWAHotGroupNeverExceedsCluster(t *testing.T) {
+	c := newCluster(t, 3)
+	wa, err := NewWaxAware(c, Config{GV: 35, WaxThreshold: 0.5}) // base 3 (clamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meltServers(t, c, 0)
+	wa.Tick(0)
+	if got := wa.HotGroupSize(); got != 3 {
+		t.Fatalf("hot group = %d, must clamp at 3", got)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/sched"
+	"vmt/internal/workload"
+)
+
+// GVChange schedules a grouping-value retune at a simulation time.
+type GVChange struct {
+	At time.Duration
+	GV float64
+}
+
+// Tunable is a VMT scheduler whose grouping value can be retuned in
+// place; ThermalAware and WaxAware both implement it.
+type Tunable interface {
+	sched.Scheduler
+	SetGV(gv float64)
+}
+
+// Retuning wraps a tunable VMT scheduler and applies a GV schedule —
+// the "change the GV to the optimal value each day" operating mode the
+// paper describes for load-predictable datacenters (Section V-C).
+type Retuning struct {
+	inner    Tunable
+	schedule []GVChange
+	next     int
+}
+
+// NewRetuning wraps inner with a GV schedule (applied in time order;
+// entries must be strictly increasing in time and have positive GVs).
+func NewRetuning(inner Tunable, schedule []GVChange) (*Retuning, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("core: retuning needs a scheduler")
+	}
+	sorted := append([]GVChange(nil), schedule...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for i, ch := range sorted {
+		if ch.GV <= 0 {
+			return nil, fmt.Errorf("core: retune %d has non-positive GV", i)
+		}
+		if i > 0 && ch.At == sorted[i-1].At {
+			return nil, fmt.Errorf("core: duplicate retune time %v", ch.At)
+		}
+	}
+	return &Retuning{inner: inner, schedule: sorted}, nil
+}
+
+// Name implements sched.Scheduler.
+func (r *Retuning) Name() string { return r.inner.Name() + "+retune" }
+
+// HotGroupSize forwards to the inner scheduler (for result reporting).
+func (r *Retuning) HotGroupSize() int {
+	if hg, ok := r.inner.(interface{ HotGroupSize() int }); ok {
+		return hg.HotGroupSize()
+	}
+	return 0
+}
+
+// Tick applies any due retunes, then forwards.
+func (r *Retuning) Tick(now time.Duration) {
+	for r.next < len(r.schedule) && r.schedule[r.next].At <= now {
+		r.inner.SetGV(r.schedule[r.next].GV)
+		r.next++
+	}
+	r.inner.Tick(now)
+}
+
+// Place implements sched.Scheduler.
+func (r *Retuning) Place(w workload.Workload) (*cluster.Server, error) {
+	return r.inner.Place(w)
+}
+
+// SelectRemoval implements sched.Scheduler.
+func (r *Retuning) SelectRemoval(w workload.Workload) (*cluster.Server, error) {
+	return r.inner.SelectRemoval(w)
+}
+
+// Interface checks.
+var (
+	_ sched.Scheduler = (*Retuning)(nil)
+	_ Tunable         = (*ThermalAware)(nil)
+	_ Tunable         = (*WaxAware)(nil)
+)

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vmt/internal/workload"
+)
+
+func TestRetuningValidation(t *testing.T) {
+	c := newCluster(t, 10)
+	ta, err := NewThermalAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRetuning(nil, nil); err == nil {
+		t.Fatal("nil inner should fail")
+	}
+	if _, err := NewRetuning(ta, []GVChange{{At: time.Hour, GV: 0}}); err == nil {
+		t.Fatal("zero GV should fail")
+	}
+	if _, err := NewRetuning(ta, []GVChange{
+		{At: time.Hour, GV: 20}, {At: time.Hour, GV: 22},
+	}); err == nil {
+		t.Fatal("duplicate times should fail")
+	}
+}
+
+func TestRetuningAppliesInOrder(t *testing.T) {
+	c := newCluster(t, 10)
+	ta, err := NewThermalAware(c, Config{GV: 22}) // hot = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately out of order; the constructor sorts.
+	rt, err := NewRetuning(ta, []GVChange{
+		{At: 4 * time.Hour, GV: 30},
+		{At: 2 * time.Hour, GV: 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Name() != "vmt-ta+retune" {
+		t.Fatalf("name = %s", rt.Name())
+	}
+	rt.Tick(time.Hour)
+	if ta.HotGroupSize() != 6 {
+		t.Fatalf("hot group changed early: %d", ta.HotGroupSize())
+	}
+	rt.Tick(2 * time.Hour)
+	if ta.HotGroupSize() != 5 { // 18/35.7×10 ≈ 5.04 → 5
+		t.Fatalf("after first retune: %d, want 5", ta.HotGroupSize())
+	}
+	rt.Tick(5 * time.Hour)      // both boundaries crossed at once
+	if ta.HotGroupSize() != 8 { // 30/35.7×10 ≈ 8.4 → 8
+		t.Fatalf("after second retune: %d, want 8", ta.HotGroupSize())
+	}
+	if rt.HotGroupSize() != 8 {
+		t.Fatalf("wrapper HotGroupSize = %d", rt.HotGroupSize())
+	}
+}
+
+func TestRetuningForwardsPlacement(t *testing.T) {
+	c := newCluster(t, 10)
+	wa, err := NewWaxAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetuning(wa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rt.Place(workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wa.IsHot(s) {
+		t.Fatal("placement not forwarded to the wax-aware policy")
+	}
+	if err := s.Place(workload.WebSearch); err != nil {
+		t.Fatal(err)
+	}
+	rm, err := rt.SelectRemoval(workload.WebSearch)
+	if err != nil || rm.ID() != s.ID() {
+		t.Fatalf("removal not forwarded: %v, %v", rm, err)
+	}
+}
+
+func TestSetGVDirect(t *testing.T) {
+	c := newCluster(t, 10)
+	ta, err := NewThermalAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta.SetGV(30)
+	if ta.HotGroupSize() != 8 {
+		t.Fatalf("TA SetGV: %d, want 8", ta.HotGroupSize())
+	}
+	wa, err := NewWaxAware(c, Config{GV: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa.SetGV(30)
+	if wa.BaseHotGroupSize() != 8 || wa.HotGroupSize() != 8 {
+		t.Fatalf("WA SetGV: base %d size %d", wa.BaseHotGroupSize(), wa.HotGroupSize())
+	}
+	// Lowering the base does not shrink an extended group mid-peak.
+	wa.g.hotSize = 9
+	wa.SetGV(20)
+	if wa.HotGroupSize() != 9 {
+		t.Fatalf("extended group should persist: %d", wa.HotGroupSize())
+	}
+	if wa.BaseHotGroupSize() != 6 {
+		t.Fatalf("base should drop: %d", wa.BaseHotGroupSize())
+	}
+}

@@ -1,0 +1,133 @@
+// Package energy prices cooling electricity under time-of-use tariffs,
+// quantifying the benefit the paper's conclusion points at: because
+// TTS/VMT shift cooling energy from peak hours into the night, they
+// save on *energy* cost as well as on cooling capital, wherever peak
+// kWh cost more than off-peak kWh.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vmt/internal/chiller"
+	"vmt/internal/stats"
+)
+
+// Tariff is a time-of-use electricity price schedule, periodic over
+// 24 hours.
+type Tariff struct {
+	// OffPeakUSDPerKWh applies outside the peak window.
+	OffPeakUSDPerKWh float64
+	// PeakUSDPerKWh applies inside [PeakStartHour, PeakEndHour).
+	PeakUSDPerKWh float64
+	// PeakStartHour and PeakEndHour bound the daily peak window
+	// (0 ≤ start < end ≤ 24).
+	PeakStartHour, PeakEndHour float64
+}
+
+// TypicalTOU returns a representative commercial time-of-use tariff:
+// 14¢/kWh noon–22:00, 7¢/kWh overnight.
+func TypicalTOU() Tariff {
+	return Tariff{
+		OffPeakUSDPerKWh: 0.07,
+		PeakUSDPerKWh:    0.14,
+		PeakStartHour:    12,
+		PeakEndHour:      22,
+	}
+}
+
+// Validate reports whether the tariff is well formed.
+func (t Tariff) Validate() error {
+	switch {
+	case t.OffPeakUSDPerKWh < 0 || t.PeakUSDPerKWh < 0:
+		return fmt.Errorf("energy: negative rate")
+	case t.PeakStartHour < 0 || t.PeakEndHour > 24 || t.PeakStartHour >= t.PeakEndHour:
+		return fmt.Errorf("energy: bad peak window [%v,%v)", t.PeakStartHour, t.PeakEndHour)
+	}
+	return nil
+}
+
+// RateAt returns the $/kWh price at simulation time d.
+func (t Tariff) RateAt(d time.Duration) float64 {
+	h := math.Mod(d.Hours(), 24)
+	if h >= t.PeakStartHour && h < t.PeakEndHour {
+		return t.PeakUSDPerKWh
+	}
+	return t.OffPeakUSDPerKWh
+}
+
+// Bill summarizes the cooling electricity cost of one load series.
+type Bill struct {
+	// TotalUSD is the cooling energy cost over the series.
+	TotalUSD float64
+	// PeakWindowUSD and OffPeakUSD split it by tariff window.
+	PeakWindowUSD, OffPeakUSD float64
+	// EnergyKWh is the plant's total electrical energy.
+	EnergyKWh float64
+	// PeakWindowShare is the fraction of cooling energy consumed
+	// inside the expensive window — what thermal time shifting pushes
+	// down.
+	PeakWindowShare float64
+}
+
+// CoolingBill prices a cooling-load series (watts of heat) through a
+// chiller plant under the tariff.
+func CoolingBill(load *stats.Series, plant chiller.Plant, tariff Tariff) (Bill, error) {
+	if err := tariff.Validate(); err != nil {
+		return Bill{}, err
+	}
+	if err := plant.Validate(); err != nil {
+		return Bill{}, err
+	}
+	if load.Len() == 0 {
+		return Bill{}, fmt.Errorf("energy: empty load series")
+	}
+	var bill Bill
+	stepH := load.Step.Hours()
+	for i, q := range load.Values {
+		kwh := plant.ElectricalPowerW(q) * stepH / 1000
+		bill.EnergyKWh += kwh
+		at := load.TimeAt(i)
+		cost := kwh * tariff.RateAt(at)
+		bill.TotalUSD += cost
+		if tariff.RateAt(at) == tariff.PeakUSDPerKWh &&
+			tariff.PeakUSDPerKWh != tariff.OffPeakUSDPerKWh {
+			bill.PeakWindowUSD += cost
+			bill.PeakWindowShare += kwh
+		} else {
+			bill.OffPeakUSD += cost
+		}
+	}
+	if bill.EnergyKWh > 0 {
+		bill.PeakWindowShare /= bill.EnergyKWh
+	}
+	return bill, nil
+}
+
+// Comparison prices two cooling-load series (baseline vs variant)
+// under the same plant and tariff.
+type Comparison struct {
+	Baseline, Variant Bill
+	// SavingsUSD is baseline minus variant total cost.
+	SavingsUSD float64
+	// SavingsPct is the relative saving.
+	SavingsPct float64
+}
+
+// Compare prices baseline and variant cooling-load series.
+func Compare(baseline, variant *stats.Series, plant chiller.Plant, tariff Tariff) (Comparison, error) {
+	b, err := CoolingBill(baseline, plant, tariff)
+	if err != nil {
+		return Comparison{}, err
+	}
+	v, err := CoolingBill(variant, plant, tariff)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Baseline: b, Variant: v, SavingsUSD: b.TotalUSD - v.TotalUSD}
+	if b.TotalUSD > 0 {
+		cmp.SavingsPct = cmp.SavingsUSD / b.TotalUSD * 100
+	}
+	return cmp, nil
+}

@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmt/internal/chiller"
+	"vmt/internal/stats"
+)
+
+func flatPlant(cap float64) chiller.Plant {
+	return chiller.Plant{CapacityW: cap, NominalCOP: 4, PartLoadPenalty: 0}
+}
+
+func TestTariffValidate(t *testing.T) {
+	if err := TypicalTOU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Tariff{
+		{OffPeakUSDPerKWh: -1, PeakUSDPerKWh: 1, PeakStartHour: 1, PeakEndHour: 2},
+		{OffPeakUSDPerKWh: 1, PeakUSDPerKWh: -1, PeakStartHour: 1, PeakEndHour: 2},
+		{OffPeakUSDPerKWh: 1, PeakUSDPerKWh: 1, PeakStartHour: 5, PeakEndHour: 5},
+		{OffPeakUSDPerKWh: 1, PeakUSDPerKWh: 1, PeakStartHour: -1, PeakEndHour: 5},
+		{OffPeakUSDPerKWh: 1, PeakUSDPerKWh: 1, PeakStartHour: 5, PeakEndHour: 25},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	tou := TypicalTOU()
+	if got := tou.RateAt(13 * time.Hour); got != 0.14 {
+		t.Fatalf("13h rate = %v", got)
+	}
+	if got := tou.RateAt(3 * time.Hour); got != 0.07 {
+		t.Fatalf("3h rate = %v", got)
+	}
+	// Periodic over days: hour 37 = hour 13 of day 2.
+	if got := tou.RateAt(37 * time.Hour); got != 0.14 {
+		t.Fatalf("37h rate = %v", got)
+	}
+	// Window boundaries: start inclusive, end exclusive.
+	if tou.RateAt(12*time.Hour) != 0.14 || tou.RateAt(22*time.Hour) != 0.07 {
+		t.Fatal("window boundaries wrong")
+	}
+}
+
+func TestCoolingBillArithmetic(t *testing.T) {
+	// Two 1-hour samples: one off-peak (3h), one peak (13h).
+	load := stats.NewSeries(time.Hour)
+	for i := 0; i < 24; i++ {
+		if i == 3 || i == 13 {
+			load.Append(4000) // 4 kW heat → 1 kW electric at COP 4
+		} else {
+			load.Append(0)
+		}
+	}
+	bill, err := CoolingBill(load, flatPlant(10_000), TypicalTOU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bill.EnergyKWh-2) > 1e-12 {
+		t.Fatalf("energy = %v, want 2 kWh", bill.EnergyKWh)
+	}
+	if math.Abs(bill.TotalUSD-(0.07+0.14)) > 1e-12 {
+		t.Fatalf("total = %v, want 0.21", bill.TotalUSD)
+	}
+	if math.Abs(bill.PeakWindowUSD-0.14) > 1e-12 || math.Abs(bill.OffPeakUSD-0.07) > 1e-12 {
+		t.Fatalf("split = %v / %v", bill.PeakWindowUSD, bill.OffPeakUSD)
+	}
+	if math.Abs(bill.PeakWindowShare-0.5) > 1e-12 {
+		t.Fatalf("peak share = %v", bill.PeakWindowShare)
+	}
+}
+
+func TestCoolingBillErrors(t *testing.T) {
+	empty := stats.NewSeries(time.Hour)
+	if _, err := CoolingBill(empty, flatPlant(1), TypicalTOU()); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	load := stats.NewSeries(time.Hour)
+	load.Append(1)
+	if _, err := CoolingBill(load, chiller.Plant{}, TypicalTOU()); err == nil {
+		t.Fatal("bad plant should fail")
+	}
+	if _, err := CoolingBill(load, flatPlant(1), Tariff{OffPeakUSDPerKWh: -1}); err == nil {
+		t.Fatal("bad tariff should fail")
+	}
+}
+
+// Shifting the same energy off-peak cuts the bill — the mechanism the
+// paper's conclusion credits to thermal time shifting.
+func TestCompareRewardsShifting(t *testing.T) {
+	baseline := stats.NewSeries(time.Hour)
+	shifted := stats.NewSeries(time.Hour)
+	for i := 0; i < 24; i++ {
+		switch {
+		case i >= 12 && i < 22: // peak window
+			baseline.Append(10_000)
+			shifted.Append(6_000)
+		case i < 10: // overnight
+			baseline.Append(2_000)
+			shifted.Append(6_000)
+		default:
+			baseline.Append(2_000)
+			shifted.Append(2_000)
+		}
+	}
+	cmp, err := Compare(baseline, shifted, flatPlant(20_000), TypicalTOU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total energy, different timing.
+	if math.Abs(cmp.Baseline.EnergyKWh-cmp.Variant.EnergyKWh) > 1e-9 {
+		t.Fatalf("energy differs: %v vs %v", cmp.Baseline.EnergyKWh, cmp.Variant.EnergyKWh)
+	}
+	if cmp.SavingsUSD <= 0 {
+		t.Fatalf("shifting should save money, got %v", cmp.SavingsUSD)
+	}
+	if cmp.Variant.PeakWindowShare >= cmp.Baseline.PeakWindowShare {
+		t.Fatal("variant should consume less in the peak window")
+	}
+	if cmp.SavingsPct <= 0 || cmp.SavingsPct >= 100 {
+		t.Fatalf("savings pct %v out of range", cmp.SavingsPct)
+	}
+}
+
+func TestFlatTariffNoPeakSplit(t *testing.T) {
+	flat := Tariff{OffPeakUSDPerKWh: 0.1, PeakUSDPerKWh: 0.1, PeakStartHour: 12, PeakEndHour: 22}
+	load := stats.NewSeries(time.Hour)
+	for i := 0; i < 24; i++ {
+		load.Append(4000)
+	}
+	bill, err := CoolingBill(load, flatPlant(10_000), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.PeakWindowUSD != 0 {
+		t.Fatalf("flat tariff should not attribute a peak window, got %v", bill.PeakWindowUSD)
+	}
+	if math.Abs(bill.TotalUSD-2.4) > 1e-12 { // 24 kWh × $0.1
+		t.Fatalf("total = %v", bill.TotalUSD)
+	}
+}

@@ -1,0 +1,205 @@
+// Package feasibility reproduces Figure 1: for pairwise workload
+// mixes swept across the work ratio, it classifies whether plain TTS
+// can melt wax (exhaust temperature already exceeds the physical
+// melting point), whether VMT placement is required (only a segregated
+// hot group can exceed it), or whether no placement can help.
+//
+// The classification uses the calibrated steady-state thermal model at
+// peak utilization, which is exactly the quantity the figure plots
+// (peak exhaust temperature versus work ratio).
+package feasibility
+
+import (
+	"fmt"
+
+	"vmt/internal/thermal"
+	"vmt/internal/workload"
+)
+
+// Class labels one operating point.
+type Class int
+
+const (
+	// Neither: no placement policy reaches the melting point.
+	Neither Class = iota
+	// NeedsVMT: balanced placement stays below the melting point but
+	// concentrating the hotter workload exceeds it.
+	NeedsVMT
+	// TTSWorks: even balanced placement melts wax; a passive system
+	// suffices (VMT also works).
+	TTSWorks
+)
+
+// String implements fmt.Stringer with the figure's legend labels.
+func (c Class) String() string {
+	switch c {
+	case TTSWorks:
+		return "VMT/TTS"
+	case NeedsVMT:
+		return "Needs VMT"
+	default:
+		return "Neither"
+	}
+}
+
+// Params configures the sweep.
+type Params struct {
+	Server thermal.ServerSpec
+	// InletTempC is the room supply temperature.
+	InletTempC float64
+	// MeltTempC is the wax physical melting temperature.
+	MeltTempC float64
+	// PeakUtil is the utilization at which exhaust temperature is
+	// evaluated (the worst-case day peak).
+	PeakUtil float64
+}
+
+// PaperParams returns the calibrated figure configuration.
+func PaperParams() Params {
+	return Params{
+		Server:     thermal.PaperServer(),
+		InletTempC: 22,
+		MeltTempC:  35.7,
+		PeakUtil:   0.95,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.Server.Validate(); err != nil {
+		return err
+	}
+	if p.PeakUtil <= 0 || p.PeakUtil > 1 {
+		return fmt.Errorf("feasibility: peak utilization %v out of (0,1]", p.PeakUtil)
+	}
+	return nil
+}
+
+// serverTempAt returns the steady exhaust temperature of a server
+// whose occupied cores draw perCoreW each at utilization u.
+func (p Params) serverTempAt(perCoreW, u float64) float64 {
+	cores := float64(p.Server.Cores()) * u
+	power := p.Server.IdlePowerW + cores*perCoreW*p.Server.PowerScale
+	if power > p.Server.PeakPowerW {
+		power = p.Server.PeakPowerW
+	}
+	return p.Server.SteadyAirTempC(power, p.InletTempC)
+}
+
+// Point is one sample of a pairwise sweep.
+type Point struct {
+	// RatioPct is the percentage of work from workload A.
+	RatioPct float64
+	// BalancedTempC is the peak exhaust temperature with balanced
+	// (round-robin) placement — the y-value the figure plots.
+	BalancedTempC float64
+	// SegregatedTempC is the hottest achievable server temperature
+	// when the hotter workload is concentrated.
+	SegregatedTempC float64
+	Class           Class
+}
+
+// Classify evaluates one work ratio (0..1, the share of a) of the
+// pair (a, b).
+func (p Params) Classify(a, b workload.Workload, ratio float64) (Point, error) {
+	if err := p.Validate(); err != nil {
+		return Point{}, err
+	}
+	if ratio < 0 || ratio > 1 {
+		return Point{}, fmt.Errorf("feasibility: ratio %v out of [0,1]", ratio)
+	}
+	mixedPerCore := ratio*a.PerCorePowerW() + (1-ratio)*b.PerCorePowerW()
+	balanced := p.serverTempAt(mixedPerCore, p.PeakUtil)
+
+	// Segregation concentrates the hotter workload on a dedicated
+	// group: those servers run fully occupied by it (possible whenever
+	// that workload contributes any work at all).
+	hotter := a
+	hotShare := ratio
+	if b.PerCorePowerW() > a.PerCorePowerW() {
+		hotter, hotShare = b, 1-ratio
+	}
+	segregated := balanced
+	if hotShare > 0 {
+		segregated = p.serverTempAt(hotter.PerCorePowerW(), 1)
+	}
+
+	pt := Point{RatioPct: ratio * 100, BalancedTempC: balanced, SegregatedTempC: segregated}
+	switch {
+	case balanced >= p.MeltTempC:
+		pt.Class = TTSWorks
+	case segregated >= p.MeltTempC:
+		pt.Class = NeedsVMT
+	default:
+		pt.Class = Neither
+	}
+	return pt, nil
+}
+
+// Sweep classifies the pair across work ratios 0..100% in steps of
+// stepPct.
+func (p Params) Sweep(a, b workload.Workload, stepPct float64) ([]Point, error) {
+	if stepPct <= 0 || stepPct > 100 {
+		return nil, fmt.Errorf("feasibility: step %v%% out of (0,100]", stepPct)
+	}
+	var out []Point
+	for r := 0.0; r <= 100.0000001; r += stepPct {
+		pt, err := p.Classify(a, b, r/100)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Pair names one of the figure's six panels.
+type Pair struct {
+	Name string
+	A, B workload.Workload
+}
+
+// PaperPairs returns the six mixes of Figure 1. ("Scanning" is
+// VirusScan; "Caching" Data Caching; "Search" Web Search; "Video"
+// Video Encoding.)
+func PaperPairs() []Pair {
+	return []Pair{
+		{"Caching-Search", workload.DataCaching, workload.WebSearch},
+		{"Scanning-Clustering", workload.VirusScan, workload.Clustering},
+		{"Clustering-Video", workload.Clustering, workload.VideoEncoding},
+		{"Scanning-Video", workload.VirusScan, workload.VideoEncoding},
+		{"Scanning-Search", workload.VirusScan, workload.WebSearch},
+		{"Search-Clustering", workload.WebSearch, workload.Clustering},
+	}
+}
+
+// ClassifyMix evaluates a full workload mix rather than a pair: the
+// balanced temperature uses the mix's mean per-core power, and the
+// segregated temperature concentrates the mix's hottest workload.
+func (p Params) ClassifyMix(m *workload.Mix) (Point, error) {
+	if err := p.Validate(); err != nil {
+		return Point{}, err
+	}
+	entries := m.Entries()
+	if len(entries) == 0 {
+		return Point{}, fmt.Errorf("feasibility: empty mix")
+	}
+	balanced := p.serverTempAt(m.MeanPerCorePowerW(), p.PeakUtil)
+	hottest := entries[0].Workload
+	for _, e := range entries[1:] {
+		if e.Workload.PerCorePowerW() > hottest.PerCorePowerW() {
+			hottest = e.Workload
+		}
+	}
+	segregated := p.serverTempAt(hottest.PerCorePowerW(), 1)
+	pt := Point{BalancedTempC: balanced, SegregatedTempC: segregated}
+	switch {
+	case balanced >= p.MeltTempC:
+		pt.Class = TTSWorks
+	case segregated >= p.MeltTempC:
+		pt.Class = NeedsVMT
+	default:
+		pt.Class = Neither
+	}
+	return pt, nil
+}

@@ -1,0 +1,207 @@
+package feasibility
+
+import (
+	"testing"
+
+	"vmt/internal/workload"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperParams()
+	bad.PeakUtil = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero peak util should fail")
+	}
+	bad = PaperParams()
+	bad.Server.CPUs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad server should fail")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if TTSWorks.String() != "VMT/TTS" || NeedsVMT.String() != "Needs VMT" || Neither.String() != "Neither" {
+		t.Fatal("legend labels wrong")
+	}
+}
+
+func TestClassifyBounds(t *testing.T) {
+	p := PaperParams()
+	if _, err := p.Classify(workload.WebSearch, workload.VirusScan, -0.1); err == nil {
+		t.Fatal("negative ratio should fail")
+	}
+	if _, err := p.Classify(workload.WebSearch, workload.VirusScan, 1.1); err == nil {
+		t.Fatal("ratio above 1 should fail")
+	}
+}
+
+// Two cold workloads can never melt wax regardless of placement.
+func TestAllColdIsNeither(t *testing.T) {
+	p := PaperParams()
+	pts, err := p.Sweep(workload.VirusScan, workload.DataCaching, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Class != Neither {
+			t.Fatalf("ratio %v: class %v, want Neither", pt.RatioPct, pt.Class)
+		}
+	}
+}
+
+// A pure hot workload concentrated on full servers exceeds the melting
+// point, so hot-containing mixes are at least VMT-feasible wherever the
+// hot workload contributes work.
+func TestHotMixesNeedVMTOrBetter(t *testing.T) {
+	p := PaperParams()
+	pts, err := p.Sweep(workload.VirusScan, workload.VideoEncoding, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		hotShare := 100 - pt.RatioPct // B = VideoEncoding
+		if hotShare == 0 {
+			if pt.Class != Neither {
+				t.Fatalf("pure VirusScan should be Neither, got %v", pt.Class)
+			}
+			continue
+		}
+		if pt.Class == Neither {
+			t.Fatalf("ratio %v: VideoEncoding present but class Neither (seg temp %.2f)",
+				pt.RatioPct, pt.SegregatedTempC)
+		}
+	}
+}
+
+// Balanced temperature is monotone in the hot workload's share, and the
+// class bands appear in order: Neither/NeedsVMT at cold-heavy ratios,
+// TTSWorks only where balanced placement crosses the melting point.
+func TestRegionOrdering(t *testing.T) {
+	p := PaperParams()
+	// A = VirusScan (cold), B = Clustering (hot): balanced temp falls
+	// as the VirusScan share (ratio) grows.
+	pts, err := p.Sweep(workload.VirusScan, workload.Clustering, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTTS, sawNeed := false, false
+	for i, pt := range pts {
+		if i > 0 && pt.BalancedTempC > pts[i-1].BalancedTempC+1e-9 {
+			t.Fatalf("balanced temp should fall with cold share at %v%%", pt.RatioPct)
+		}
+		switch pt.Class {
+		case TTSWorks:
+			sawTTS = true
+			if sawNeed {
+				t.Fatal("TTSWorks after NeedsVMT along falling temperature")
+			}
+		case NeedsVMT:
+			sawNeed = true
+		}
+	}
+	if !sawTTS {
+		t.Fatal("clustering-heavy end should support TTS")
+	}
+	if !sawNeed {
+		t.Fatal("middle ratios should need VMT")
+	}
+}
+
+// The paper's motivating observation (Figure 1): mixes of a hot and a
+// cold workload show all three bands — TTS suffices only at hot-heavy
+// ratios, a wide middle band needs VMT, and cold-heavy ratios are
+// beyond help. Caching-Search is the canonical panel.
+func TestCachingSearchShowsAllThreeBands(t *testing.T) {
+	p := PaperParams()
+	pts, err := p.Sweep(workload.DataCaching, workload.WebSearch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[Class]int{}
+	for _, pt := range pts {
+		count[pt.Class]++
+	}
+	if count[TTSWorks] == 0 || count[NeedsVMT] == 0 || count[Neither] == 0 {
+		t.Fatalf("expected all three bands, got %v", count)
+	}
+	// VMT widens the usable band: yellow must be non-trivial.
+	if count[NeedsVMT] < count[TTSWorks] {
+		t.Fatalf("the VMT-only band should dominate TTS's: %v", count)
+	}
+	// Pure caching (ratio 100%) cannot melt under any placement.
+	if pts[len(pts)-1].Class != Neither {
+		t.Fatalf("pure DataCaching should be Neither, got %v", pts[len(pts)-1].Class)
+	}
+	// Pure search (ratio 0%) melts even balanced.
+	if pts[0].Class != TTSWorks {
+		t.Fatalf("pure WebSearch should support TTS, got %v", pts[0].Class)
+	}
+}
+
+func TestSweepStepValidation(t *testing.T) {
+	p := PaperParams()
+	if _, err := p.Sweep(workload.WebSearch, workload.VirusScan, 0); err == nil {
+		t.Fatal("zero step should fail")
+	}
+	if _, err := p.Sweep(workload.WebSearch, workload.VirusScan, 101); err == nil {
+		t.Fatal("oversized step should fail")
+	}
+}
+
+func TestPaperPairs(t *testing.T) {
+	pairs := PaperPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("want 6 panels, got %d", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, pr := range pairs {
+		if seen[pr.Name] {
+			t.Fatalf("duplicate panel %s", pr.Name)
+		}
+		seen[pr.Name] = true
+		if err := pr.A.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pr.B.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClassifyMix(t *testing.T) {
+	p := PaperParams()
+	pt, err := p.ClassifyMix(workload.PaperMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's five-workload mix is the canonical "needs VMT" case:
+	// balanced placement stays below the melting point, concentration
+	// exceeds it.
+	if pt.Class != NeedsVMT {
+		t.Fatalf("paper mix class = %v, want NeedsVMT (balanced %.2f)", pt.Class, pt.BalancedTempC)
+	}
+	if pt.BalancedTempC >= 35.7 || pt.SegregatedTempC < 35.7 {
+		t.Fatalf("temps inconsistent: %.2f / %.2f", pt.BalancedTempC, pt.SegregatedTempC)
+	}
+	coldOnly, err := workload.NewMix(
+		workload.MixEntry{Workload: workload.VirusScan, Share: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err = p.ClassifyMix(coldOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Class != Neither {
+		t.Fatalf("cold-only mix class = %v, want Neither", pt.Class)
+	}
+	bad := PaperParams()
+	bad.PeakUtil = 0
+	if _, err := bad.ClassifyMix(workload.PaperMix()); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}

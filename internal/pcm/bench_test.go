@@ -1,0 +1,49 @@
+package pcm
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPackApplySensible(b *testing.B) {
+	p, err := NewPack(CommercialParaffin(), 4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Alternate small heating/cooling in the sensible regime.
+		if i%2 == 0 {
+			p.Apply(50, time.Second)
+		} else {
+			p.Apply(-50, time.Second)
+		}
+	}
+}
+
+func BenchmarkPackApplyPhaseChange(b *testing.B) {
+	p, err := NewPack(CommercialParaffin(), 4, 35.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Oscillate across the phase boundary.
+		if i%2 == 0 {
+			p.Apply(10_000, time.Second)
+		} else {
+			p.Apply(-10_000, time.Second)
+		}
+	}
+}
+
+func BenchmarkEstimatorUpdate(b *testing.B) {
+	e, err := NewEstimator(CommercialParaffin(), 4, 22, 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Update(36+float64(i%5), time.Minute)
+	}
+}

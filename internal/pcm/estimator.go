@@ -1,0 +1,107 @@
+package pcm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Estimator is the lightweight per-server wax-state model of ref [24]:
+// a single temperature sensor on the wax container tells the server
+// when melting or freezing starts, and a lookup table maps the sensed
+// air-to-wax temperature difference to a heat-flow rate, which the
+// server integrates into an estimated melt fraction. The cluster
+// scheduler (VMT-WA) consumes these estimates — not ground truth —
+// once per minute.
+//
+// The lookup table quantizes the temperature difference, so the
+// estimate drifts slightly from the true pack state; tests bound that
+// drift. The update runs in constant time and is cheap enough to run
+// once per minute on every server with negligible overhead, as the
+// paper requires.
+type Estimator struct {
+	shadow *Pack
+	// table[i] is the estimated heat flow (W) for the i-th
+	// temperature-difference bucket.
+	table        []float64
+	minDeltaC    float64
+	bucketWidthC float64
+	updates      uint64
+}
+
+// NewEstimator builds an estimator for a pack of volumeL liters of m
+// starting at initialTempC, exchanging heat with the air stream through
+// conductance hAWPerK (W/K). The lookup table covers temperature
+// differences of ±30 °C in 0.5 °C buckets.
+func NewEstimator(m Material, volumeL, initialTempC, hAWPerK float64) (*Estimator, error) {
+	if hAWPerK <= 0 {
+		return nil, fmt.Errorf("pcm: estimator conductance must be positive, got %v", hAWPerK)
+	}
+	shadow, err := NewPack(m, volumeL, initialTempC)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		minDelta = -40.0
+		maxDelta = 40.0
+		width    = 0.1
+	)
+	// Buckets are centered on grid points (…, −0.5, 0, +0.5, …) so a
+	// zero temperature difference maps to exactly zero heat flow; a
+	// midpoint-offset table would leak heat at equilibrium.
+	n := int((maxDelta-minDelta)/width) + 1
+	table := make([]float64, n)
+	for i := range table {
+		table[i] = hAWPerK * (minDelta + float64(i)*width)
+	}
+	return &Estimator{
+		shadow:       shadow,
+		table:        table,
+		minDeltaC:    minDelta,
+		bucketWidthC: width,
+	}, nil
+}
+
+// lookup returns the tabulated heat flow for the given temperature
+// difference, rounding to the nearest bucket center and clamping
+// out-of-range differences to the table edges.
+func (e *Estimator) lookup(deltaC float64) float64 {
+	i := int((deltaC-e.minDeltaC)/e.bucketWidthC + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.table) {
+		i = len(e.table) - 1
+	}
+	return e.table[i]
+}
+
+// Update advances the estimate by dt given the sensed air temperature
+// at the wax. Call once per model period (the paper uses one minute).
+// The update subdivides internally so the shadow state stays stable
+// even though the wax time constant is shorter than the period.
+func (e *Estimator) Update(airTempC float64, dt time.Duration) {
+	const subStep = 10 * time.Second
+	for remaining := dt; remaining > 0; remaining -= subStep {
+		h := subStep
+		if h > remaining {
+			h = remaining
+		}
+		q := e.lookup(airTempC - e.shadow.TempC())
+		e.shadow.Apply(q, h)
+	}
+	e.updates++
+}
+
+// MeltFrac returns the estimated melted fraction in [0,1].
+func (e *Estimator) MeltFrac() float64 { return e.shadow.MeltFrac() }
+
+// TempC returns the estimated wax temperature.
+func (e *Estimator) TempC() float64 { return e.shadow.TempC() }
+
+// Updates returns how many times Update has run (for overhead
+// accounting in tests).
+func (e *Estimator) Updates() uint64 { return e.updates }
+
+// Reset re-initializes the estimate, e.g. after a server rotates
+// between groups and its wax is known to have refrozen.
+func (e *Estimator) Reset(tempC float64) { e.shadow.Reset(tempC) }

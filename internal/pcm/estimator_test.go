@@ -1,0 +1,109 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(CommercialParaffin(), 4, 22, 0); err == nil {
+		t.Fatal("zero conductance should fail")
+	}
+	if _, err := NewEstimator(CommercialParaffin(), 0, 22, 15); err == nil {
+		t.Fatal("zero volume should fail")
+	}
+}
+
+// The estimator must track a ground-truth pack driven by the same
+// air-temperature history to within a few percent of melt fraction.
+func TestEstimatorTracksGroundTruth(t *testing.T) {
+	const hA = 15.0
+	mat := CommercialParaffin()
+	truth, err := NewPack(mat, 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(mat, 4, 22, hA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic diurnal air temperature: ramps to 40°C and back over
+	// 24 h, sampled per minute like the paper's model updates. The wax
+	// melts through midday and refreezes overnight; the estimate must
+	// track ground truth at every sample, including the peak.
+	step := time.Minute
+	var maxTruth, maxDiff float64
+	for minute := 0; minute < 24*60; minute++ {
+		h := float64(minute) / 60
+		air := 26 + 14*math.Sin(math.Pi*h/24) // 26..40..26 °C
+		// Ground truth: exact conductance physics.
+		q := hA * (air - truth.TempC())
+		truth.Apply(q, step)
+		est.Update(air, step)
+		maxTruth = math.Max(maxTruth, truth.MeltFrac())
+		maxDiff = math.Max(maxDiff, math.Abs(truth.MeltFrac()-est.MeltFrac()))
+	}
+	if maxTruth < 0.2 {
+		t.Fatalf("test scenario should melt meaningful wax, got peak %.3f", maxTruth)
+	}
+	if maxDiff > 0.05 {
+		t.Fatalf("estimator drift %.4f (truth peak %.3f)", maxDiff, maxTruth)
+	}
+	if est.Updates() != 24*60 {
+		t.Fatalf("updates = %d", est.Updates())
+	}
+}
+
+func TestEstimatorClampsExtremes(t *testing.T) {
+	est, err := NewEstimator(CommercialParaffin(), 4, 22, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wildly out-of-range sensor reading must not blow up the table
+	// lookup or produce unbounded melt fraction.
+	for i := 0; i < 100; i++ {
+		est.Update(500, time.Minute)
+	}
+	if est.MeltFrac() < 0 || est.MeltFrac() > 1 {
+		t.Fatalf("melt frac out of bounds: %v", est.MeltFrac())
+	}
+	for i := 0; i < 1000; i++ {
+		est.Update(-200, time.Minute)
+	}
+	if est.MeltFrac() != 0 {
+		t.Fatalf("deep freeze should fully solidify, frac=%v", est.MeltFrac())
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	est, err := NewEstimator(CommercialParaffin(), 4, 22, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		est.Update(45, time.Minute)
+	}
+	if est.MeltFrac() == 0 {
+		t.Fatal("expected some melting before reset")
+	}
+	est.Reset(22)
+	if est.MeltFrac() != 0 || est.TempC() != 22 {
+		t.Fatalf("reset state: frac=%v temp=%v", est.MeltFrac(), est.TempC())
+	}
+}
+
+func TestEstimatorEquilibrium(t *testing.T) {
+	// Holding air exactly at wax temperature must not change state
+	// beyond one bucket's worth of quantization leakage.
+	est, err := NewEstimator(CommercialParaffin(), 4, 30, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		est.Update(est.TempC(), time.Minute)
+	}
+	if math.Abs(est.TempC()-30) > 1.5 {
+		t.Fatalf("equilibrium drifted to %v", est.TempC())
+	}
+}

@@ -1,0 +1,33 @@
+package pcm_test
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/pcm"
+)
+
+func ExamplePack_Apply() {
+	pack, err := pcm.NewPack(pcm.CommercialParaffin(), 4.0, 22)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("battery: %.2f MJ of latent storage\n", pack.LatentCapacityJ()/1e6)
+
+	// Heat to the melting point, then half-melt.
+	sensible := pack.MassKg() * pack.Material().SpecificHeatSolidJPerKgK * (35.7 - 22)
+	pack.Apply(sensible, time.Second)
+	pack.Apply(pack.LatentCapacityJ()/2, time.Second)
+	fmt.Printf("temperature pinned at %.1f °C, %.0f%% melted\n",
+		pack.TempC(), pack.MeltFrac()*100)
+	// Output:
+	// battery: 0.94 MJ of latent storage
+	// temperature pinned at 35.7 °C, 50% melted
+}
+
+func ExampleCommercialParaffin() {
+	m := pcm.CommercialParaffin()
+	fmt.Printf("%s melts at %.1f °C and costs $%.0f/ton\n",
+		m.Name, m.MeltTempC, m.CostUSDPerTon)
+	// Output: commercial-paraffin-35.7C melts at 35.7 °C and costs $1000/ton
+}

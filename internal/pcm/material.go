@@ -1,0 +1,100 @@
+// Package pcm models phase change materials (paraffin wax) for thermal
+// time shifting: sensible and latent enthalpy bookkeeping, the
+// melt-fraction state machine, and the lightweight lookup-table state
+// estimator that servers run to report wax state to the cluster
+// scheduler (Skach et al., IEEE Internet Computing 2017, ref [24] of
+// the VMT paper).
+//
+// Units: temperatures in °C, power in W, energy in J, mass in kg.
+package pcm
+
+import "fmt"
+
+// Material describes a phase change material. The VMT paper deploys
+// commercial-grade paraffin: cheap (~$1,000/ton), non-corrosive,
+// non-conductive, available with melting points between roughly 40 and
+// 60 °C, with 35.7 °C the lowest commercially available option.
+type Material struct {
+	Name string
+	// MeltTempC is the physical melting temperature (PMT).
+	MeltTempC float64
+	// LatentHeatJPerKg is the heat of fusion. Energy stored during the
+	// phase transition dominates sensible storage several times over.
+	LatentHeatJPerKg float64
+	// SpecificHeatSolidJPerKgK and SpecificHeatLiquidJPerKgK are the
+	// sensible heat capacities of the two phases.
+	SpecificHeatSolidJPerKgK  float64
+	SpecificHeatLiquidJPerKgK float64
+	// DensityKgPerL converts the deployed volume to mass.
+	DensityKgPerL float64
+	// CostUSDPerTon is the bulk acquisition cost, used by the TCO
+	// model. Commercial paraffin ≈ $1,000/ton; molecularly pure
+	// n-paraffin with out-of-range melting points ≈ $75,000/ton.
+	CostUSDPerTon float64
+}
+
+// Validate reports whether the material is physically sensible.
+func (m Material) Validate() error {
+	switch {
+	case m.LatentHeatJPerKg <= 0:
+		return fmt.Errorf("pcm: material %q: latent heat must be positive", m.Name)
+	case m.SpecificHeatSolidJPerKgK <= 0 || m.SpecificHeatLiquidJPerKgK <= 0:
+		return fmt.Errorf("pcm: material %q: specific heats must be positive", m.Name)
+	case m.DensityKgPerL <= 0:
+		return fmt.Errorf("pcm: material %q: density must be positive", m.Name)
+	}
+	return nil
+}
+
+// WithMeltTemp returns a copy of the material with a different physical
+// melting temperature. Used by the Table II experiment, which sweeps
+// the PMT above and below 35.7 °C while scaling the heat of fusion.
+func (m Material) WithMeltTemp(tempC float64) Material {
+	m.MeltTempC = tempC
+	return m
+}
+
+// WithLatentHeat returns a copy with a scaled heat of fusion.
+func (m Material) WithLatentHeat(jPerKg float64) Material {
+	m.LatentHeatJPerKg = jPerKg
+	return m
+}
+
+// CommercialParaffin returns the wax deployed in the paper's test
+// datacenter: commercial paraffin with the lowest available melting
+// temperature, 35.7 °C. Latent heat and specific heats are typical
+// published paraffin values (Sharma et al. 2009; Pielichowska 2014).
+func CommercialParaffin() Material {
+	return Material{
+		Name:                      "commercial-paraffin-35.7C",
+		MeltTempC:                 35.7,
+		LatentHeatJPerKg:          262_000, // J/kg, upper commercial range
+		SpecificHeatSolidJPerKgK:  2_100,
+		SpecificHeatLiquidJPerKgK: 2_200,
+		DensityKgPerL:             0.90,
+		CostUSDPerTon:             1_000,
+	}
+}
+
+// PureNParaffin returns a molecularly pure n-paraffin with an arbitrary
+// melting temperature. Thermally similar to commercial wax but cost
+// prohibitive (~$75,000/ton) — the TCO comparison in Section V-E.
+func PureNParaffin(meltTempC float64) Material {
+	m := CommercialParaffin()
+	m.Name = fmt.Sprintf("n-paraffin-%.1fC", meltTempC)
+	m.MeltTempC = meltTempC
+	m.CostUSDPerTon = 75_000
+	return m
+}
+
+// Inert returns a non-melting placeholder with the thermal mass of
+// paraffin but a melting point no datacenter reaches: the "no TTS"
+// baseline for experiments that need a wax-free comparison while
+// keeping the server's sensible thermal mass identical.
+func Inert() Material {
+	m := CommercialParaffin()
+	m.Name = "inert-filler"
+	m.MeltTempC = 1e9
+	m.CostUSDPerTon = 0
+	return m
+}

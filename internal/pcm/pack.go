@@ -1,0 +1,171 @@
+package pcm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Pack is a quantity of PCM installed in one server: the paper's 4.0
+// liters of paraffin split across four aluminum containers behind the
+// CPU heat sinks. Pack tracks the thermodynamic state — temperature
+// and melt fraction — and conserves energy exactly: the enthalpy
+// change over any Apply call equals the heat applied.
+//
+// The state machine has three regimes:
+//
+//	solid   (MeltFrac == 0, TempC <= melt): sensible heating/cooling
+//	melting (TempC == melt, 0 < MeltFrac < 1 or at boundary): latent
+//	liquid  (MeltFrac == 1, TempC >= melt): sensible heating/cooling
+//
+// During the phase transition the temperature is pinned at the melting
+// point, which is what lets TTS hold server exhaust temperatures flat
+// through the peak.
+type Pack struct {
+	mat      Material
+	massKg   float64
+	tempC    float64
+	meltFrac float64
+}
+
+// NewPack returns a pack of volumeL liters of material m, fully solid
+// (or fully liquid if the initial temperature exceeds the melting
+// point) at initialTempC.
+func NewPack(m Material, volumeL, initialTempC float64) (*Pack, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if volumeL <= 0 {
+		return nil, fmt.Errorf("pcm: volume must be positive, got %v L", volumeL)
+	}
+	p := &Pack{mat: m, massKg: volumeL * m.DensityKgPerL, tempC: initialTempC}
+	if initialTempC > m.MeltTempC {
+		p.meltFrac = 1
+	}
+	return p, nil
+}
+
+// Material returns the pack's material.
+func (p *Pack) Material() Material { return p.mat }
+
+// MassKg returns the wax mass.
+func (p *Pack) MassKg() float64 { return p.massKg }
+
+// TempC returns the current wax temperature.
+func (p *Pack) TempC() float64 { return p.tempC }
+
+// MeltFrac returns the melted fraction in [0,1].
+func (p *Pack) MeltFrac() float64 { return p.meltFrac }
+
+// LatentCapacityJ returns the total latent storage capacity (mass ×
+// heat of fusion) — the headline thermal battery size.
+func (p *Pack) LatentCapacityJ() float64 {
+	return p.massKg * p.mat.LatentHeatJPerKg
+}
+
+// EnthalpyJ returns the pack enthalpy relative to fully solid wax at
+// refTempC (refTempC must not exceed the melting point for the
+// reference to be meaningful).
+func (p *Pack) EnthalpyJ(refTempC float64) float64 {
+	m := p.mat
+	if p.meltFrac == 0 {
+		// Solid at tempC.
+		return p.massKg * m.SpecificHeatSolidJPerKgK * (p.tempC - refTempC)
+	}
+	// Solid sensible up to melt, plus latent portion, plus any liquid
+	// sensible beyond melt.
+	h := p.massKg * m.SpecificHeatSolidJPerKgK * (m.MeltTempC - refTempC)
+	h += p.meltFrac * p.LatentCapacityJ()
+	if p.meltFrac == 1 && p.tempC > m.MeltTempC {
+		h += p.massKg * m.SpecificHeatLiquidJPerKgK * (p.tempC - m.MeltTempC)
+	}
+	return h
+}
+
+// Apply transfers heat at powerW (negative to extract heat) for dt and
+// returns the energy stored in the pack in joules (== powerW × dt;
+// provided for caller bookkeeping). Phase boundaries are handled
+// exactly: an interval may begin with sensible solid heating, cross
+// into latent melting, and finish with liquid sensible heating.
+func (p *Pack) Apply(powerW float64, dt time.Duration) float64 {
+	energy := powerW * dt.Seconds()
+	p.applyEnergy(energy)
+	return energy
+}
+
+// applyEnergy adds (or removes, if negative) energy joules, walking the
+// phase regimes in order.
+func (p *Pack) applyEnergy(energy float64) {
+	const eps = 1e-12
+	m := p.mat
+	for energy > eps || energy < -eps {
+		switch {
+		case energy > 0 && p.meltFrac == 0 && p.tempC < m.MeltTempC:
+			// Sensible solid heating toward the melting point.
+			cap := p.massKg * m.SpecificHeatSolidJPerKgK
+			need := cap * (m.MeltTempC - p.tempC)
+			if energy < need {
+				p.tempC += energy / cap
+				return
+			}
+			p.tempC = m.MeltTempC
+			energy -= need
+		case energy > 0 && p.meltFrac < 1:
+			// Latent melting at the pinned melting temperature.
+			p.tempC = m.MeltTempC
+			need := (1 - p.meltFrac) * p.LatentCapacityJ()
+			if energy < need {
+				p.meltFrac += energy / p.LatentCapacityJ()
+				return
+			}
+			p.meltFrac = 1
+			energy -= need
+		case energy > 0:
+			// Sensible liquid heating.
+			cap := p.massKg * m.SpecificHeatLiquidJPerKgK
+			p.tempC += energy / cap
+			return
+		case energy < 0 && p.meltFrac == 1 && p.tempC > m.MeltTempC:
+			// Sensible liquid cooling toward the melting point.
+			cap := p.massKg * m.SpecificHeatLiquidJPerKgK
+			avail := cap * (p.tempC - m.MeltTempC)
+			if -energy < avail {
+				p.tempC += energy / cap
+				return
+			}
+			p.tempC = m.MeltTempC
+			energy += avail
+		case energy < 0 && p.meltFrac > 0:
+			// Latent freezing at the pinned melting temperature.
+			p.tempC = m.MeltTempC
+			avail := p.meltFrac * p.LatentCapacityJ()
+			if -energy < avail {
+				p.meltFrac += energy / p.LatentCapacityJ()
+				return
+			}
+			p.meltFrac = 0
+			energy += avail
+		default:
+			// Sensible solid cooling (unbounded below).
+			cap := p.massKg * m.SpecificHeatSolidJPerKgK
+			p.tempC += energy / cap
+			return
+		}
+	}
+}
+
+// Reset returns the pack to fully solid at tempC (or fully liquid if
+// tempC is above the melting point).
+func (p *Pack) Reset(tempC float64) {
+	p.tempC = tempC
+	if tempC > p.mat.MeltTempC {
+		p.meltFrac = 1
+	} else {
+		p.meltFrac = 0
+	}
+}
+
+// String summarizes the pack state.
+func (p *Pack) String() string {
+	return fmt.Sprintf("Pack(%s, %.2fkg, %.1f°C, %.0f%% melted)",
+		p.mat.Name, p.massKg, p.tempC, p.meltFrac*100)
+}

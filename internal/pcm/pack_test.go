@@ -1,0 +1,230 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestPack(t *testing.T) *Pack {
+	t.Helper()
+	p, err := NewPack(CommercialParaffin(), 4.0, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPackBasics(t *testing.T) {
+	p := newTestPack(t)
+	if got := p.MassKg(); math.Abs(got-4.0*0.90) > 1e-9 {
+		t.Fatalf("mass = %v", got)
+	}
+	if p.MeltFrac() != 0 || p.TempC() != 22 {
+		t.Fatalf("initial state: %v", p)
+	}
+	wantCap := 4.0 * 0.90 * 262_000
+	if got := p.LatentCapacityJ(); math.Abs(got-wantCap) > 1e-6 {
+		t.Fatalf("capacity = %v, want %v", got, wantCap)
+	}
+}
+
+func TestNewPackValidation(t *testing.T) {
+	if _, err := NewPack(CommercialParaffin(), 0, 22); err == nil {
+		t.Fatal("zero volume should fail")
+	}
+	bad := CommercialParaffin()
+	bad.LatentHeatJPerKg = -1
+	if _, err := NewPack(bad, 4, 22); err == nil {
+		t.Fatal("bad material should fail")
+	}
+}
+
+func TestNewPackAboveMeltStartsLiquid(t *testing.T) {
+	p, err := NewPack(CommercialParaffin(), 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeltFrac() != 1 {
+		t.Fatalf("pack at 40°C should start liquid, frac=%v", p.MeltFrac())
+	}
+}
+
+func TestSensibleSolidHeating(t *testing.T) {
+	p := newTestPack(t)
+	// Heat from 22°C but stay below melting: need m*c*ΔT.
+	m := p.MassKg()
+	energy := m * 2100 * 10 // +10°C
+	p.Apply(energy, time.Second)
+	if math.Abs(p.TempC()-32) > 1e-9 || p.MeltFrac() != 0 {
+		t.Fatalf("state after heating: %v", p)
+	}
+}
+
+func TestMeltingPinsTemperature(t *testing.T) {
+	p := newTestPack(t)
+	// Bring to melting point exactly, then half of latent capacity.
+	m := p.MassKg()
+	p.Apply(m*2100*(35.7-22), time.Second)
+	p.Apply(p.LatentCapacityJ()/2, time.Second)
+	if math.Abs(p.TempC()-35.7) > 1e-9 {
+		t.Fatalf("temp should pin at melt: %v", p.TempC())
+	}
+	if math.Abs(p.MeltFrac()-0.5) > 1e-9 {
+		t.Fatalf("melt frac = %v, want 0.5", p.MeltFrac())
+	}
+}
+
+func TestCrossAllRegimesInOneApply(t *testing.T) {
+	p := newTestPack(t)
+	m := p.MassKg()
+	solid := m * 2100 * (35.7 - 22)
+	latent := p.LatentCapacityJ()
+	liquid := m * 2200 * 5 // +5°C beyond melt
+	p.Apply(solid+latent+liquid, time.Second)
+	if p.MeltFrac() != 1 {
+		t.Fatalf("should be fully melted: %v", p)
+	}
+	if math.Abs(p.TempC()-40.7) > 1e-9 {
+		t.Fatalf("temp = %v, want 40.7", p.TempC())
+	}
+}
+
+func TestFreezingReleasesSymmetrically(t *testing.T) {
+	p := newTestPack(t)
+	m := p.MassKg()
+	up := m*2100*(35.7-22) + p.LatentCapacityJ() + m*2200*5
+	p.Apply(up, time.Second)
+	p.Apply(-up, time.Second)
+	if math.Abs(p.TempC()-22) > 1e-9 || p.MeltFrac() != 0 {
+		t.Fatalf("round trip should restore state: %v", p)
+	}
+}
+
+func TestEnthalpyMatchesAppliedEnergy(t *testing.T) {
+	p := newTestPack(t)
+	ref := 22.0
+	h0 := p.EnthalpyJ(ref)
+	var applied float64
+	steps := []float64{50_000, 120_000, -30_000, 900_000, -400_000, 250_000}
+	for _, e := range steps {
+		applied += p.Apply(e, time.Second)
+	}
+	h1 := p.EnthalpyJ(ref)
+	if math.Abs((h1-h0)-applied) > 1e-6*math.Abs(applied) {
+		t.Fatalf("enthalpy delta %v != applied %v", h1-h0, applied)
+	}
+}
+
+func TestApplyPowerOverDuration(t *testing.T) {
+	p := newTestPack(t)
+	got := p.Apply(30, time.Minute) // 30 W for 1 minute
+	if math.Abs(got-1800) > 1e-9 {
+		t.Fatalf("stored %v J, want 1800", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := newTestPack(t)
+	p.Apply(2e6, time.Second)
+	p.Reset(20)
+	if p.TempC() != 20 || p.MeltFrac() != 0 {
+		t.Fatalf("reset state: %v", p)
+	}
+	p.Reset(50)
+	if p.MeltFrac() != 1 {
+		t.Fatalf("reset above melt should be liquid: %v", p)
+	}
+}
+
+func TestWithMeltTempAndLatentHeat(t *testing.T) {
+	m := CommercialParaffin().WithMeltTemp(30.7).WithLatentHeat(100_000)
+	if m.MeltTempC != 30.7 || m.LatentHeatJPerKg != 100_000 {
+		t.Fatalf("modifiers failed: %+v", m)
+	}
+	// Original untouched (value semantics).
+	if CommercialParaffin().MeltTempC != 35.7 {
+		t.Fatal("CommercialParaffin mutated")
+	}
+}
+
+func TestPureNParaffinCost(t *testing.T) {
+	m := PureNParaffin(29.7)
+	if m.MeltTempC != 29.7 {
+		t.Fatalf("melt temp = %v", m.MeltTempC)
+	}
+	if m.CostUSDPerTon != 75_000 {
+		t.Fatalf("cost = %v", m.CostUSDPerTon)
+	}
+}
+
+// Property: melt fraction always stays within [0,1] and enthalpy is
+// exactly conserved across arbitrary heat sequences.
+func TestPackInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		p, err := NewPack(CommercialParaffin(), 4.0, 22)
+		if err != nil {
+			return false
+		}
+		h0 := p.EnthalpyJ(0)
+		var applied float64
+		for _, r := range raw {
+			applied += p.Apply(float64(r)*100, time.Minute)
+			if p.MeltFrac() < 0 || p.MeltFrac() > 1 {
+				return false
+			}
+			// Temperature must pin at melt during transition.
+			if p.MeltFrac() > 0 && p.MeltFrac() < 1 &&
+				math.Abs(p.TempC()-35.7) > 1e-9 {
+				return false
+			}
+		}
+		h1 := p.EnthalpyJ(0)
+		tol := 1e-9 * (math.Abs(applied) + 1)
+		return math.Abs((h1-h0)-applied) < tol+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: applying energy in many small steps lands on the same state
+// as one large step (path independence for monotone heating).
+func TestPackPathIndependence(t *testing.T) {
+	f := func(totalKJ uint16, parts uint8) bool {
+		total := float64(totalKJ) * 1000
+		n := int(parts)%20 + 1
+		a, _ := NewPack(CommercialParaffin(), 4.0, 22)
+		b, _ := NewPack(CommercialParaffin(), 4.0, 22)
+		a.Apply(total, time.Second)
+		for i := 0; i < n; i++ {
+			b.Apply(total/float64(n), time.Second)
+		}
+		return math.Abs(a.TempC()-b.TempC()) < 1e-6 &&
+			math.Abs(a.MeltFrac()-b.MeltFrac()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackString(t *testing.T) {
+	if newTestPack(t).String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestInertNeverMelts(t *testing.T) {
+	p, err := NewPack(Inert(), 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Apply(1e9, time.Hour) // a gigawatt-hour of heat
+	if p.MeltFrac() != 0 {
+		t.Fatalf("inert filler melted: %v", p.MeltFrac())
+	}
+	if err := Inert().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package qos
+
+import "fmt"
+
+// EvaluateClosed returns latency under a closed-loop population of
+// clients (Web Search style): clients × cores users, each thinking for
+// thinkS seconds between requests. The interactive response time law
+// λ = N/(Z+R) is iterated to a fixed point, so the system degrades
+// gracefully instead of diverging at saturation.
+func (m Mix) EvaluateClosed(clientsPerCore, thinkS float64) (Latency, error) {
+	if err := m.Validate(); err != nil {
+		return Latency{}, err
+	}
+	if clientsPerCore <= 0 || thinkS <= 0 {
+		return Latency{}, fmt.Errorf("qos: need positive clients and think time")
+	}
+	n := clientsPerCore * float64(m.Cores)
+	// Find the self-consistent response time R: the open model driven
+	// at λ = N/(Z+R) must predict response R. The predicted response
+	// decreases as the assumed R grows (higher R → lower λ → less
+	// queueing), so g(R) = predicted(R) − R is decreasing and a
+	// bisection converges; an over-capacity λ counts as g(R) > 0.
+	lo, hi := 0.0, 1e6
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		l, err := m.evalAtLambda(n / (thinkS + mid))
+		if err != nil || l.MeanS > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lat, err := m.evalAtLambda(n / (thinkS + hi))
+	if err != nil {
+		return Latency{}, fmt.Errorf("qos: closed loop failed to converge: %w", err)
+	}
+	return lat, nil
+}
+
+// evalAtLambda shares the open-loop math with Evaluate.
+func (m Mix) evalAtLambda(lambda float64) (Latency, error) {
+	return m.Evaluate(lambda / float64(m.Cores))
+}
+
+// CachingPoint is one sample of the Figure 6 caching panels.
+type CachingPoint struct {
+	RPSPerCore float64
+	// Lat maps configuration name ("6C", "2C+Search", "4C+Search")
+	// to the caching latency; a missing key means that configuration
+	// saturated at this load.
+	Lat map[string]Latency
+}
+
+// SearchPoint is one sample of the Figure 6 search panels.
+type SearchPoint struct {
+	ClientsPerCore float64
+	Lat            map[string]Latency
+}
+
+// Fixture pins the paper's colocation operating points: caching fixed
+// at 45k RPS per core when sharing with search, search fixed at 37.5
+// clients per core when sharing with caching, on a 6-core CPU.
+type Fixture struct {
+	Caching, Search           Service
+	CachingFixedRPSPerCore    float64
+	SearchFixedClientsPerCore float64
+	SearchThinkS              float64
+}
+
+// PaperFixture returns the Section IV-C experiment setup.
+func PaperFixture() Fixture {
+	return Fixture{
+		Caching:                   DataCaching(),
+		Search:                    WebSearch(),
+		CachingFixedRPSPerCore:    45_000,
+		SearchFixedClientsPerCore: 37.5,
+		SearchThinkS:              1.0,
+	}
+}
+
+// searchUtil estimates the utilization search cores run at when fixed
+// at the partner operating point (used as foreign pressure).
+func (f Fixture) searchUtil() float64 {
+	lambdaPerCore := f.SearchFixedClientsPerCore / f.SearchThinkS
+	u := lambdaPerCore * f.Search.BaseServiceTimeS
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// cachingUtil estimates the utilization caching cores run at when
+// fixed at the partner operating point.
+func (f Fixture) cachingUtil() float64 {
+	u := f.CachingFixedRPSPerCore * f.Caching.BaseServiceTimeS
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// CachingCurves sweeps caching load per core across the Figure 6 range
+// for the three configurations of the caching panels.
+func (f Fixture) CachingCurves(loads []float64) ([]CachingPoint, error) {
+	sweep := loads
+	if sweep == nil {
+		for r := 25_000.0; r <= 60_000; r += 2_500 {
+			sweep = append(sweep, r)
+		}
+	}
+	su := f.searchUtil()
+	mixes := map[string]Mix{
+		"6C":        {Primary: f.Caching, Cores: 6},
+		"2C+Search": {Primary: f.Caching, Cores: 2, Partner: &f.Search, PartnerCores: 4, PartnerUtil: su},
+		"4C+Search": {Primary: f.Caching, Cores: 4, Partner: &f.Search, PartnerCores: 2, PartnerUtil: su},
+	}
+	var out []CachingPoint
+	for _, rps := range sweep {
+		pt := CachingPoint{RPSPerCore: rps, Lat: make(map[string]Latency)}
+		for name, m := range mixes {
+			l, err := m.Evaluate(rps)
+			if err != nil {
+				continue // saturated: the curve ends here
+			}
+			pt.Lat[name] = l
+		}
+		if len(pt.Lat) == 0 {
+			return nil, fmt.Errorf("qos: all caching configurations saturated at %.0f rps/core", rps)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// SearchCurves sweeps search clients per core across the Figure 6
+// range for the three configurations of the search panels.
+func (f Fixture) SearchCurves(clients []float64) ([]SearchPoint, error) {
+	sweep := clients
+	if sweep == nil {
+		for c := 10.0; c <= 50; c += 2.5 {
+			sweep = append(sweep, c)
+		}
+	}
+	cu := f.cachingUtil()
+	mixes := map[string]Mix{
+		"6C":         {Primary: f.Search, Cores: 6},
+		"2C+Caching": {Primary: f.Search, Cores: 2, Partner: &f.Caching, PartnerCores: 4, PartnerUtil: cu},
+		"4C+Caching": {Primary: f.Search, Cores: 4, Partner: &f.Caching, PartnerCores: 2, PartnerUtil: cu},
+	}
+	var out []SearchPoint
+	for _, c := range sweep {
+		pt := SearchPoint{ClientsPerCore: c, Lat: make(map[string]Latency)}
+		for name, m := range mixes {
+			l, err := m.EvaluateClosed(c, f.SearchThinkS)
+			if err != nil {
+				return nil, err
+			}
+			pt.Lat[name] = l
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

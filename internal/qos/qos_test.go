@@ -1,0 +1,268 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestServiceValidate(t *testing.T) {
+	if err := WebSearch().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := DataCaching().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := WebSearch()
+	bad.BaseServiceTimeS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero service time should fail")
+	}
+	bad = WebSearch()
+	bad.CacheSensitivity = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative sensitivity should fail")
+	}
+	bad = DataCaching()
+	bad.NetworkRTTS = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative RTT should fail")
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	s := WebSearch()
+	c := DataCaching()
+	if err := (Mix{Primary: s, Cores: 6}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mix{Primary: s, Cores: 0}).Validate(); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	if err := (Mix{Primary: s, Cores: 2, Partner: &c, PartnerCores: 0}).Validate(); err == nil {
+		t.Fatal("partner without cores should fail")
+	}
+	if err := (Mix{Primary: s, Cores: 2, Partner: &c, PartnerCores: 4, PartnerUtil: 2}).Validate(); err == nil {
+		t.Fatal("bad partner utilization should fail")
+	}
+}
+
+func TestErlangC(t *testing.T) {
+	// Single server: Erlang C equals utilization.
+	if got := erlangC(1, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("erlangC(1, 0.5) = %v", got)
+	}
+	if got := erlangC(4, 0); got != 0 {
+		t.Fatalf("zero load should not queue, got %v", got)
+	}
+	if got := erlangC(2, 2); got != 1 {
+		t.Fatalf("saturated should always queue, got %v", got)
+	}
+	// Known value: c=2, a=1 → ErlangB = 0.2 → ErlangC = 0.2/(1−0.5·0.8) = 1/3.
+	if got := erlangC(2, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("erlangC(2,1) = %v, want 1/3", got)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	m := Mix{Primary: DataCaching(), Cores: 6}
+	prev := 0.0
+	for _, rps := range []float64{10_000, 30_000, 50_000, 60_000} {
+		l, err := m.Evaluate(rps)
+		if err != nil {
+			t.Fatalf("rps %v: %v", rps, err)
+		}
+		if l.MeanS <= prev {
+			t.Fatalf("latency should grow with load at %v rps", rps)
+		}
+		if l.P90S < l.MeanS {
+			t.Fatalf("p90 %v below mean %v", l.P90S, l.MeanS)
+		}
+		prev = l.MeanS
+	}
+}
+
+func TestSaturationRejected(t *testing.T) {
+	m := Mix{Primary: DataCaching(), Cores: 6}
+	if _, err := m.Evaluate(500_000); err == nil {
+		t.Fatal("hopeless load should saturate")
+	}
+	if _, err := m.Evaluate(-1); err == nil {
+		t.Fatal("negative load should fail")
+	}
+}
+
+// Figure 6, search panels: colocation with caching degrades web search
+// latency across the entire client range, and the penalty grows with
+// the number of caching cores.
+func TestSearchColocationAlwaysWorse(t *testing.T) {
+	f := PaperFixture()
+	pts, err := f.SearchCurves(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		solo := pt.Lat["6C"]
+		two := pt.Lat["2C+Caching"]
+		four := pt.Lat["4C+Caching"]
+		if !(two.MeanS > solo.MeanS) || !(four.MeanS > solo.MeanS) {
+			t.Fatalf("clients=%v: colocated (%.3f, %.3f) should exceed solo %.3f",
+				pt.ClientsPerCore, two.MeanS, four.MeanS, solo.MeanS)
+		}
+	}
+	// The degradation grows with load (compare the ends).
+	first := pts[0]
+	last := pts[len(pts)-1]
+	gapFirst := first.Lat["2C+Caching"].MeanS - first.Lat["6C"].MeanS
+	gapLast := last.Lat["2C+Caching"].MeanS - last.Lat["6C"].MeanS
+	if gapLast <= gapFirst {
+		t.Fatalf("colocation gap should widen with load: %v -> %v", gapFirst, gapLast)
+	}
+}
+
+// Figure 6, search magnitudes: latencies land in the paper's 0.05–0.5 s
+// band across the 10–50 clients/core sweep.
+func TestSearchMagnitudes(t *testing.T) {
+	f := PaperFixture()
+	pts, err := f.SearchCurves(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := pts[0].Lat["6C"]
+	hi := pts[len(pts)-1].Lat["2C+Caching"]
+	if lo.MeanS < 0.01 || lo.MeanS > 0.12 {
+		t.Fatalf("light-load search mean %v s outside plausible band", lo.MeanS)
+	}
+	if hi.P90S < 0.2 || hi.P90S > 1.2 {
+		t.Fatalf("heavy-load colocated p90 %v s outside plausible band", hi.P90S)
+	}
+}
+
+// Figure 6, caching panels: at very low load the homogeneous 6-core
+// pool wins; in the middle range the mixtures are similar or better;
+// at the high end 6C is again at least as good.
+func TestCachingMixtureCrossover(t *testing.T) {
+	f := PaperFixture()
+	pts, err := f.CachingCurves(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRPS := func(r float64) CachingPoint {
+		for _, pt := range pts {
+			if pt.RPSPerCore == r {
+				return pt
+			}
+		}
+		t.Fatalf("missing point %v", r)
+		return CachingPoint{}
+	}
+	low := byRPS(25_000)
+	if !(low.Lat["6C"].MeanS <= low.Lat["2C+Search"].MeanS &&
+		low.Lat["6C"].MeanS <= low.Lat["4C+Search"].MeanS) {
+		t.Fatalf("6C should win at low load: %+v", low.Lat)
+	}
+	mid := byRPS(45_000)
+	bestMix := math.Min(mid.Lat["2C+Search"].MeanS, mid.Lat["4C+Search"].MeanS)
+	if bestMix > mid.Lat["6C"].MeanS*1.10 {
+		t.Fatalf("mid-range mixture (%.6f) should be similar or better than 6C (%.6f)",
+			bestMix, mid.Lat["6C"].MeanS)
+	}
+	high := byRPS(57_500)
+	if high.Lat["6C"].MeanS > math.Min(high.Lat["2C+Search"].MeanS, high.Lat["4C+Search"].MeanS)*1.15 {
+		t.Fatalf("6C should be competitive at high load: %+v", high.Lat)
+	}
+}
+
+func TestCachingCurvesCoverPaperRange(t *testing.T) {
+	f := PaperFixture()
+	pts, err := f.CachingCurves(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].RPSPerCore != 25_000 || pts[len(pts)-1].RPSPerCore != 60_000 {
+		t.Fatalf("sweep range wrong: %v..%v", pts[0].RPSPerCore, pts[len(pts)-1].RPSPerCore)
+	}
+	// Every configuration must survive to the top of the published
+	// x-range (the paper's curves do not truncate).
+	last := pts[len(pts)-1]
+	for _, name := range []string{"6C", "2C+Search", "4C+Search"} {
+		if _, ok := last.Lat[name]; !ok {
+			t.Fatalf("configuration %s saturated before 60k rps/core", name)
+		}
+	}
+}
+
+func TestEvaluateClosedErrors(t *testing.T) {
+	m := Mix{Primary: WebSearch(), Cores: 6}
+	if _, err := m.EvaluateClosed(0, 1); err == nil {
+		t.Fatal("zero clients should fail")
+	}
+	if _, err := m.EvaluateClosed(10, 0); err == nil {
+		t.Fatal("zero think time should fail")
+	}
+	if _, err := (Mix{Primary: WebSearch(), Cores: 0}).EvaluateClosed(10, 1); err == nil {
+		t.Fatal("invalid mix should fail")
+	}
+}
+
+func TestClosedLoopSelfLimits(t *testing.T) {
+	// Even absurd client counts converge (latency grows, throughput
+	// pins at capacity) rather than erroring out.
+	m := Mix{Primary: WebSearch(), Cores: 6}
+	l, err := m.EvaluateClosed(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MeanS < 1 {
+		t.Fatalf("500 clients/core should be deeply saturated, mean=%v", l.MeanS)
+	}
+}
+
+func TestNeighborServicesValidate(t *testing.T) {
+	for _, s := range []Service{VideoEncoding(), Clustering(), VirusScan()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestBlend(t *testing.T) {
+	b, err := Blend([]Service{DataCaching(), VirusScan()}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (DataCaching().MemoryPressure + VirusScan().MemoryPressure) / 2
+	if math.Abs(b.MemoryPressure-want) > 1e-12 {
+		t.Fatalf("blend pressure = %v, want %v", b.MemoryPressure, want)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Weighted blend leans toward the heavier weight.
+	c, err := Blend([]Service{DataCaching(), VirusScan()}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MemoryPressure <= b.MemoryPressure {
+		t.Fatal("weighting toward caching should raise pressure")
+	}
+}
+
+func TestBlendErrors(t *testing.T) {
+	if _, err := Blend(nil, nil); err == nil {
+		t.Fatal("empty blend should fail")
+	}
+	if _, err := Blend([]Service{DataCaching()}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths should fail")
+	}
+	if _, err := Blend([]Service{DataCaching()}, []float64{0}); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	bad := DataCaching()
+	bad.BaseServiceTimeS = 0
+	if _, err := Blend([]Service{bad}, []float64{1}); err == nil {
+		t.Fatal("invalid service should fail")
+	}
+}

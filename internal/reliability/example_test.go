@@ -1,0 +1,22 @@
+package reliability_test
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/reliability"
+)
+
+func ExampleModel_FailureRatePerHour() {
+	m := reliability.PaperModel()
+	base := m.FailureRatePerHour(30)
+	fmt.Printf("rate doubles per +10 °C: %.2f\n", m.FailureRatePerHour(40)/base)
+	// Output: rate doubles per +10 °C: 2.00
+}
+
+func ExampleModel_CumulativeFailure() {
+	m := reliability.PaperModel()
+	p := m.CumulativeFailure(30, 70_000*time.Hour) // one MTBF
+	fmt.Printf("failure probability after one MTBF: %.1f%%\n", p*100)
+	// Output: failure probability after one MTBF: 63.2%
+}

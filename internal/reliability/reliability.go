@@ -1,0 +1,149 @@
+// Package reliability models the thermal-wear cost of VMT (Section
+// IV-D, Figure 7): servers in the hot group run hotter and fail more
+// often, so the fleet is rotated between groups for wear leveling.
+//
+// The model starts from a 70,000-hour MTBF at 30 °C (Intel server
+// board estimates) and applies the classic rule of thumb that every
+// +10 °C doubles the component failure rate. Failures are treated as
+// exponential (constant hazard at a given temperature), so cumulative
+// failure probability over a duty cycle multiplies through the
+// temperature history.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Model holds the failure-rate parameters.
+type Model struct {
+	// MTBFHours is the mean time between failures at RefTempC.
+	MTBFHours float64
+	// RefTempC anchors the MTBF.
+	RefTempC float64
+	// DoublingC is the temperature rise that doubles the failure
+	// rate (10 °C per El-Sayed et al. / Patterson).
+	DoublingC float64
+}
+
+// PaperModel returns the Section IV-D parameters: 70,000 h MTBF at
+// 30 °C, doubling every 10 °C.
+func PaperModel() Model {
+	return Model{MTBFHours: 70_000, RefTempC: 30, DoublingC: 10}
+}
+
+// Validate reports whether the model is usable.
+func (m Model) Validate() error {
+	if m.MTBFHours <= 0 {
+		return fmt.Errorf("reliability: MTBF must be positive, got %v", m.MTBFHours)
+	}
+	if m.DoublingC <= 0 {
+		return fmt.Errorf("reliability: doubling interval must be positive, got %v", m.DoublingC)
+	}
+	return nil
+}
+
+// FailureRatePerHour returns the hazard rate at the given component
+// temperature.
+func (m Model) FailureRatePerHour(tempC float64) float64 {
+	return math.Exp2((tempC-m.RefTempC)/m.DoublingC) / m.MTBFHours
+}
+
+// CumulativeFailure returns the probability that a server running at
+// tempC for the duration has failed at least once.
+func (m Model) CumulativeFailure(tempC float64, d time.Duration) float64 {
+	return 1 - math.Exp(-m.FailureRatePerHour(tempC)*d.Hours())
+}
+
+// RotationSchedule describes the hot/cold duty cycle: with the paper's
+// 20% monthly rotation and a 60/40 workload split, each server spends
+// three months in the hot group then two months in the cold group.
+type RotationSchedule struct {
+	// HotMonths and ColdMonths set the cycle lengths.
+	HotMonths, ColdMonths int
+	// HotTempC and ColdTempC are the representative component
+	// temperatures in each group (taken from simulation output).
+	HotTempC, ColdTempC float64
+}
+
+// PaperRotation returns the Figure 7 schedule (3 hot months, 2 cold
+// months) at the given group temperatures.
+func PaperRotation(hotTempC, coldTempC float64) RotationSchedule {
+	return RotationSchedule{HotMonths: 3, ColdMonths: 2, HotTempC: hotTempC, ColdTempC: coldTempC}
+}
+
+// Validate reports whether the schedule is usable.
+func (r RotationSchedule) Validate() error {
+	if r.HotMonths < 0 || r.ColdMonths < 0 || r.HotMonths+r.ColdMonths == 0 {
+		return fmt.Errorf("reliability: need a non-empty rotation cycle")
+	}
+	return nil
+}
+
+// hoursPerMonth uses the 365.25/12-day average month.
+const hoursPerMonth = 365.25 / 12 * 24
+
+// CumulativeFailureCurve returns the month-by-month cumulative failure
+// probability over months, for a server following the rotation under
+// model m. Element i is the probability of at least one failure within
+// the first i months (element 0 is 0).
+func CumulativeFailureCurve(m Model, r RotationSchedule, months int) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if months < 0 {
+		return nil, fmt.Errorf("reliability: negative horizon")
+	}
+	curve := make([]float64, months+1)
+	var hazard float64 // integrated failure rate so far
+	cycle := r.HotMonths + r.ColdMonths
+	for i := 1; i <= months; i++ {
+		pos := (i - 1) % cycle
+		temp := r.HotTempC
+		if pos >= r.HotMonths {
+			temp = r.ColdTempC
+		}
+		hazard += m.FailureRatePerHour(temp) * hoursPerMonth
+		curve[i] = 1 - math.Exp(-hazard)
+	}
+	return curve, nil
+}
+
+// SteadyCurve returns the cumulative failure curve for a fleet that
+// never rotates, running at a single temperature — the round-robin
+// baseline of Figure 7, which keeps every server at the fleet-average
+// temperature.
+func SteadyCurve(m Model, tempC float64, months int) ([]float64, error) {
+	return CumulativeFailureCurve(m, RotationSchedule{HotMonths: 1, ColdMonths: 0, HotTempC: tempC}, months)
+}
+
+// Comparison summarizes a VMT-vs-round-robin reliability study.
+type Comparison struct {
+	Months   int
+	RR, VMT  []float64
+	DeltaPct float64 // VMT − RR at the horizon, in percentage points
+}
+
+// Compare produces the Figure 7 comparison: round robin at the fleet
+// mean temperature versus VMT-WA rotating between the hot and cold
+// group temperatures.
+func Compare(m Model, meanTempC float64, rot RotationSchedule, months int) (Comparison, error) {
+	rr, err := SteadyCurve(m, meanTempC, months)
+	if err != nil {
+		return Comparison{}, err
+	}
+	vmt, err := CumulativeFailureCurve(m, rot, months)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Months:   months,
+		RR:       rr,
+		VMT:      vmt,
+		DeltaPct: (vmt[months] - rr[months]) * 100,
+	}, nil
+}

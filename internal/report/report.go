@@ -1,0 +1,251 @@
+// Package report renders simulation output for terminals and files:
+// ASCII heat maps (the paper's Figures 9–11 and 14), aligned tables,
+// and CSV series for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vmt/internal/stats"
+)
+
+// heatRamp is the character ramp from cold to hot.
+var heatRamp = []rune(" .:-=+*#%@")
+
+// Heatmap renders a [row][col] grid as ASCII art, mapping values from
+// lo..hi onto a density ramp. Rows are rendered top to bottom in input
+// order; callers that want server 0 at the bottom (as in the paper's
+// figures) should pass rows pre-reversed or use FlipRows.
+type Heatmap struct {
+	// Title is printed above the map.
+	Title string
+	// Grid is [row][col]; all rows must share a length.
+	Grid [][]float64
+	// Lo and Hi clamp the color scale (e.g. 10..50 °C or 0..1 melt).
+	Lo, Hi float64
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// MaxCols downsamples wide grids to at most this many columns
+	// (zero = 120).
+	MaxCols int
+	// MaxRows downsamples tall grids to at most this many rows
+	// (zero = 40).
+	MaxRows int
+}
+
+// Render writes the heat map to w.
+func (h Heatmap) Render(w io.Writer) error {
+	if len(h.Grid) == 0 || len(h.Grid[0]) == 0 {
+		return fmt.Errorf("report: empty heat map grid")
+	}
+	if h.Hi <= h.Lo {
+		return fmt.Errorf("report: heat map scale hi %v must exceed lo %v", h.Hi, h.Lo)
+	}
+	cols := len(h.Grid[0])
+	for i, row := range h.Grid {
+		if len(row) != cols {
+			return fmt.Errorf("report: ragged grid at row %d", i)
+		}
+	}
+	maxCols := h.MaxCols
+	if maxCols == 0 {
+		maxCols = 120
+	}
+	maxRows := h.MaxRows
+	if maxRows == 0 {
+		maxRows = 40
+	}
+	grid := downsampleGrid(h.Grid, maxRows, maxCols)
+
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s\n", h.Title)
+	}
+	for _, row := range grid {
+		var b strings.Builder
+		for _, v := range row {
+			t := stats.Clamp((v-h.Lo)/(h.Hi-h.Lo), 0, 1)
+			b.WriteRune(heatRamp[int(t*float64(len(heatRamp)-1)+0.5)])
+		}
+		fmt.Fprintf(w, "|%s|\n", b.String())
+	}
+	if h.XLabel != "" || h.YLabel != "" {
+		fmt.Fprintf(w, "x: %s, y: %s, scale %.3g..%.3g (%q..%q)\n",
+			h.XLabel, h.YLabel, h.Lo, h.Hi, heatRamp[0], heatRamp[len(heatRamp)-1])
+	}
+	return nil
+}
+
+// FlipRows returns the grid with row order reversed (server 0 at the
+// bottom, matching the paper's heat maps).
+func FlipRows(grid [][]float64) [][]float64 {
+	out := make([][]float64, len(grid))
+	for i := range grid {
+		out[i] = grid[len(grid)-1-i]
+	}
+	return out
+}
+
+// Transpose converts a [sample][server] recording into [server][sample]
+// rows suitable for a time-on-x heat map.
+func Transpose(grid [][]float64) [][]float64 {
+	if len(grid) == 0 {
+		return nil
+	}
+	rows := len(grid[0])
+	out := make([][]float64, rows)
+	for r := range out {
+		out[r] = make([]float64, len(grid))
+		for c := range grid {
+			out[r][c] = grid[c][r]
+		}
+	}
+	return out
+}
+
+// downsampleGrid shrinks a grid by averaging blocks.
+func downsampleGrid(grid [][]float64, maxRows, maxCols int) [][]float64 {
+	rows, cols := len(grid), len(grid[0])
+	outRows, outCols := rows, cols
+	if outRows > maxRows {
+		outRows = maxRows
+	}
+	if outCols > maxCols {
+		outCols = maxCols
+	}
+	out := make([][]float64, outRows)
+	for r := range out {
+		out[r] = make([]float64, outCols)
+		r0, r1 := r*rows/outRows, (r+1)*rows/outRows
+		if r1 == r0 {
+			r1 = r0 + 1
+		}
+		for c := range out[r] {
+			c0, c1 := c*cols/outCols, (c+1)*cols/outCols
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			var sum float64
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					sum += grid[i][j]
+				}
+			}
+			out[r][c] = sum / float64((r1-r0)*(c1-c0))
+		}
+	}
+	return out
+}
+
+// Table renders aligned rows with a header.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t Table) Render(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return fmt.Errorf("report: table needs headers")
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Headers) {
+			return fmt.Errorf("report: row width %d != header width %d", len(row), len(t.Headers))
+		}
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	rules := make([]string, len(t.Headers))
+	for i, wd := range widths {
+		rules[i] = strings.Repeat("-", wd)
+	}
+	line(rules)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if n := len([]rune(s)); n < w {
+		return s + strings.Repeat(" ", w-n)
+	}
+	return s
+}
+
+// WriteCSV writes named columns of equal length as CSV.
+func WriteCSV(w io.Writer, headers []string, cols [][]float64) error {
+	if len(headers) != len(cols) || len(cols) == 0 {
+		return fmt.Errorf("report: need matching headers and columns")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return fmt.Errorf("report: column %d length %d != %d", i, len(c), n)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < n; r++ {
+		cells := make([]string, len(cols))
+		for c := range cols {
+			cells[c] = fmt.Sprintf("%g", cols[c][r])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesCSV writes one or more equally sampled series with a leading
+// hours column.
+func SeriesCSV(w io.Writer, names []string, series []*stats.Series) error {
+	if len(names) != len(series) || len(series) == 0 {
+		return fmt.Errorf("report: need matching names and series")
+	}
+	n := series[0].Len()
+	cols := make([][]float64, 0, len(series)+1)
+	hours := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hours[i] = series[0].TimeAt(i).Hours()
+	}
+	cols = append(cols, hours)
+	for i, s := range series {
+		if s.Len() != n || s.Step != series[0].Step {
+			return fmt.Errorf("report: series %d not aligned", i)
+		}
+		cols = append(cols, s.Values)
+	}
+	return WriteCSV(w, append([]string{"hours"}, names...), cols)
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := Heatmap{
+		Title: "test",
+		Grid: [][]float64{
+			{0, 5, 10},
+			{10, 5, 0},
+		},
+		Lo: 0, Hi: 10,
+		XLabel: "time", YLabel: "server",
+	}
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis line
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Cold cell uses the first ramp char, hot cell the last.
+	if !strings.Contains(lines[1], "|") {
+		t.Fatal("rows should be framed")
+	}
+	if lines[1][1] != ' ' || lines[1][3] != '@' {
+		t.Fatalf("ramp extremes wrong in %q", lines[1])
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	var b strings.Builder
+	if err := (Heatmap{}).Render(&b); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+	if err := (Heatmap{Grid: [][]float64{{1}}, Lo: 1, Hi: 1}).Render(&b); err == nil {
+		t.Fatal("degenerate scale should fail")
+	}
+	if err := (Heatmap{Grid: [][]float64{{1, 2}, {1}}, Lo: 0, Hi: 1}).Render(&b); err == nil {
+		t.Fatal("ragged grid should fail")
+	}
+}
+
+func TestHeatmapDownsamples(t *testing.T) {
+	grid := make([][]float64, 100)
+	for i := range grid {
+		grid[i] = make([]float64, 500)
+		for j := range grid[i] {
+			grid[i][j] = float64(i)
+		}
+	}
+	h := Heatmap{Grid: grid, Lo: 0, Hi: 100, MaxRows: 10, MaxCols: 50}
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("rows = %d, want 10", len(lines))
+	}
+	if got := len(lines[0]); got != 52 { // 50 cells + 2 frame chars
+		t.Fatalf("cols = %d, want 52", got)
+	}
+}
+
+func TestFlipAndTranspose(t *testing.T) {
+	grid := [][]float64{{1, 2}, {3, 4}, {5, 6}} // [sample][server]
+	tr := Transpose(grid)                       // [server][sample]
+	if len(tr) != 2 || len(tr[0]) != 3 {
+		t.Fatalf("transpose shape %dx%d", len(tr), len(tr[0]))
+	}
+	if tr[0][0] != 1 || tr[0][2] != 5 || tr[1][1] != 4 {
+		t.Fatalf("transpose values wrong: %v", tr)
+	}
+	fl := FlipRows(tr)
+	if fl[0][0] != 2 || fl[1][0] != 1 {
+		t.Fatalf("flip wrong: %v", fl)
+	}
+	if Transpose(nil) != nil {
+		t.Fatal("transpose of empty should be nil")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Table I", Headers: []string{"Workload", "Power", "Class"}}
+	tb.AddRow("WebSearch", 37.2, "hot")
+	tb.AddRow("VirusScan", 3.4, "cold")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "Workload", "WebSearch", "37.2", "cold", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	var b strings.Builder
+	if err := (Table{}).Render(&b); err == nil {
+		t.Fatal("headerless table should fail")
+	}
+	tb := Table{Headers: []string{"a", "b"}}
+	tb.AddRow(1)
+	if err := tb.Render(&b); err == nil {
+		t.Fatal("ragged row should fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, [][]float64{{1, 2}, {3.5, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,3.5\n2,4\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+	if err := WriteCSV(&b, []string{"x"}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("mismatched headers should fail")
+	}
+	if err := WriteCSV(&b, []string{"x", "y"}, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged columns should fail")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	a := stats.NewSeries(30 * time.Minute)
+	a.Append(1)
+	a.Append(2)
+	bSeries := stats.NewSeries(30 * time.Minute)
+	bSeries.Append(10)
+	bSeries.Append(20)
+	var b strings.Builder
+	if err := SeriesCSV(&b, []string{"a", "b"}, []*stats.Series{a, bSeries}); err != nil {
+		t.Fatal(err)
+	}
+	want := "hours,a,b\n0,1,10\n0.5,2,20\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+	short := stats.NewSeries(30 * time.Minute)
+	short.Append(1)
+	if err := SeriesCSV(&b, []string{"a", "b"}, []*stats.Series{a, short}); err == nil {
+		t.Fatal("misaligned series should fail")
+	}
+}

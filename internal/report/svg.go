@@ -1,0 +1,241 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"vmt/internal/stats"
+)
+
+// SVG chart rendering, stdlib only. Charts are deliberately plain —
+// axes, gridlines, legend — and sized for README embedding.
+
+// svgPalette cycles through distinguishable line colors.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// LineChart renders one or more aligned series as an SVG line chart
+// with time (hours) on the x-axis.
+type LineChart struct {
+	Title  string
+	YLabel string
+	// Names and Series are parallel; series must share step and
+	// length.
+	Names  []string
+	Series []*stats.Series
+	// Width and Height in pixels (zero selects 720×360).
+	Width, Height int
+	// YMin/YMax clamp the y-axis; both zero auto-scales.
+	YMin, YMax float64
+	// HLines draws labeled horizontal reference lines (e.g. a melting
+	// temperature).
+	HLines map[string]float64
+}
+
+// Render writes the chart as SVG.
+func (c LineChart) Render(w io.Writer) error {
+	if len(c.Names) != len(c.Series) || len(c.Series) == 0 {
+		return fmt.Errorf("report: chart needs matching names and series")
+	}
+	n := c.Series[0].Len()
+	if n < 2 {
+		return fmt.Errorf("report: chart needs at least two samples")
+	}
+	for i, s := range c.Series {
+		if s.Len() != n || s.Step != c.Series[0].Step {
+			return fmt.Errorf("report: series %d misaligned", i)
+		}
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 360
+	}
+	const marginL, marginR, marginT, marginB = 60, 16, 28, 40
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	yMin, yMax := c.YMin, c.YMax
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				yMin = math.Min(yMin, v)
+				yMax = math.Max(yMax, v)
+			}
+		}
+		for _, v := range c.HLines {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+		pad := (yMax - yMin) * 0.06
+		if pad == 0 {
+			pad = 1
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if yMax <= yMin {
+		return fmt.Errorf("report: degenerate y range [%v,%v]", yMin, yMax)
+	}
+	xMax := c.Series[0].TimeAt(n - 1).Hours()
+	x0 := c.Series[0].Start.Hours()
+	sx := func(h float64) float64 { return float64(marginL) + (h-x0)/(xMax-x0)*plotW }
+	sy := func(v float64) float64 { return float64(marginT) + (yMax-v)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+			marginL, escape(c.Title))
+	}
+	// Gridlines and axis labels.
+	for i := 0; i <= 4; i++ {
+		v := yMin + (yMax-yMin)*float64(i)/4
+		y := sy(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, trimNum(v))
+	}
+	hTicks := 6
+	for i := 0; i <= hTicks; i++ {
+		h := x0 + (xMax-x0)*float64(i)/float64(hTicks)
+		x := sx(h)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`+"\n",
+			x, marginT, x, height-marginB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginB+16, trimNum(h))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">hours</text>`+"\n",
+		marginL+int(plotW/2), height-8)
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+int(plotH/2), marginT+int(plotH/2), escape(c.YLabel))
+	}
+	// Reference lines.
+	for label, v := range c.HLines {
+		y := sy(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888" stroke-dasharray="5,4"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" fill="#666">%s</text>`+"\n",
+			width-marginR-120, y-4, escape(label))
+	}
+	// Series polylines (downsampled to ≤ 2 points per pixel).
+	stride := n / (2 * int(plotW))
+	if stride < 1 {
+		stride = 1
+	}
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts strings.Builder
+		for i := 0; i < n; i += stride {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", sx(s.TimeAt(i).Hours()),
+				sy(stats.Clamp(s.Values[i], yMin, yMax)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.TrimSpace(pts.String()), color)
+		// Legend entry.
+		lx := marginL + 8 + (si%4)*160
+		ly := marginT + 4 + (si/4)*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+22, ly+4, escape(c.Names[si]))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SVGHeatmap renders a [row][col] grid as an SVG raster with a
+// blue→red color ramp (rows top to bottom as given; use FlipRows for
+// server-0-at-bottom).
+type SVGHeatmap struct {
+	Title  string
+	Grid   [][]float64
+	Lo, Hi float64
+	// Width and Height in pixels (zero selects 720×360).
+	Width, Height int
+}
+
+// Render writes the heat map as SVG.
+func (h SVGHeatmap) Render(w io.Writer) error {
+	if len(h.Grid) == 0 || len(h.Grid[0]) == 0 {
+		return fmt.Errorf("report: empty heat map grid")
+	}
+	if h.Hi <= h.Lo {
+		return fmt.Errorf("report: heat map scale hi %v must exceed lo %v", h.Hi, h.Lo)
+	}
+	width, height := h.Width, h.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 360
+	}
+	// Downsample to at most one cell per 2px.
+	grid := downsampleGrid(h.Grid, height/2, width/2)
+	rows, cols := len(grid), len(grid[0])
+	const marginT = 26
+	cellW := float64(width) / float64(cols)
+	cellH := float64(height-marginT) / float64(rows)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	if h.Title != "" {
+		fmt.Fprintf(&b, `<text x="4" y="16" font-weight="bold">%s</text>`+"\n", escape(h.Title))
+	}
+	for r, row := range grid {
+		for c, v := range row {
+			t := stats.Clamp((v-h.Lo)/(h.Hi-h.Lo), 0, 1)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				float64(c)*cellW, float64(marginT)+float64(r)*cellH, cellW+0.5, cellH+0.5, rampColor(t))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// rampColor maps t in [0,1] onto a blue→yellow→red ramp.
+func rampColor(t float64) string {
+	var r, g, bl float64
+	switch {
+	case t < 0.5:
+		f := t * 2
+		r, g, bl = 40+f*215, 70+f*150, 200-f*160
+	default:
+		f := (t - 0.5) * 2
+		r, g, bl = 255, 220-f*180, 40-f*30
+	}
+	return fmt.Sprintf("#%02x%02x%02x", int(r), int(g), int(bl))
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// trimNum formats an axis number compactly.
+func trimNum(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,155 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+func chartSeries(vals ...float64) *stats.Series {
+	s := stats.NewSeries(time.Hour)
+	for _, v := range vals {
+		s.Append(v)
+	}
+	return s
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := LineChart{
+		Title:  "Cooling load",
+		YLabel: "kW",
+		Names:  []string{"rr", "vmt"},
+		Series: []*stats.Series{chartSeries(10, 20, 30, 25), chartSeries(10, 18, 26, 24)},
+		HLines: map[string]float64{"melt": 22},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Cooling load", "melt", "hours", "rr", "vmt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	var b strings.Builder
+	if err := (LineChart{}).Render(&b); err == nil {
+		t.Fatal("empty chart should fail")
+	}
+	if err := (LineChart{
+		Names:  []string{"a"},
+		Series: []*stats.Series{chartSeries(1)},
+	}).Render(&b); err == nil {
+		t.Fatal("single sample should fail")
+	}
+	if err := (LineChart{
+		Names:  []string{"a", "b"},
+		Series: []*stats.Series{chartSeries(1, 2), chartSeries(1, 2, 3)},
+	}).Render(&b); err == nil {
+		t.Fatal("misaligned series should fail")
+	}
+	if err := (LineChart{
+		Names:  []string{"a"},
+		Series: []*stats.Series{chartSeries(1, 2)},
+		YMin:   5, YMax: 5,
+	}).Render(&b); err == nil {
+		t.Fatal("degenerate y range should fail")
+	}
+}
+
+func TestLineChartEscapesTitle(t *testing.T) {
+	c := LineChart{
+		Title:  "a<b&c",
+		Names:  []string{"x"},
+		Series: []*stats.Series{chartSeries(1, 2)},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "a<b&c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(b.String(), "a&lt;b&amp;c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestLineChartDownsamplesLongSeries(t *testing.T) {
+	long := stats.NewSeries(time.Minute)
+	for i := 0; i < 100_000; i++ {
+		long.Append(float64(i % 100))
+	}
+	c := LineChart{Names: []string{"x"}, Series: []*stats.Series{long}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	// A polyline with 100k points would be megabytes; downsampling
+	// keeps the file modest.
+	if b.Len() > 200_000 {
+		t.Fatalf("SVG too large: %d bytes", b.Len())
+	}
+}
+
+func TestSVGHeatmapRender(t *testing.T) {
+	h := SVGHeatmap{
+		Title: "melt",
+		Grid:  [][]float64{{0, 0.5, 1}, {1, 0.5, 0}},
+		Lo:    0, Hi: 1,
+	}
+	var b strings.Builder
+	if err := h.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "<rect") || !strings.Contains(out, "melt") {
+		t.Fatal("missing content")
+	}
+}
+
+func TestSVGHeatmapValidation(t *testing.T) {
+	var b strings.Builder
+	if err := (SVGHeatmap{}).Render(&b); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+	if err := (SVGHeatmap{Grid: [][]float64{{1}}, Lo: 1, Hi: 1}).Render(&b); err == nil {
+		t.Fatal("degenerate scale should fail")
+	}
+}
+
+func TestRampColorEndpoints(t *testing.T) {
+	lo := rampColor(0)
+	hi := rampColor(1)
+	mid := rampColor(0.5)
+	if lo == hi || lo == mid || mid == hi {
+		t.Fatalf("ramp not distinguishing: %s %s %s", lo, mid, hi)
+	}
+	for _, c := range []string{lo, mid, hi} {
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("bad color %q", c)
+		}
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		25_000:    "25k",
+		250:       "250",
+		2.5:       "2.5",
+	}
+	for v, want := range cases {
+		if got := trimNum(v); got != want {
+			t.Errorf("trimNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/stats"
+	"vmt/internal/trace"
+	"vmt/internal/workload"
+)
+
+// StreamManager is the query-level alternative to LoadManager: instead
+// of reconciling fluid job counts against the trace, task-like
+// workloads (video encoding, virus scanning, clustering) arrive as
+// discrete jobs — a Poisson stream whose rate tracks the trace — run
+// for a sampled duration on the core they were placed on, and leave.
+// Latency-critical services (Web Search, Data Caching) remain fluid:
+// their serving capacity is resized continuously with load, which is
+// how real deployments autoscale them.
+//
+// When an arrival finds no free core anywhere, it is *dropped* and
+// counted — the QoS failure mode the paper warns about when VMT's
+// groups are sized too small ("individual queries must be dropped or
+// queued causing QoS degradation"). Drop counts make group-sizing
+// mistakes observable.
+type StreamManager struct {
+	c     *cluster.Cluster
+	mix   *workload.Mix
+	tr    *trace.Trace
+	sched Scheduler
+	rng   *stats.RNG
+
+	// durations maps task-like workload names to mean task durations;
+	// workloads absent from the map are treated as fluid services.
+	durations map[string]time.Duration
+
+	fluidCounts map[workload.Workload]int
+	taskCounts  map[workload.Workload]int
+	completions completionHeap
+	dropped     uint64
+	arrived     uint64
+	lastNow     time.Duration
+	started     bool
+}
+
+// DefaultTaskDurations returns the task model for the paper mix:
+// encoding a video ≈ 8 min, scanning an upload ≈ 2 min, one clustering
+// batch ≈ 20 min. (Durations are means of exponential distributions.)
+func DefaultTaskDurations() map[string]time.Duration {
+	return map[string]time.Duration{
+		"VideoEncoding": 8 * time.Minute,
+		"VirusScan":     2 * time.Minute,
+		"Clustering":    20 * time.Minute,
+	}
+}
+
+// NewStreamManager builds a query-level load manager. seed drives the
+// arrival and duration draws; identical seeds reproduce identical
+// streams.
+func NewStreamManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace,
+	s Scheduler, durations map[string]time.Duration, seed uint64) (*StreamManager, error) {
+	if c == nil || mix == nil || tr == nil || s == nil {
+		return nil, fmt.Errorf("sched: stream manager needs cluster, mix, trace, and scheduler")
+	}
+	for name, d := range durations {
+		if d <= 0 {
+			return nil, fmt.Errorf("sched: task duration for %s must be positive", name)
+		}
+	}
+	return &StreamManager{
+		c:           c,
+		mix:         mix,
+		tr:          tr,
+		sched:       s,
+		rng:         stats.NewRNG(seed ^ 0x9e3779b97f4a7c15),
+		durations:   durations,
+		fluidCounts: make(map[workload.Workload]int),
+		taskCounts:  make(map[workload.Workload]int),
+	}, nil
+}
+
+// Dropped returns how many task arrivals found no free core.
+func (m *StreamManager) Dropped() uint64 { return m.dropped }
+
+// Arrived returns the total task arrivals so far.
+func (m *StreamManager) Arrived() uint64 { return m.arrived }
+
+// completion is a scheduled task departure.
+type completion struct {
+	at     time.Duration
+	server int
+	w      workload.Workload
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// Reconcile runs one scheduling period at time now: task departures
+// first, then the scheduler's Tick, then fluid resizing, then new task
+// arrivals for the elapsed interval.
+func (m *StreamManager) Reconcile(now time.Duration) error {
+	// 1. Complete tasks whose time has come.
+	for len(m.completions) > 0 && m.completions[0].at <= now {
+		c := heap.Pop(&m.completions).(completion)
+		if err := m.finishTask(c); err != nil {
+			return err
+		}
+	}
+
+	m.sched.Tick(now)
+
+	// 2. Fluid services track the trace exactly (their share of cores).
+	for _, e := range m.mix.Entries() {
+		if m.isTask(e.Workload) {
+			continue
+		}
+		target := int(math.Round(m.tr.At(now) * e.Share * float64(m.c.TotalCores())))
+		if err := m.resizeFluid(e.Workload, target, now); err != nil {
+			return err
+		}
+	}
+
+	// 3. Task arrivals over the elapsed interval (skipped on the very
+	// first call, which only seeds the fluid baseline).
+	if m.started {
+		dt := now - m.lastNow
+		if dt > 0 {
+			if err := m.arrivals(now, dt); err != nil {
+				return err
+			}
+		}
+	}
+	m.started = true
+	m.lastNow = now
+	return nil
+}
+
+func (m *StreamManager) isTask(w workload.Workload) bool {
+	_, ok := m.durations[w.Name]
+	return ok
+}
+
+// finishTask removes a departing task, preferring the server it was
+// placed on; if the scheduler migrated it away (jobs of one workload
+// are fungible), any server running the workload serves.
+func (m *StreamManager) finishTask(c completion) error {
+	s := m.c.Server(c.server)
+	if s.Jobs(c.w) == 0 {
+		var err error
+		s, err = m.sched.SelectRemoval(c.w)
+		if err != nil {
+			return fmt.Errorf("sched: completing %s task: %w", c.w.Name, err)
+		}
+	}
+	if err := s.Remove(c.w); err != nil {
+		return err
+	}
+	m.taskCounts[c.w]--
+	return nil
+}
+
+// resizeFluid adjusts a service's footprint to target cores.
+func (m *StreamManager) resizeFluid(w workload.Workload, target int, now time.Duration) error {
+	cur := m.fluidCounts[w]
+	for cur < target {
+		s, err := m.sched.Place(w)
+		if err != nil {
+			// The cluster is momentarily full of tasks; serve what we
+			// can and try again next period (counted as degradation).
+			m.dropped++
+			break
+		}
+		if err := s.Place(w); err != nil {
+			return err
+		}
+		cur++
+	}
+	for cur > target {
+		s, err := m.sched.SelectRemoval(w)
+		if err != nil {
+			return fmt.Errorf("sched: shrinking %s at %v: %w", w.Name, now, err)
+		}
+		if err := s.Remove(w); err != nil {
+			return err
+		}
+		cur--
+	}
+	m.fluidCounts[w] = cur
+	return nil
+}
+
+// arrivals draws the interval's Poisson arrivals per task workload and
+// places them.
+func (m *StreamManager) arrivals(now, dt time.Duration) error {
+	u := m.tr.At(now)
+	for _, e := range m.mix.Entries() {
+		if !m.isTask(e.Workload) {
+			continue
+		}
+		mean := m.durations[e.Workload.Name]
+		// Little's law: to hold e.Share×u of the cores busy with tasks
+		// of mean duration D, arrivals must come at rate N·u·share/D.
+		targetBusy := u * e.Share * float64(m.c.TotalCores())
+		lambda := targetBusy / mean.Seconds() * dt.Seconds()
+		n := m.poisson(lambda)
+		for i := 0; i < n; i++ {
+			m.arrived++
+			s, err := m.sched.Place(e.Workload)
+			if err != nil {
+				m.dropped++
+				continue
+			}
+			if err := s.Place(e.Workload); err != nil {
+				return err
+			}
+			m.taskCounts[e.Workload]++
+			d := m.expDuration(mean)
+			heap.Push(&m.completions, completion{at: now + d, server: s.ID(), w: e.Workload})
+		}
+	}
+	return nil
+}
+
+// poisson draws a Poisson deviate with the given mean using inversion
+// for small means and a normal approximation for large ones.
+func (m *StreamManager) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(m.rng.Normal(lambda, math.Sqrt(lambda)) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= m.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// expDuration samples an exponential task duration with the given
+// mean, floored at one second.
+func (m *StreamManager) expDuration(mean time.Duration) time.Duration {
+	u := m.rng.Float64()
+	for u == 0 {
+		u = m.rng.Float64()
+	}
+	d := time.Duration(-math.Log(u) * float64(mean))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/trace"
+	"vmt/internal/workload"
+)
+
+// LoadManager reconciles the cluster's job population with the load
+// trace: once per scheduling period it computes each workload's target
+// job count (utilization × share × total cores) and asks the bound
+// scheduler where to add or evict the difference. This is the
+// cluster-level job scheduling loop of Section IV-A.
+type LoadManager struct {
+	c     *cluster.Cluster
+	mix   *workload.Mix
+	tr    *trace.Trace
+	sched Scheduler
+	// counts caches per-workload job totals so reconciliation does not
+	// rescan the cluster.
+	counts map[workload.Workload]int
+}
+
+// NewLoadManager binds a cluster, workload mix, trace, and scheduler.
+func NewLoadManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace, s Scheduler) (*LoadManager, error) {
+	if c == nil || mix == nil || tr == nil || s == nil {
+		return nil, fmt.Errorf("sched: load manager needs cluster, mix, trace, and scheduler")
+	}
+	return &LoadManager{
+		c:      c,
+		mix:    mix,
+		tr:     tr,
+		sched:  s,
+		counts: make(map[workload.Workload]int),
+	}, nil
+}
+
+// Scheduler returns the bound placement policy.
+func (m *LoadManager) Scheduler() Scheduler { return m.sched }
+
+// TargetCores returns the per-workload core target at time now.
+func (m *LoadManager) TargetCores(now time.Duration, w workload.Workload) int {
+	u := m.tr.At(now)
+	return int(math.Round(u * m.mix.Share(w.Name) * float64(m.c.TotalCores())))
+}
+
+// Reconcile runs one scheduling period: the scheduler's Tick first
+// (group maintenance), then per-workload placement/eviction in
+// deterministic (name) order.
+func (m *LoadManager) Reconcile(now time.Duration) error {
+	m.sched.Tick(now)
+	for _, e := range m.mix.Entries() {
+		target := m.TargetCores(now, e.Workload)
+		cur := m.counts[e.Workload]
+		for cur < target {
+			s, err := m.sched.Place(e.Workload)
+			if err != nil {
+				return fmt.Errorf("sched: placing %s at %v: %w", e.Workload.Name, now, err)
+			}
+			if err := s.Place(e.Workload); err != nil {
+				return fmt.Errorf("sched: %s chose full server %d: %w",
+					m.sched.Name(), s.ID(), err)
+			}
+			cur++
+		}
+		for cur > target {
+			s, err := m.sched.SelectRemoval(e.Workload)
+			if err != nil {
+				return fmt.Errorf("sched: evicting %s at %v: %w", e.Workload.Name, now, err)
+			}
+			if err := s.Remove(e.Workload); err != nil {
+				return fmt.Errorf("sched: %s chose empty server %d: %w",
+					m.sched.Name(), s.ID(), err)
+			}
+			cur--
+		}
+		m.counts[e.Workload] = cur
+	}
+	return nil
+}

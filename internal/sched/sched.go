@@ -1,0 +1,171 @@
+// Package sched defines the cluster scheduler interface and the two
+// baseline placement policies the paper evaluates against: round robin
+// (the TTS baseline) and coolest first (a thermal-aware load
+// balancer). The VMT policies themselves live in internal/core.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/workload"
+)
+
+// Scheduler decides where jobs are placed and removed. Implementations
+// are bound to one cluster at construction and must be deterministic:
+// given the same cluster state they return the same server.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Place returns the server that should receive one new job of
+	// workload w. The caller performs the placement. Place fails only
+	// if the whole cluster is out of cores.
+	Place(w workload.Workload) (*cluster.Server, error)
+	// SelectRemoval returns the server from which one job of workload
+	// w should be evicted when load falls. It fails only if no server
+	// runs w.
+	SelectRemoval(w workload.Workload) (*cluster.Server, error)
+	// Tick runs once per scheduling period before any placements,
+	// letting stateful policies (VMT-WA) refresh group assignments
+	// from the reported wax state.
+	Tick(now time.Duration)
+}
+
+// ErrNoCapacity is wrapped by Place when the cluster has no free core.
+var ErrNoCapacity = fmt.Errorf("sched: cluster out of cores")
+
+// ErrNoJob is wrapped by SelectRemoval when no server runs the
+// workload.
+var ErrNoJob = fmt.Errorf("sched: no job of requested workload")
+
+// RoundRobin cycles each workload's placements across servers in ID
+// order, the scheduler used by the prior TTS work. Cursors are
+// per-workload: each service's queries are sharded evenly across the
+// fleet (a shared cursor would phase-lock workloads onto disjoint
+// server stripes and manufacture thermal imbalance round robin does
+// not have in practice). Removals cycle independently so load stays
+// even as it falls.
+type RoundRobin struct {
+	c         *cluster.Cluster
+	placeCur  map[workload.Workload]int
+	removeCur map[workload.Workload]int
+}
+
+// NewRoundRobin returns a round-robin scheduler bound to c.
+func NewRoundRobin(c *cluster.Cluster) *RoundRobin {
+	return &RoundRobin{
+		c:         c,
+		placeCur:  make(map[workload.Workload]int),
+		removeCur: make(map[workload.Workload]int),
+	}
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Tick implements Scheduler (stateless per period).
+func (r *RoundRobin) Tick(time.Duration) {}
+
+// Place implements Scheduler: the workload's next server in rotation
+// with a free core.
+func (r *RoundRobin) Place(w workload.Workload) (*cluster.Server, error) {
+	n := r.c.Len()
+	cur := r.placeCur[w]
+	for i := 0; i < n; i++ {
+		s := r.c.Server((cur + i) % n)
+		if s.FreeCores() > 0 {
+			r.placeCur[w] = (s.ID() + 1) % n
+			return s, nil
+		}
+	}
+	return nil, ErrNoCapacity
+}
+
+// SelectRemoval implements Scheduler: the workload's next server in
+// rotation running it.
+func (r *RoundRobin) SelectRemoval(w workload.Workload) (*cluster.Server, error) {
+	n := r.c.Len()
+	wi := r.c.WorkloadIndex(w)
+	cur := r.removeCur[w]
+	for i := 0; i < n; i++ {
+		s := r.c.Server((cur + i) % n)
+		if s.JobsAt(wi) > 0 {
+			r.removeCur[w] = (s.ID() + 1) % n
+			return s, nil
+		}
+	}
+	return nil, ErrNoJob
+}
+
+// CoolestFirst places each job on the server with the most projected
+// thermal headroom and removes from the hottest server running the
+// workload. It produces the tight temperature distribution of
+// Figure 10 — and melts no more wax than round robin.
+//
+// "Coolest" is judged on the *projected* steady temperature implied by
+// the server's current power draw, not the instantaneous sensor
+// reading: sensors lag by the thermal time constant, and a scheduler
+// ranking on raw sensors piles every placement of a period onto the
+// same momentarily-cool server, saturating machines one at a time —
+// the opposite of what a thermal balancer is for.
+type CoolestFirst struct {
+	c *cluster.Cluster
+}
+
+// NewCoolestFirst returns a coolest-first scheduler bound to c.
+func NewCoolestFirst(c *cluster.Cluster) *CoolestFirst {
+	return &CoolestFirst{c: c}
+}
+
+// Name implements Scheduler.
+func (f *CoolestFirst) Name() string { return "coolest-first" }
+
+// Tick implements Scheduler (stateless per period).
+func (f *CoolestFirst) Tick(time.Duration) {}
+
+// projectedTempC is the steady-state temperature the server is heading
+// toward at its current power draw — the quantity a placement changes
+// immediately.
+func (f *CoolestFirst) projectedTempC(s *cluster.Server) float64 {
+	return f.c.Config().Server.SteadyAirTempC(s.PowerW(), s.InletTempC())
+}
+
+// Place implements Scheduler.
+func (f *CoolestFirst) Place(workload.Workload) (*cluster.Server, error) {
+	var best *cluster.Server
+	var bestTemp float64
+	for _, s := range f.c.Servers() {
+		if s.FreeCores() == 0 {
+			continue
+		}
+		t := f.projectedTempC(s)
+		if best == nil || t < bestTemp {
+			best, bestTemp = s, t
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	return best, nil
+}
+
+// SelectRemoval implements Scheduler.
+func (f *CoolestFirst) SelectRemoval(w workload.Workload) (*cluster.Server, error) {
+	wi := f.c.WorkloadIndex(w)
+	var best *cluster.Server
+	var bestTemp float64
+	for _, s := range f.c.Servers() {
+		if s.JobsAt(wi) == 0 {
+			continue
+		}
+		t := f.projectedTempC(s)
+		if best == nil || t > bestTemp {
+			best, bestTemp = s, t
+		}
+	}
+	if best == nil {
+		return nil, ErrNoJob
+	}
+	return best, nil
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/trace"
+	"vmt/internal/workload"
+)
+
+func newCluster(t *testing.T, n int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.PaperCluster(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	c := newCluster(t, 4)
+	rr := NewRoundRobin(c)
+	if rr.Name() != "round-robin" {
+		t.Fatal("name")
+	}
+	for i := 0; i < 8; i++ {
+		s, err := rr.Place(workload.WebSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ID() != i%4 {
+			t.Fatalf("placement %d went to server %d", i, s.ID())
+		}
+		if err := s.Place(workload.WebSearch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if c.Server(i).BusyCores() != 2 {
+			t.Fatalf("server %d has %d jobs", i, c.Server(i).BusyCores())
+		}
+	}
+}
+
+func TestRoundRobinSkipsFullServers(t *testing.T) {
+	c := newCluster(t, 2)
+	rr := NewRoundRobin(c)
+	for i := 0; i < 32; i++ {
+		if err := c.Server(0).Place(workload.VirusScan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := rr.Place(workload.VirusScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() != 1 {
+		t.Fatalf("placement went to full server %d", s.ID())
+	}
+}
+
+func TestRoundRobinNoCapacity(t *testing.T) {
+	c := newCluster(t, 1)
+	rr := NewRoundRobin(c)
+	for i := 0; i < 32; i++ {
+		if err := c.Server(0).Place(workload.VirusScan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rr.Place(workload.VirusScan); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestRoundRobinRemovalCycles(t *testing.T) {
+	c := newCluster(t, 3)
+	rr := NewRoundRobin(c)
+	for i := 0; i < 3; i++ {
+		if err := c.Server(i).Place(workload.WebSearch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		s, err := rr.SelectRemoval(workload.WebSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ID() != i {
+			t.Fatalf("removal %d from server %d", i, s.ID())
+		}
+		if err := s.Remove(workload.WebSearch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rr.SelectRemoval(workload.WebSearch); !errors.Is(err, ErrNoJob) {
+		t.Fatal("empty cluster should report ErrNoJob")
+	}
+}
+
+func TestCoolestFirstPrefersCooler(t *testing.T) {
+	c := newCluster(t, 3)
+	cf := NewCoolestFirst(c)
+	if cf.Name() != "coolest-first" {
+		t.Fatal("name")
+	}
+	// Heat server 0 by loading and stepping.
+	for i := 0; i < 32; i++ {
+		if err := c.Server(0).Place(workload.VideoEncoding); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := c.Step(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(c.Server(0).AirTempC() > c.Server(1).AirTempC()) {
+		t.Fatal("server 0 should be hotter")
+	}
+	s, err := cf.Place(workload.WebSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() == 0 {
+		t.Fatal("coolest-first placed on the hottest server")
+	}
+	// Removal picks the hottest server running the workload.
+	if err := c.Server(1).Place(workload.VideoEncoding); err != nil {
+		t.Fatal(err)
+	}
+	rm, err := cf.SelectRemoval(workload.VideoEncoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.ID() != 0 {
+		t.Fatalf("removal from server %d, want hottest (0)", rm.ID())
+	}
+}
+
+func TestCoolestFirstErrors(t *testing.T) {
+	c := newCluster(t, 1)
+	cf := NewCoolestFirst(c)
+	if _, err := cf.SelectRemoval(workload.WebSearch); !errors.Is(err, ErrNoJob) {
+		t.Fatal("want ErrNoJob")
+	}
+	for i := 0; i < 32; i++ {
+		if err := c.Server(0).Place(workload.VirusScan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cf.Place(workload.VirusScan); !errors.Is(err, ErrNoCapacity) {
+		t.Fatal("want ErrNoCapacity")
+	}
+}
+
+func TestLoadManagerReconcile(t *testing.T) {
+	c := newCluster(t, 10)
+	mix := workload.PaperMix()
+	tr, err := trace.Generate(trace.PaperTwoDay(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := NewLoadManager(c, mix, tr, NewRoundRobin(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the day-two peak, ≈95% of 320 cores should be busy.
+	if err := lm.Reconcile(46 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	busy := c.BusyCores()
+	if busy < 280 || busy > 320 {
+		t.Fatalf("busy cores at peak = %d, want ≈304", busy)
+	}
+	// Per-workload counts match the targets.
+	for _, e := range mix.Entries() {
+		want := lm.TargetCores(46*time.Hour, e.Workload)
+		if got := c.JobCount(e.Workload); got != want {
+			t.Errorf("%s jobs = %d, want %d", e.Workload.Name, got, want)
+		}
+	}
+	// Reconciling down to the trough sheds load.
+	if err := lm.Reconcile(53 * time.Hour); err != nil { // beyond trace: clamps low? no, clamp=end
+		t.Fatal(err)
+	}
+	// Use the real trough instead.
+	if err := lm.Reconcile(29 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BusyCores(); got > busy {
+		t.Fatalf("load should fall at the trough, got %d > %d", got, busy)
+	}
+}
+
+func TestLoadManagerValidation(t *testing.T) {
+	c := newCluster(t, 2)
+	mix := workload.PaperMix()
+	tr, err := trace.Generate(trace.PaperTwoDay(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoadManager(nil, mix, tr, NewRoundRobin(c)); err == nil {
+		t.Fatal("nil cluster should fail")
+	}
+	if _, err := NewLoadManager(c, nil, tr, NewRoundRobin(c)); err == nil {
+		t.Fatal("nil mix should fail")
+	}
+	if _, err := NewLoadManager(c, mix, nil, NewRoundRobin(c)); err == nil {
+		t.Fatal("nil trace should fail")
+	}
+	if _, err := NewLoadManager(c, mix, tr, nil); err == nil {
+		t.Fatal("nil scheduler should fail")
+	}
+}
+
+// Reconciling repeatedly over the whole trace must never lose or leak
+// jobs: counts always match targets exactly.
+func TestLoadManagerTracksTraceExactly(t *testing.T) {
+	c := newCluster(t, 5)
+	mix := workload.PaperMix()
+	tr, err := trace.Generate(trace.PaperTwoDay(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := NewLoadManager(c, mix, tr, NewRoundRobin(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h <= 48; h++ {
+		now := time.Duration(h) * time.Hour
+		if err := lm.Reconcile(now); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range mix.Entries() {
+			want := lm.TargetCores(now, e.Workload)
+			if got := c.JobCount(e.Workload); got != want {
+				t.Fatalf("h=%d %s: jobs %d != target %d", h, e.Workload.Name, got, want)
+			}
+		}
+	}
+}

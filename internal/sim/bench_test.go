@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPeriodicDispatch(b *testing.B) {
+	e := NewEngine()
+	count := 0
+	if _, err := e.Every(0, time.Second, PriorityModel, func(time.Duration) { count++ }); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.RunUntil(e.Now() + time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkManyOneShots(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			if _, err := e.At(time.Duration(j)*time.Millisecond, PriorityModel,
+				func(time.Duration) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.RunUntil(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine, the substrate standing in for DCsim in the VMT reproduction.
+//
+// The engine maintains a priority queue of timestamped events. Events
+// scheduled for the same instant fire in a stable order: first by
+// priority (lower fires first), then by scheduling sequence number.
+// Determinism is essential so that the paper's experiments reproduce
+// bit-for-bit across runs.
+//
+// Typical use:
+//
+//	eng := sim.NewEngine()
+//	eng.Every(0, time.Minute, sim.PriorityModel, func(now time.Duration) {
+//	        ... advance physics ...
+//	})
+//	eng.RunUntil(48 * time.Hour)
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Priority orders events that share a timestamp. Lower values fire
+// first. The bands below encode the per-tick pipeline of the cluster
+// simulation: physics advances first, then the scheduler reacts, then
+// metrics observe the settled state.
+type Priority int
+
+const (
+	// PriorityModel is for physical-model updates (thermal, wax).
+	PriorityModel Priority = 100
+	// PriorityScheduler is for load placement and rebalancing.
+	PriorityScheduler Priority = 200
+	// PriorityMetrics is for observers sampling the settled state.
+	PriorityMetrics Priority = 300
+)
+
+// Handler is an event callback. now is the simulation time at which the
+// event fires.
+type Handler func(now time.Duration)
+
+type event struct {
+	at       time.Duration
+	priority Priority
+	seq      uint64 // tiebreaker: FIFO among equal (at, priority)
+	fn       Handler
+	interval time.Duration // > 0 for periodic events
+	id       uint64
+	canceled bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all scheduling must happen from the goroutine
+// running RunUntil (typically from inside handlers).
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	nextID  uint64
+	// canceled tracks event IDs whose firing should be suppressed.
+	canceled map[uint64]bool
+	fired    uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{canceled: make(map[uint64]bool)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired returns the number of events dispatched so far (for tests and
+// progress reporting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID uint64
+
+// At schedules fn to run once at absolute simulation time at. Scheduling
+// in the past (at < Now()) is an error.
+func (e *Engine) At(at time.Duration, p Priority, fn Handler) (EventID, error) {
+	if at < e.now {
+		return 0, fmt.Errorf("sim: cannot schedule at %v, now is %v", at, e.now)
+	}
+	return e.push(at, p, fn, 0), nil
+}
+
+// After schedules fn to run once delay from now.
+func (e *Engine) After(delay time.Duration, p Priority, fn Handler) (EventID, error) {
+	if delay < 0 {
+		return 0, fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return e.push(e.now+delay, p, fn, 0), nil
+}
+
+// Every schedules fn to run at start and then every interval thereafter
+// until the engine stops or the event is canceled.
+func (e *Engine) Every(start, interval time.Duration, p Priority, fn Handler) (EventID, error) {
+	if start < e.now {
+		return 0, fmt.Errorf("sim: cannot schedule at %v, now is %v", start, e.now)
+	}
+	if interval <= 0 {
+		return 0, fmt.Errorf("sim: non-positive interval %v", interval)
+	}
+	return e.push(start, p, fn, interval), nil
+}
+
+func (e *Engine) push(at time.Duration, p Priority, fn Handler, interval time.Duration) EventID {
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: at, priority: p, seq: e.nextSeq, fn: fn, interval: interval, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	return EventID(e.nextID)
+}
+
+// Cancel prevents a scheduled (or periodic) event from firing again.
+// Canceling an already-fired one-shot event is a harmless no-op.
+func (e *Engine) Cancel(id EventID) { e.canceled[uint64(id)] = true }
+
+// RunUntil dispatches events in order until the queue empties or the
+// next event lies strictly beyond end. The clock finishes at end.
+func (e *Engine) RunUntil(end time.Duration) error {
+	if end < e.now {
+		return fmt.Errorf("sim: end %v before now %v", end, e.now)
+	}
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.queue)
+		if e.canceled[next.id] {
+			if next.interval == 0 {
+				delete(e.canceled, next.id)
+			}
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn(e.now)
+		if next.interval > 0 && !e.canceled[next.id] {
+			next.at += next.interval
+			e.nextSeq++
+			next.seq = e.nextSeq
+			heap.Push(&e.queue, next)
+		}
+	}
+	e.now = end
+	return nil
+}
+
+// Pending returns the number of events currently queued (periodic
+// events count once).
+func (e *Engine) Pending() int { return e.queue.Len() }

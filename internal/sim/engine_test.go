@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOneShotOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	must := func(_ EventID, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(e.At(3*time.Second, PriorityModel, func(time.Duration) { got = append(got, 3) }))
+	must(e.At(1*time.Second, PriorityModel, func(time.Duration) { got = append(got, 1) }))
+	must(e.At(2*time.Second, PriorityModel, func(time.Duration) { got = append(got, 2) }))
+	if err := e.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", e.Now())
+	}
+}
+
+func TestSameInstantPriorityThenFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	add := func(p Priority, tag string) {
+		if _, err := e.At(time.Second, p, func(time.Duration) { got = append(got, tag) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(PriorityMetrics, "metrics")
+	add(PriorityScheduler, "sched1")
+	add(PriorityModel, "model")
+	add(PriorityScheduler, "sched2")
+	if err := e.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"model", "sched1", "sched2", "metrics"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPeriodicEvent(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	if _, err := e.Every(0, time.Minute, PriorityModel, func(now time.Duration) {
+		fires = append(fires, now)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) != 6 { // 0,1,2,3,4,5 minutes inclusive
+		t.Fatalf("fired %d times: %v", len(fires), fires)
+	}
+	for i, at := range fires {
+		if at != time.Duration(i)*time.Minute {
+			t.Fatalf("fire %d at %v", i, at)
+		}
+	}
+}
+
+func TestCancelPeriodic(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	id, err := e.Every(0, time.Minute, PriorityModel, func(time.Duration) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(2*time.Minute+time.Second, PriorityModel, func(time.Duration) {
+		e.Cancel(id)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 { // fires at 0, 1m, 2m
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestCancelFromOwnHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var id EventID
+	id, err := e.Every(0, time.Second, PriorityModel, func(time.Duration) {
+		count++
+		if count == 2 {
+			e.Cancel(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(time.Second, PriorityModel, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(time.Second, PriorityModel, func(time.Duration) {}); err == nil {
+		t.Fatal("scheduling in past should fail")
+	}
+	if _, err := e.After(-time.Second, PriorityModel, func(time.Duration) {}); err == nil {
+		t.Fatal("negative delay should fail")
+	}
+	if _, err := e.Every(0, 0, PriorityModel, func(time.Duration) {}); err == nil {
+		t.Fatal("zero interval should fail")
+	}
+	if err := e.RunUntil(time.Second); err == nil {
+		t.Fatal("running backwards should fail")
+	}
+}
+
+func TestHandlerSchedulesMore(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	if _, err := e.At(time.Second, PriorityModel, func(now time.Duration) {
+		got = append(got, now)
+		if _, err := e.After(time.Second, PriorityModel, func(n2 time.Duration) {
+			got = append(got, n2)
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 2*time.Second {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	if _, err := e.Every(0, time.Minute, PriorityModel, func(time.Duration) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	// Resume: next fire at 2m still pending.
+	if err := e.RunUntil(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count after resume = %d, want 3", count)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+// Property: N one-shot events with arbitrary non-negative offsets all
+// fire exactly once, in non-decreasing time order.
+func TestEventDeliveryProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var times []time.Duration
+		for _, r := range raw {
+			at := time.Duration(r) * time.Millisecond
+			if _, err := e.At(at, PriorityModel, func(now time.Duration) {
+				times = append(times, now)
+			}); err != nil {
+				return false
+			}
+		}
+		if err := e.RunUntil(time.Duration(1<<16) * time.Millisecond); err != nil {
+			return false
+		}
+		if len(times) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Every(0, time.Second, PriorityModel, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 11 {
+		t.Fatalf("Fired = %d, want 11", e.Fired())
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Series is a uniformly sampled time series: Values[i] is the sample at
+// Start + i×Step. It is the common currency between the simulator
+// (which produces per-minute samples) and the reporting layer.
+type Series struct {
+	Start  time.Duration // simulation time of Values[0]
+	Step   time.Duration // sampling interval, > 0
+	Values []float64
+}
+
+// NewSeries returns an empty series with the given step.
+func NewSeries(step time.Duration) *Series {
+	if step <= 0 {
+		panic("stats: series step must be positive")
+	}
+	return &Series{Step: step}
+}
+
+// Append adds a sample at the next slot.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the simulation time of sample i.
+func (s *Series) TimeAt(i int) time.Duration {
+	return s.Start + time.Duration(i)*s.Step
+}
+
+// Peak returns the maximum sample and its time. It returns an error on
+// an empty series.
+func (s *Series) Peak() (float64, time.Duration, error) {
+	i := MaxIndex(s.Values)
+	if i < 0 {
+		return 0, 0, ErrEmpty
+	}
+	return s.Values[i], s.TimeAt(i), nil
+}
+
+// Mean returns the mean of the samples.
+func (s *Series) Mean() float64 { return Mean(s.Values) }
+
+// WindowMax returns a new series where each sample is the maximum over
+// a trailing window of n samples (n ≥ 1). Used to smooth instantaneous
+// cooling load into a "provisioning" view.
+func (s *Series) WindowMax(n int) *Series {
+	if n < 1 {
+		panic("stats: window must be >= 1")
+	}
+	out := &Series{Start: s.Start, Step: s.Step, Values: make([]float64, len(s.Values))}
+	for i := range s.Values {
+		lo := i - n + 1
+		if lo < 0 {
+			lo = 0
+		}
+		m := s.Values[lo]
+		for _, v := range s.Values[lo+1 : i+1] {
+			if v > m {
+				m = v
+			}
+		}
+		out.Values[i] = m
+	}
+	return out
+}
+
+// Downsample returns every k-th sample (k ≥ 1), preserving the start
+// time. Useful to thin per-minute data for plotting.
+func (s *Series) Downsample(k int) *Series {
+	if k < 1 {
+		panic("stats: downsample factor must be >= 1")
+	}
+	out := &Series{Start: s.Start, Step: s.Step * time.Duration(k)}
+	for i := 0; i < len(s.Values); i += k {
+		out.Values = append(out.Values, s.Values[i])
+	}
+	return out
+}
+
+// String summarizes the series for debugging.
+func (s *Series) String() string {
+	if len(s.Values) == 0 {
+		return fmt.Sprintf("Series(step=%v, empty)", s.Step)
+	}
+	peak, at, _ := s.Peak()
+	return fmt.Sprintf("Series(step=%v, n=%d, mean=%.2f, peak=%.2f@%v)",
+		s.Step, len(s.Values), s.Mean(), peak, at)
+}

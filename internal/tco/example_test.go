@@ -1,0 +1,24 @@
+package tco_test
+
+import (
+	"fmt"
+
+	"vmt/internal/tco"
+)
+
+func ExampleEvaluate() {
+	out, err := tco.Evaluate(tco.PaperParams(), 12.8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("$%.0f saved, or %d extra servers (%d per cluster)\n",
+		out.GrossCoolingSavingsUSD, out.ExtraServers, out.ExtraServersPerCluster)
+	// Output: $2688000 saved, or 7339 extra servers (146 per cluster)
+}
+
+func ExampleParams_CoolingCostUSDPerMW() {
+	// $7/kW·month over a 10-year depreciation.
+	fmt.Printf("$%.0f per MW of cooling over its life\n",
+		tco.PaperParams().CoolingCostUSDPerMW())
+	// Output: $840000 per MW of cooling over its life
+}

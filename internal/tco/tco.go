@@ -1,0 +1,148 @@
+// Package tco quantifies the cost benefits of a reduced peak cooling
+// load (Section V-E), adapting the Kontorinis et al. cooling-system
+// depreciation model: $7 per kW of critical power per month over a
+// 10-year straight-line depreciation, i.e. $84,000 per MW-year or
+// $840,000 per MW over the cooling system's life.
+//
+// Two oversubscription strategies are priced:
+//
+//   - Smaller cooling system: shave r% off the peak and buy an r%
+//     smaller chiller plant up front.
+//   - More servers: keep the cooling plant and add 1/(1−r)−1 more
+//     servers under the same cooling budget.
+package tco
+
+import (
+	"fmt"
+	"math"
+
+	"vmt/internal/pcm"
+)
+
+// Params describes the datacenter for TCO purposes.
+type Params struct {
+	// CriticalPowerMW is the datacenter's critical (IT) power; the
+	// paper uses 25 MW, just below the 27.25 MW reported median for
+	// large facilities.
+	CriticalPowerMW float64
+	// CoolingDepreciationUSDPerKWMonth is the Kontorinis cooling
+	// depreciation figure ($7/kW·month).
+	CoolingDepreciationUSDPerKWMonth float64
+	// CoolingLifetimeYears is the non-IT depreciation horizon (10 y).
+	CoolingLifetimeYears float64
+	// ServerPeakPowerW sizes the fleet: servers = critical power /
+	// peak server power (500 W → 50,000 servers at 25 MW).
+	ServerPeakPowerW float64
+	// ServersPerCluster scales per-cluster figures (1,000).
+	ServersPerCluster int
+	// WaxVolumeLPerServer and Material price the PCM deployment.
+	WaxVolumeLPerServer float64
+	Material            pcm.Material
+}
+
+// PaperParams returns the Section V-E configuration.
+func PaperParams() Params {
+	return Params{
+		CriticalPowerMW:                  25,
+		CoolingDepreciationUSDPerKWMonth: 7,
+		CoolingLifetimeYears:             10,
+		ServerPeakPowerW:                 500,
+		ServersPerCluster:                1000,
+		WaxVolumeLPerServer:              4.0,
+		Material:                         pcm.CommercialParaffin(),
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.CriticalPowerMW <= 0:
+		return fmt.Errorf("tco: critical power must be positive")
+	case p.CoolingDepreciationUSDPerKWMonth <= 0:
+		return fmt.Errorf("tco: depreciation rate must be positive")
+	case p.CoolingLifetimeYears <= 0:
+		return fmt.Errorf("tco: cooling lifetime must be positive")
+	case p.ServerPeakPowerW <= 0:
+		return fmt.Errorf("tco: server peak power must be positive")
+	case p.ServersPerCluster <= 0:
+		return fmt.Errorf("tco: servers per cluster must be positive")
+	case p.WaxVolumeLPerServer < 0:
+		return fmt.Errorf("tco: negative wax volume")
+	}
+	return p.Material.Validate()
+}
+
+// Servers returns the fleet size implied by the critical power.
+func (p Params) Servers() int {
+	return int(p.CriticalPowerMW * 1e6 / p.ServerPeakPowerW)
+}
+
+// CoolingCostUSDPerMW returns the lifetime depreciation cost of one MW
+// of cooling capacity ($840,000 with the paper's numbers).
+func (p Params) CoolingCostUSDPerMW() float64 {
+	return p.CoolingDepreciationUSDPerKWMonth * 1000 * 12 * p.CoolingLifetimeYears
+}
+
+// WaxDeploymentCostUSD returns the fleet-wide cost of the PCM itself
+// (less than 0.5% of server purchase cost at $1,000/ton).
+func (p Params) WaxDeploymentCostUSD() float64 {
+	massKg := p.WaxVolumeLPerServer * p.Material.DensityKgPerL * float64(p.Servers())
+	return massKg / 1000 * p.Material.CostUSDPerTon
+}
+
+// Outcome prices one peak-cooling-load reduction.
+type Outcome struct {
+	// ReductionPct is the applied peak cooling reduction.
+	ReductionPct float64
+	// CoolingLoadMW is the reduced peak the cooling system must
+	// handle (25 MW → 21.8 MW at 12.8%).
+	CoolingLoadMW float64
+	// GrossCoolingSavingsUSD is the lifetime saving from buying an
+	// r%-smaller cooling system — the figure the paper headlines
+	// ($2.69M at 12.8%).
+	GrossCoolingSavingsUSD float64
+	// SmallerCoolingSavingsUSD nets out the wax deployment cost
+	// (which is small: <0.5% of server cost at $1,000/ton).
+	SmallerCoolingSavingsUSD float64
+	// ExtraServersPct and ExtraServers quantify the added-capacity
+	// alternative: more servers under the unchanged cooling budget.
+	ExtraServersPct        float64
+	ExtraServers           int
+	ExtraServersPerCluster int
+}
+
+// Evaluate prices a peak cooling reduction of reductionPct percent.
+func Evaluate(p Params, reductionPct float64) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if reductionPct < 0 || reductionPct >= 100 {
+		return Outcome{}, fmt.Errorf("tco: reduction %v%% out of [0,100)", reductionPct)
+	}
+	r := reductionPct / 100
+	savedMW := p.CriticalPowerMW * r
+	extraPct := (1/(1-r) - 1) * 100
+	gross := savedMW * p.CoolingCostUSDPerMW()
+	return Outcome{
+		ReductionPct:             reductionPct,
+		CoolingLoadMW:            p.CriticalPowerMW - savedMW,
+		GrossCoolingSavingsUSD:   gross,
+		SmallerCoolingSavingsUSD: gross - p.WaxDeploymentCostUSD(),
+		ExtraServersPct:          extraPct,
+		ExtraServers:             int(math.Floor(extraPct / 100 * float64(p.Servers()))),
+		ExtraServersPerCluster:   int(math.Floor(extraPct / 100 * float64(p.ServersPerCluster))),
+	}, nil
+}
+
+// NParaffinAlternativeCostUSD prices the paper's counterfactual: buying
+// molecularly pure n-paraffin with a low enough melting point for TTS
+// alone to match VMT (≈$10M at 30 °C for the whole fleet), versus the
+// commercial wax VMT uses.
+func NParaffinAlternativeCostUSD(p Params, meltTempC float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	alt := p
+	alt.Material = pcm.PureNParaffin(meltTempC)
+	return alt.WaxDeploymentCostUSD(), nil
+}

@@ -1,0 +1,147 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := PaperParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.CriticalPowerMW = 0 },
+		func(p *Params) { p.CoolingDepreciationUSDPerKWMonth = 0 },
+		func(p *Params) { p.CoolingLifetimeYears = 0 },
+		func(p *Params) { p.ServerPeakPowerW = 0 },
+		func(p *Params) { p.ServersPerCluster = 0 },
+		func(p *Params) { p.WaxVolumeLPerServer = -1 },
+		func(p *Params) { p.Material.DensityKgPerL = 0 },
+	}
+	for i, mutate := range cases {
+		p := PaperParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFleetSize(t *testing.T) {
+	// 25 MW / 500 W = 50,000 servers.
+	if got := PaperParams().Servers(); got != 50_000 {
+		t.Fatalf("servers = %d, want 50000", got)
+	}
+}
+
+func TestCoolingCostPerMW(t *testing.T) {
+	// $7/kW·month × 1000 kW × 12 months × 10 years = $840,000/MW,
+	// i.e. $84,000 per MW-year and $21M total for 25 MW (Section IV-F).
+	p := PaperParams()
+	if got := p.CoolingCostUSDPerMW(); got != 840_000 {
+		t.Fatalf("cost per MW = %v", got)
+	}
+	total := p.CoolingCostUSDPerMW() * p.CriticalPowerMW
+	if total != 21_000_000 {
+		t.Fatalf("25 MW lifetime cooling cost = %v, want $21M", total)
+	}
+}
+
+// Section V-E headline: 12.8% reduction on 25 MW saves ≈$2.69M over
+// the cooling system's life and frees room for 7,339 more servers
+// (146 per 1,000-server cluster).
+func TestPaperHeadlineNumbers(t *testing.T) {
+	out, err := Evaluate(PaperParams(), 12.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.GrossCoolingSavingsUSD-2_688_000) > 1 {
+		t.Fatalf("gross savings = %v, want $2.688M", out.GrossCoolingSavingsUSD)
+	}
+	if math.Abs(out.CoolingLoadMW-21.8) > 1e-9 {
+		t.Fatalf("reduced load = %v MW, want 21.8", out.CoolingLoadMW)
+	}
+	if math.Abs(out.ExtraServersPct-14.678899082568805) > 1e-9 {
+		t.Fatalf("extra servers pct = %v", out.ExtraServersPct)
+	}
+	if out.ExtraServers != 7_339 {
+		t.Fatalf("extra servers = %d, want 7339", out.ExtraServers)
+	}
+	if out.ExtraServersPerCluster != 146 {
+		t.Fatalf("extra per cluster = %d, want 146", out.ExtraServersPerCluster)
+	}
+	// Net savings subtract the (small) wax deployment cost.
+	if out.SmallerCoolingSavingsUSD >= out.GrossCoolingSavingsUSD {
+		t.Fatal("net savings should be below gross")
+	}
+	if out.GrossCoolingSavingsUSD-out.SmallerCoolingSavingsUSD > 300_000 {
+		t.Fatalf("wax cost %v implausibly large",
+			out.GrossCoolingSavingsUSD-out.SmallerCoolingSavingsUSD)
+	}
+}
+
+// The conservative 6% case: $1.26M savings, 3,191 extra servers.
+func TestPaperConservativeNumbers(t *testing.T) {
+	out, err := Evaluate(PaperParams(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.GrossCoolingSavingsUSD-1_260_000) > 1 {
+		t.Fatalf("gross savings = %v, want $1.26M", out.GrossCoolingSavingsUSD)
+	}
+	if out.ExtraServers != 3_191 {
+		t.Fatalf("extra servers = %d, want 3191", out.ExtraServers)
+	}
+	if out.ExtraServersPerCluster != 63 { // paper rounds to 64
+		t.Fatalf("extra per cluster = %d", out.ExtraServersPerCluster)
+	}
+}
+
+func TestEvaluateRejectsBadReduction(t *testing.T) {
+	for _, r := range []float64{-1, 100, 150} {
+		if _, err := Evaluate(PaperParams(), r); err == nil {
+			t.Errorf("reduction %v should fail", r)
+		}
+	}
+	bad := PaperParams()
+	bad.CriticalPowerMW = 0
+	if _, err := Evaluate(bad, 10); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+// The n-paraffin counterfactual: achieving VMT's effect with pure
+// low-melting-point wax costs on the order of $10M — several times the
+// VMT savings (Section V-E's parenthetical).
+func TestNParaffinCounterfactual(t *testing.T) {
+	p := PaperParams()
+	cost, err := NParaffinAlternativeCostUSD(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < 8e6 || cost > 20e6 {
+		t.Fatalf("n-paraffin fleet cost = %v, want ≈$10M", cost)
+	}
+	commercial := p.WaxDeploymentCostUSD()
+	if cost/commercial != 75 {
+		t.Fatalf("cost ratio = %v, want 75x", cost/commercial)
+	}
+	bad := p
+	bad.CriticalPowerMW = 0
+	if _, err := NParaffinAlternativeCostUSD(bad, 30); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+func TestZeroReductionIsFree(t *testing.T) {
+	out, err := Evaluate(PaperParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GrossCoolingSavingsUSD != 0 || out.ExtraServers != 0 {
+		t.Fatalf("zero reduction should save nothing: %+v", out)
+	}
+	if out.SmallerCoolingSavingsUSD >= 0 {
+		t.Fatal("net of wax cost, zero reduction should be negative")
+	}
+}

@@ -1,0 +1,49 @@
+package thermal
+
+import (
+	"testing"
+	"time"
+
+	"vmt/internal/pcm"
+)
+
+// BenchmarkNodeStep measures one server-minute of thermal simulation —
+// the inner loop of every cluster experiment (a 1,000-server two-day
+// run executes 2.88M of these).
+func BenchmarkNodeStep(b *testing.B) {
+	n, err := NewNode(PaperServer(), pcm.CommercialParaffin(), 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Step(300, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeStepMelting(b *testing.B) {
+	n, err := NewNode(PaperServer(), pcm.CommercialParaffin(), 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm into the melting regime first.
+	for i := 0; i < 120; i++ {
+		if _, err := n.Step(400, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Alternate to stay near the phase boundary.
+		p := 400.0
+		if i%2 == 1 {
+			p = 150
+		}
+		if _, err := n.Step(p, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package thermal
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/pcm"
+)
+
+// Node is the thermal state of one server: the air/chassis node plus
+// the wax pack. Step advances the coupled system under a given power
+// draw and reports the cooling load ejected to the room.
+type Node struct {
+	spec   ServerSpec
+	inletC float64
+	airC   float64
+	pack   *pcm.Pack
+	// cumulative energy accounting, used by conservation tests and
+	// the cooling metrics
+	inputJ  float64
+	ejectJ  float64
+	storedJ float64
+}
+
+// NewNode builds a node at thermal equilibrium with its inlet air: the
+// air node and wax both start at inletC (fully solid wax, assuming the
+// inlet is below the melting point, as in every scenario of the
+// paper).
+func NewNode(spec ServerSpec, mat pcm.Material, inletC float64) (*Node, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pack, err := pcm.NewPack(mat, spec.WaxVolumeL, inletC)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{spec: spec, inletC: inletC, airC: inletC, pack: pack}, nil
+}
+
+// Spec returns the node's server specification.
+func (n *Node) Spec() ServerSpec { return n.spec }
+
+// InletTempC returns the configured inlet temperature.
+func (n *Node) InletTempC() float64 { return n.inletC }
+
+// SetInletTempC overrides the inlet temperature (used by the inlet
+// variation experiments, Figures 19–20).
+func (n *Node) SetInletTempC(c float64) { n.inletC = c }
+
+// AirTempC returns the current air temperature at the wax.
+func (n *Node) AirTempC() float64 { return n.airC }
+
+// WaxTempC returns the current wax temperature.
+func (n *Node) WaxTempC() float64 { return n.pack.TempC() }
+
+// MeltFrac returns the wax melt fraction in [0,1].
+func (n *Node) MeltFrac() float64 { return n.pack.MeltFrac() }
+
+// Pack exposes the wax pack (read-mostly; used by reporting).
+func (n *Node) Pack() *pcm.Pack { return n.pack }
+
+// StepResult reports the outcome of one Step.
+type StepResult struct {
+	// AirTempC and WaxTempC are the post-step temperatures.
+	AirTempC, WaxTempC float64
+	// MeltFrac is the post-step wax melt fraction.
+	MeltFrac float64
+	// CoolingLoadW is the mean heat flow ejected to the room over the
+	// step: the quantity the datacenter cooling system must remove.
+	CoolingLoadW float64
+	// WaxFlowW is the mean heat flow into the wax over the step
+	// (negative while the wax releases stored heat).
+	WaxFlowW float64
+}
+
+// Step advances the node by dt under a constant power draw powerW.
+// The step is internally subdivided per the spec's SubStep; each
+// substep conserves energy exactly:
+//
+//	P·dt = CAir·ΔTair + KAir·(Tair−Tin)·dt + HWax·(Tair−Twax)·dt
+func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("thermal: non-positive step %v", dt)
+	}
+	if powerW < 0 {
+		return StepResult{}, fmt.Errorf("thermal: negative power %v", powerW)
+	}
+	var ejected, stored float64
+	remaining := dt
+	cAir := n.spec.AirHeatCapacityJPerK()
+	for remaining > 0 {
+		h := n.spec.SubStep
+		if h > remaining {
+			h = remaining
+		}
+		sec := h.Seconds()
+		toRoom := n.spec.AirConductanceWPerK * (n.airC - n.inletC)
+		toWax := n.spec.WaxConductanceWPerK * (n.airC - n.pack.TempC())
+		n.airC += sec * (powerW - toRoom - toWax) / cAir
+		n.pack.Apply(toWax, h)
+		ejected += toRoom * sec
+		stored += toWax * sec
+		remaining -= h
+	}
+	sec := dt.Seconds()
+	n.inputJ += powerW * sec
+	n.ejectJ += ejected
+	n.storedJ += stored
+	return StepResult{
+		AirTempC:     n.airC,
+		WaxTempC:     n.pack.TempC(),
+		MeltFrac:     n.pack.MeltFrac(),
+		CoolingLoadW: ejected / sec,
+		WaxFlowW:     stored / sec,
+	}, nil
+}
+
+// EnergyLedger reports cumulative energy totals since construction.
+type EnergyLedger struct {
+	InputJ, EjectedJ, WaxStoredJ float64
+}
+
+// Ledger returns the node's cumulative energy accounting.
+func (n *Node) Ledger() EnergyLedger {
+	return EnergyLedger{InputJ: n.inputJ, EjectedJ: n.ejectJ, WaxStoredJ: n.storedJ}
+}
+
+// AirEnergyJ returns the energy held by the air node relative to the
+// inlet temperature — the remainder term in the conservation balance.
+func (n *Node) AirEnergyJ() float64 {
+	return n.spec.AirHeatCapacityJPerK() * (n.airC - n.inletC)
+}

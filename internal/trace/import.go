@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+// FromReader builds a trace from externally supplied utilization
+// samples, one value per line in [0,1] (or percentages in (1,100],
+// auto-detected), sampled uniformly every step. Blank lines and lines
+// starting with '#' are skipped; a single optional non-numeric header
+// line is tolerated. This is the hook for feeding a production trace —
+// the paper's Google trace arrives exactly as such a normalized series.
+func FromReader(r io.Reader, step time.Duration) (*Trace, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: step must be positive, got %v", step)
+	}
+	var samples []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	headerSkipped := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			if !headerSkipped && len(samples) == 0 {
+				headerSkipped = true
+				continue
+			}
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		samples = append(samples, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("trace: need at least two samples, got %d", len(samples))
+	}
+	// Percentage auto-detection: any value above 1 means the series is
+	// in percent.
+	maxV, _ := stats.Max(samples)
+	if maxV > 1 {
+		if maxV > 100 {
+			return nil, fmt.Errorf("trace: sample %v exceeds 100%%", maxV)
+		}
+		for i := range samples {
+			samples[i] /= 100
+		}
+	}
+	for i, v := range samples {
+		if v < 0 {
+			return nil, fmt.Errorf("trace: negative sample %v at index %d", v, i)
+		}
+	}
+	return &Trace{step: step, samples: samples}, nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromReaderFractions(t *testing.T) {
+	in := "0.25\n0.5\n# comment\n\n0.95\n"
+	tr, err := FromReader(strings.NewReader(in), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.At(time.Hour) != 0.5 {
+		t.Fatalf("At(1h) = %v", tr.At(time.Hour))
+	}
+	if tr.Duration() != 2*time.Hour {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+func TestFromReaderPercentAutoDetect(t *testing.T) {
+	tr, err := FromReader(strings.NewReader("25\n50\n95\n"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := tr.Peak()
+	if peak != 0.95 {
+		t.Fatalf("peak = %v, want 0.95", peak)
+	}
+}
+
+func TestFromReaderHeader(t *testing.T) {
+	tr, err := FromReader(strings.NewReader("utilization\n0.1\n0.2\n"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestFromReaderErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"single sample", "0.5\n"},
+		{"garbage mid-file", "0.5\nbogus\n0.7\n"},
+		{"two headers", "a\nb\n0.5\n0.6\n"},
+		{"over 100", "150\n50\n"},
+		{"negative", "-0.5\n0.5\n"},
+	}
+	for _, c := range cases {
+		if _, err := FromReader(strings.NewReader(c.in), time.Minute); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := FromReader(strings.NewReader("0.5\n0.6\n"), 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestFromReaderInterpolates(t *testing.T) {
+	tr, err := FromReader(strings.NewReader("0\n1\n"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(30 * time.Minute); got != 0.5 {
+		t.Fatalf("midpoint = %v, want 0.5", got)
+	}
+}

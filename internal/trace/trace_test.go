@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func noiseless() Spec {
+	s := PaperTwoDay()
+	s.NoiseAmp = 0
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	good := PaperTwoDay()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("PaperTwoDay invalid: %v", err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Days = 0 },
+		func(s *Spec) { s.PeakUtil = nil },
+		func(s *Spec) { s.TroughUtil = -0.1 },
+		func(s *Spec) { s.TroughUtil = 1.1 },
+		func(s *Spec) { s.PeakHours = []float64{24} },
+		func(s *Spec) { s.PeakHours = nil },
+		func(s *Spec) { s.TroughHour = -1 },
+		func(s *Spec) { s.PeakHours = []float64{s.TroughHour} },
+		func(s *Spec) { s.NoiseAmp = -0.1 },
+		func(s *Spec) { s.PeakUtil = []float64{0.1} }, // below trough
+		func(s *Spec) { s.PeakUtil = []float64{1.5} },
+	}
+	for i, mutate := range cases {
+		s := PaperTwoDay()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGenerateRejectsBadStep(t *testing.T) {
+	if _, err := Generate(PaperTwoDay(), 0); err == nil {
+		t.Fatal("zero step should fail")
+	}
+}
+
+func TestPaperShapeExtremes(t *testing.T) {
+	tr, err := Generate(noiseless(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Troughs at h5 and h29, peaks at h20 (0.90) and h46 (0.95).
+	checks := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{5 * time.Hour, 0.25},
+		{29 * time.Hour, 0.25},
+		{20 * time.Hour, 0.90},
+		{46 * time.Hour, 0.95},
+	}
+	for _, c := range checks {
+		if got := tr.At(c.at); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	peak, at := tr.Peak()
+	if math.Abs(peak-0.95) > 1e-6 {
+		t.Errorf("global peak = %v, want 0.95", peak)
+	}
+	if math.Abs(at.Hours()-46) > 0.1 {
+		t.Errorf("global peak at %v, want ≈46h", at)
+	}
+}
+
+func TestDayBoundaryContinuity(t *testing.T) {
+	tr, err := Generate(noiseless(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The curve must be continuous across midnight: descent from day
+	// 0's peak continues into day 1's early morning.
+	before := tr.At(24*time.Hour - time.Minute)
+	after := tr.At(24*time.Hour + time.Minute)
+	if math.Abs(before-after) > 0.01 {
+		t.Fatalf("discontinuity at midnight: %v vs %v", before, after)
+	}
+	// And it must still be descending toward the 29h trough.
+	if !(after < before) {
+		t.Fatalf("should be descending through midnight: %v -> %v", before, after)
+	}
+}
+
+func TestMonotoneSegments(t *testing.T) {
+	tr, err := Generate(noiseless(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending from 5h to 20h.
+	prev := tr.At(5 * time.Hour)
+	for h := 5.25; h <= 20; h += 0.25 {
+		cur := tr.At(time.Duration(h * float64(time.Hour)))
+		if cur < prev-1e-9 {
+			t.Fatalf("not ascending at h=%.2f: %v < %v", h, cur, prev)
+		}
+		prev = cur
+	}
+	// Descending from 20h to 29h.
+	for h := 20.25; h <= 29; h += 0.25 {
+		cur := tr.At(time.Duration(h * float64(time.Hour)))
+		if cur > prev+1e-9 {
+			t.Fatalf("not descending at h=%.2f: %v > %v", h, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	a, err := Generate(PaperTwoDay(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(PaperTwoDay(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.samples {
+		if a.samples[i] != b.samples[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+	c := PaperTwoDay()
+	c.Seed++
+	cc, err := Generate(c, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.samples {
+		if a.samples[i] == cc.samples[i] {
+			same++
+		}
+	}
+	if same == len(a.samples) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr, err := Generate(noiseless(), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Step() != time.Minute {
+		t.Fatalf("Step = %v", tr.Step())
+	}
+	if tr.Duration() != 48*time.Hour {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	if tr.Len() != 48*60+1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	vs := tr.Values()
+	vs[0] = 42
+	if tr.samples[0] == 42 {
+		t.Fatal("Values leaked internal state")
+	}
+	// Clamping beyond the ends.
+	if tr.At(-time.Hour) != tr.samples[0] {
+		t.Fatal("At before start should clamp")
+	}
+	if tr.At(100*time.Hour) != tr.samples[len(tr.samples)-1] {
+		t.Fatal("At past end should clamp")
+	}
+}
+
+// Property: all samples stay within [0,1] for arbitrary valid specs.
+func TestBoundsProperty(t *testing.T) {
+	f := func(peakPct, troughPct, noisePct uint8, seed uint64) bool {
+		trough := float64(troughPct%50) / 100 // 0..0.49
+		peak := 0.5 + float64(peakPct%51)/100 // 0.5..1.0
+		noise := float64(noisePct%10) / 100   // 0..0.09
+		s := Spec{
+			Days:       1,
+			PeakUtil:   []float64{peak},
+			TroughUtil: trough,
+			PeakHours:  []float64{20},
+			TroughHour: 5,
+			NoiseAmp:   noise,
+			Seed:       seed,
+		}
+		tr, err := Generate(s, 5*time.Minute)
+		if err != nil {
+			return false
+		}
+		for _, v := range tr.Values() {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"vmt/internal/workload"
+)
+
+func ExampleTableI() {
+	for _, w := range workload.TableI() {
+		fmt.Printf("%-13s %5.1f W  %s\n", w.Name, w.CPUPowerW, w.Class)
+	}
+	// Output:
+	// WebSearch      37.2 W  hot
+	// DataCaching    13.5 W  cold
+	// VideoEncoding  60.9 W  hot
+	// VirusScan       3.4 W  cold
+	// Clustering     59.5 W  hot
+}
+
+func ExampleMix_HotShare() {
+	fmt.Printf("%.0f%% of the paper mix is hot-class work\n",
+		workload.PaperMix().HotShare()*100)
+	// Output: 60% of the paper mix is hot-class work
+}
+
+func ExampleNewMix() {
+	mix, err := workload.NewMix(
+		workload.MixEntry{Workload: workload.WebSearch, Share: 3},
+		workload.MixEntry{Workload: workload.DataCaching, Share: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("search share after normalization: %.2f\n", mix.Share("WebSearch"))
+	// Output: search share after normalization: 0.75
+}

@@ -1,0 +1,110 @@
+package vmt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vmt/internal/trace"
+)
+
+// randomTrace builds a valid trace spec from fuzz bytes.
+func randomTrace(peakPct, troughPct, noisePct uint8, seed uint64) trace.Spec {
+	trough := float64(troughPct%40)/100 + 0.05 // 0.05..0.44
+	peak := 0.5 + float64(peakPct%51)/100      // 0.5..1.0
+	return trace.Spec{
+		Days:          1,
+		PeakUtil:      []float64{peak},
+		TroughUtil:    trough,
+		PeakHours:     []float64{20},
+		TroughHour:    5,
+		NoiseAmp:      float64(noisePct%8) / 100,
+		PeakSharpness: 1 + float64(seed%3)/2,
+		Seed:          seed,
+	}
+}
+
+// Cross-policy invariants under randomized traces: every policy keeps
+// occupancy within capacity, melt fractions within [0,1], the air
+// temperatures physical, and energy conserved — for the fluid and the
+// query-level load models alike.
+func TestPolicyInvariantsProperty(t *testing.T) {
+	policies := []Policy{PolicyRoundRobin, PolicyCoolestFirst, PolicyVMTTA, PolicyVMTWA, PolicyVMTPreserve}
+	f := func(peakPct, troughPct, noisePct, policyIdx uint8, seed uint64, stream bool) bool {
+		cfg := Scenario(6, policies[int(policyIdx)%len(policies)], 22)
+		cfg.Trace = randomTrace(peakPct, troughPct, noisePct, seed)
+		cfg.Step = 2 * time.Minute // keep each case cheap
+		cfg.JobStream = stream
+		cfg.Seed = seed
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		var inJ, outJ float64
+		stepS := cfg.Step.Seconds()
+		for i := range res.CoolingLoadW.Values {
+			load := res.CoolingLoadW.Values[i]
+			power := res.TotalPowerW.Values[i]
+			inJ += power * stepS
+			outJ += load * stepS
+			// Power bounded by the fleet envelope.
+			if power < 6*100-1 || power > 6*500+1 {
+				t.Logf("power %v outside fleet envelope", power)
+				return false
+			}
+			// Temperatures physical.
+			temp := res.MeanAirTempC.Values[i]
+			if temp < 21 || temp > 60 {
+				t.Logf("mean air temp %v unphysical", temp)
+				return false
+			}
+			melt := res.MeanMeltFrac.Values[i]
+			if melt < 0 || melt > 1 {
+				t.Logf("melt %v out of bounds", melt)
+				return false
+			}
+		}
+		// Energy: ejected never exceeds input plus what the wax and
+		// air could possibly release (they start cold, so residual
+		// must be non-negative up to numerical tolerance).
+		if outJ > inJ+1 {
+			t.Logf("ejected %v exceeds input %v", outJ, inJ)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scheduler determinism holds across every policy and both load
+// models: rerunning any fuzzed configuration reproduces the series.
+func TestPolicyDeterminismProperty(t *testing.T) {
+	policies := []Policy{PolicyRoundRobin, PolicyCoolestFirst, PolicyVMTTA, PolicyVMTWA}
+	f := func(policyIdx uint8, seed uint64, stream bool) bool {
+		cfg := Scenario(5, policies[int(policyIdx)%len(policies)], 22)
+		cfg.Trace = randomTrace(200, 30, 3, seed)
+		cfg.Step = 3 * time.Minute
+		cfg.JobStream = stream
+		cfg.Seed = seed
+		a, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		for i := range a.CoolingLoadW.Values {
+			if a.CoolingLoadW.Values[i] != b.CoolingLoadW.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package vmt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes the given configurations concurrently (each run is
+// itself single-threaded and independent) and returns results in input
+// order. Determinism is preserved: every run produces exactly what a
+// sequential Run of the same configuration would.
+//
+// The first error aborts the batch and is returned with its index; the
+// remaining in-flight runs still complete.
+func RunMany(cfgs []Config) ([]*Result, error) {
+	return RunManyN(cfgs, runtime.GOMAXPROCS(0))
+}
+
+// RunManyN is RunMany with an explicit worker bound (≥1).
+func RunManyN(cfgs []Config, workers int) ([]*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("vmt: need at least one worker")
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("vmt: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,54 @@
+package vmt
+
+import (
+	"testing"
+)
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	cfgs := []Config{
+		func() Config { c := Scenario(5, PolicyRoundRobin, 0); c.Trace = smallTrace(); return c }(),
+		func() Config { c := Scenario(5, PolicyVMTTA, 22); c.Trace = smallTrace(); return c }(),
+		func() Config { c := Scenario(5, PolicyVMTWA, 22); c.Trace = smallTrace(); return c }(),
+	}
+	parallel, err := RunMany(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].PeakCoolingW() != seq.PeakCoolingW() {
+			t.Fatalf("cfg %d: parallel %v != sequential %v",
+				i, parallel[i].PeakCoolingW(), seq.PeakCoolingW())
+		}
+		for j := range seq.CoolingLoadW.Values {
+			if parallel[i].CoolingLoadW.Values[j] != seq.CoolingLoadW.Values[j] {
+				t.Fatalf("cfg %d diverged at sample %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	cfgs := []Config{
+		func() Config { c := Scenario(3, PolicyRoundRobin, 0); c.Trace = smallTrace(); return c }(),
+		Scenario(0, PolicyRoundRobin, 0), // invalid
+	}
+	if _, err := RunMany(cfgs); err == nil {
+		t.Fatal("invalid config should fail the batch")
+	}
+}
+
+func TestRunManyNWorkerBounds(t *testing.T) {
+	if _, err := RunManyN(nil, 0); err == nil {
+		t.Fatal("zero workers should fail")
+	}
+	cfg := Scenario(3, PolicyRoundRobin, 0)
+	cfg.Trace = smallTrace()
+	res, err := RunManyN([]Config{cfg}, 16) // workers > jobs
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

@@ -1,0 +1,103 @@
+package vmt
+
+import (
+	"fmt"
+
+	"vmt/internal/qos"
+	"vmt/internal/workload"
+)
+
+// LatencyImpact compares Web Search latency on a socket of a balanced
+// (round-robin) server against a socket of a VMT hot-group server at
+// peak load — the question an SRE asks before turning VMT on: does
+// concentrating hot jobs hurt the latency-critical service riding
+// along with them?
+//
+// The analysis composes the per-socket core allocation implied by each
+// placement policy at peak utilization with the Figure 6 interference
+// model. A perhaps counterintuitive outcome of the class grouping:
+// the hot group contains *no Data Caching* (cold class), so search
+// loses its most memory-aggressive neighbor and its latency can
+// improve relative to balanced placement even though the hot group
+// runs hotter.
+type LatencyImpact struct {
+	// RR and Hot are the search latencies on the two socket types.
+	RR, Hot qos.Latency
+	// MeanDeltaPct is (Hot−RR)/RR × 100 for the mean; negative means
+	// the hot group is better for search.
+	MeanDeltaPct float64
+	// SearchCoresRR and SearchCoresHot are the per-socket core counts
+	// the compositions imply.
+	SearchCoresRR, SearchCoresHot int
+}
+
+// RunLatencyImpactStudy evaluates the comparison at peak utilization
+// for the paper mix and the given GV.
+func RunLatencyImpactStudy(gv float64, peakUtil float64) (LatencyImpact, error) {
+	if peakUtil <= 0 || peakUtil > 1 {
+		return LatencyImpact{}, fmt.Errorf("vmt: peak utilization %v out of (0,1]", peakUtil)
+	}
+	mix := workload.PaperMix()
+	const socketCores = 8.0
+
+	// Round-robin socket: every workload in mix proportion at peakUtil.
+	rrSearch := int(mix.Share("WebSearch")*socketCores*peakUtil + 0.5)
+	if rrSearch < 1 {
+		rrSearch = 1
+	}
+	rrNeighborCores := socketCores*peakUtil - float64(rrSearch)
+	rrPartner, err := qos.Blend(
+		[]qos.Service{qos.DataCaching(), qos.VideoEncoding(), qos.VirusScan(), qos.Clustering()},
+		[]float64{mix.Share("DataCaching"), mix.Share("VideoEncoding"),
+			mix.Share("VirusScan"), mix.Share("Clustering")})
+	if err != nil {
+		return LatencyImpact{}, err
+	}
+
+	// Hot-group socket at the given GV: hot workloads only, scaled so
+	// the hot group absorbs the whole hot share of the load.
+	hotShare := mix.HotShare()
+	groupFrac := gv / 35.7
+	occupancy := peakUtil * hotShare / groupFrac // cores busy per core owned
+	if occupancy > 1 {
+		occupancy = 1
+	}
+	hotSearchShare := mix.Share("WebSearch") / hotShare
+	hotSearch := int(hotSearchShare*socketCores*occupancy + 0.5)
+	if hotSearch < 1 {
+		hotSearch = 1
+	}
+	hotNeighborCores := socketCores*occupancy - float64(hotSearch)
+	hotPartner, err := qos.Blend(
+		[]qos.Service{qos.VideoEncoding(), qos.Clustering()},
+		[]float64{mix.Share("VideoEncoding"), mix.Share("Clustering")})
+	if err != nil {
+		return LatencyImpact{}, err
+	}
+
+	f := qos.PaperFixture()
+	eval := func(searchCores int, partner qos.Service, partnerCores float64) (qos.Latency, error) {
+		m := qos.Mix{Primary: f.Search, Cores: searchCores}
+		if partnerCores >= 1 {
+			m.Partner = &partner
+			m.PartnerCores = int(partnerCores + 0.5)
+			m.PartnerUtil = 1
+		}
+		return m.EvaluateClosed(f.SearchFixedClientsPerCore, f.SearchThinkS)
+	}
+	rrLat, err := eval(rrSearch, rrPartner, rrNeighborCores)
+	if err != nil {
+		return LatencyImpact{}, err
+	}
+	hotLat, err := eval(hotSearch, hotPartner, hotNeighborCores)
+	if err != nil {
+		return LatencyImpact{}, err
+	}
+	return LatencyImpact{
+		RR:             rrLat,
+		Hot:            hotLat,
+		MeanDeltaPct:   (hotLat.MeanS - rrLat.MeanS) / rrLat.MeanS * 100,
+		SearchCoresRR:  rrSearch,
+		SearchCoresHot: hotSearch,
+	}, nil
+}

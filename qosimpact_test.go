@@ -1,0 +1,51 @@
+package vmt
+
+import "testing"
+
+func TestLatencyImpactValidation(t *testing.T) {
+	if _, err := RunLatencyImpactStudy(22, 0); err == nil {
+		t.Fatal("zero utilization should fail")
+	}
+	if _, err := RunLatencyImpactStudy(22, 1.5); err == nil {
+		t.Fatal("utilization above 1 should fail")
+	}
+}
+
+// The SRE question: does VMT's hot-group concentration hurt search
+// latency? In this composition it does not — the hot group drops the
+// memory-aggressive Data Caching neighbor and search's share of a
+// hot-only socket grows, so latency improves or at worst stays close.
+func TestLatencyImpactSearchNotHurt(t *testing.T) {
+	for _, gv := range []float64{20, 22, 24} {
+		li, err := RunLatencyImpactStudy(gv, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if li.MeanDeltaPct > 10 {
+			t.Errorf("GV=%g: hot group degrades search by %.1f%%", gv, li.MeanDeltaPct)
+		}
+		if li.RR.MeanS <= 0 || li.Hot.MeanS <= 0 {
+			t.Errorf("GV=%g: non-positive latencies %+v", gv, li)
+		}
+		if li.SearchCoresHot < li.SearchCoresRR {
+			t.Errorf("GV=%g: search's socket share should not shrink in the hot group", gv)
+		}
+		if li.Hot.P90S < li.Hot.MeanS || li.RR.P90S < li.RR.MeanS {
+			t.Errorf("GV=%g: p90 below mean", gv)
+		}
+	}
+}
+
+func TestLatencyImpactMonotoneInUtil(t *testing.T) {
+	lo, err := RunLatencyImpactStudy(22, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RunLatencyImpactStudy(22, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.RR.MeanS < lo.RR.MeanS {
+		t.Fatalf("RR latency should not fall with load: %v -> %v", lo.RR.MeanS, hi.RR.MeanS)
+	}
+}

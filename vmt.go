@@ -1,0 +1,457 @@
+// Package vmt reproduces "Virtual Melting Temperature: Managing Server
+// Load to Minimize Cooling Overhead with Phase Change Materials"
+// (Skach et al., ISCA 2018): a datacenter-scale simulation of servers
+// carrying paraffin-wax phase change material, with thermal-aware
+// (VMT-TA) and wax-aware (VMT-WA) job placement that concentrates hot
+// jobs to melt wax — storing peak heat and shrinking the peak cooling
+// load — even when cluster-average temperatures never reach the wax's
+// physical melting point.
+//
+// The package is a facade over the internal subsystems (event-driven
+// simulator, PCM model, thermal model, schedulers). Typical use:
+//
+//	res, err := vmt.Run(vmt.Scenario(100, vmt.PolicyVMTTA, 22))
+//	fmt.Println(res.CoolingSummary())
+//
+// See the examples/ directory for complete programs and bench_test.go
+// for the harness that regenerates every table and figure in the
+// paper's evaluation.
+package vmt
+
+import (
+	"fmt"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/cooling"
+	"vmt/internal/core"
+	"vmt/internal/pcm"
+	"vmt/internal/sched"
+	"vmt/internal/sim"
+	"vmt/internal/stats"
+	"vmt/internal/thermal"
+	"vmt/internal/trace"
+	"vmt/internal/workload"
+)
+
+// Policy selects a job placement algorithm.
+type Policy string
+
+const (
+	// PolicyRoundRobin is the prior TTS work's baseline scheduler.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyCoolestFirst is the thermally balanced baseline.
+	PolicyCoolestFirst Policy = "coolest-first"
+	// PolicyVMTTA is VMT with thermal aware job placement.
+	PolicyVMTTA Policy = "vmt-ta"
+	// PolicyVMTWA is VMT with wax aware job placement.
+	PolicyVMTWA Policy = "vmt-wa"
+	// PolicyVMTPreserve is the reproduction's extension of the paper's
+	// raise-the-melting-temperature idea (Section III): sacrifice part
+	// of the hot group early to preserve wax for a hotter peak later.
+	PolicyVMTPreserve Policy = "vmt-preserve"
+)
+
+// Config describes one cluster simulation run.
+type Config struct {
+	// Servers is the cluster size (the paper uses 1,000 for scale-out
+	// results and 100 for parameter sweeps).
+	Servers int
+	// Policy selects the scheduler.
+	Policy Policy
+	// GV is the grouping value for the VMT policies (Equation 1);
+	// ignored by the baselines.
+	GV float64
+	// WaxThreshold is VMT-WA's "fully melted" cutoff on the reported
+	// melt fraction; zero selects the paper's 0.98.
+	WaxThreshold float64
+	// OracleWaxState lets VMT-WA read ground-truth melt state instead
+	// of the per-server estimator (ablation only).
+	OracleWaxState bool
+	// MigrationBudgetFrac caps VMT-WA's per-tick migrations as a
+	// fraction of cluster cores; zero selects the default 0.25
+	// (ablation knob).
+	MigrationBudgetFrac float64
+	// GVSchedule retunes the grouping value at the given times (VMT
+	// policies only) — the day-ahead adaptive operation of Section
+	// V-C. Entries must have strictly increasing times.
+	GVSchedule []GVChange
+	// PreserveUntil and SacrificeFrac configure PolicyVMTPreserve:
+	// until PreserveUntil, hot load concentrates on SacrificeFrac of
+	// the hot group so the rest keeps its wax solid for the later
+	// peak. Zero values select hour 30 (after day one's peak) and 0.4.
+	PreserveUntil time.Duration
+	SacrificeFrac float64
+	// Server, Material: hardware and PCM; zero values select the
+	// calibrated paper server and commercial 35.7 °C paraffin.
+	Server   thermal.ServerSpec
+	Material pcm.Material
+	// InletTempC is the mean inlet temperature (zero → 22 °C) and
+	// InletStdevC the per-server variation for Figures 19–20.
+	InletTempC  float64
+	InletStdevC float64
+	// Seed drives every stochastic element (inlet draw; trace noise
+	// adds its own seed from the trace spec).
+	Seed uint64
+	// Trace is the load trace spec; zero value selects the paper's
+	// two-day trace.
+	Trace trace.Spec
+	// CustomTrace overrides Trace with an externally supplied series
+	// (see trace.FromReader) — the hook for production traces.
+	CustomTrace *trace.Trace
+	// Mix is the workload mix; nil selects the five-workload paper
+	// mix (≈60% hot).
+	Mix *workload.Mix
+	// Step is the scheduling/model period (zero → one minute, the
+	// paper's wax-model update interval).
+	Step time.Duration
+	// RecordGrids retains per-server, per-sample air temperature and
+	// melt fraction (the heat-map figures). Costs O(servers×samples)
+	// memory, so it defaults off.
+	RecordGrids bool
+	// JobStream switches task-like workloads (video, scanning,
+	// clustering) from fluid reconciliation to discrete Poisson
+	// arrivals with sampled durations — the query-level load model.
+	// Arrivals that find no free core are dropped and counted in the
+	// result. TaskDurations overrides the per-workload mean durations
+	// (nil selects sched.DefaultTaskDurations).
+	JobStream     bool
+	TaskDurations map[string]time.Duration
+}
+
+// Scenario returns a ready-to-run paper configuration for the given
+// cluster size, policy, and GV.
+func Scenario(servers int, policy Policy, gv float64) Config {
+	return Config{Servers: servers, Policy: policy, GV: gv}
+}
+
+// withDefaults resolves zero values to the paper's configuration.
+func (c Config) withDefaults() Config {
+	if c.Server == (thermal.ServerSpec{}) {
+		c.Server = thermal.PaperServer()
+	}
+	if c.Material == (pcm.Material{}) {
+		c.Material = pcm.CommercialParaffin()
+	}
+	if c.InletTempC == 0 {
+		c.InletTempC = 22
+	}
+	if c.WaxThreshold == 0 {
+		c.WaxThreshold = core.DefaultWaxThreshold
+	}
+	if c.Trace.Days == 0 {
+		c.Trace = trace.PaperTwoDay()
+	}
+	if c.Mix == nil {
+		c.Mix = workload.PaperMix()
+	}
+	if c.Step == 0 {
+		c.Step = time.Minute
+	}
+	if c.PreserveUntil == 0 {
+		c.PreserveUntil = 30 * time.Hour // past day one's peak and trough
+	}
+	if c.SacrificeFrac == 0 {
+		c.SacrificeFrac = 0.4
+	}
+	return c
+}
+
+// Validate reports whether the configuration can run.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch c.Policy {
+	case PolicyRoundRobin, PolicyCoolestFirst:
+	case PolicyVMTTA, PolicyVMTWA, PolicyVMTPreserve:
+		if c.GV <= 0 {
+			return fmt.Errorf("vmt: policy %s requires a positive GV", c.Policy)
+		}
+	default:
+		return fmt.Errorf("vmt: unknown policy %q", c.Policy)
+	}
+	if c.Servers <= 0 {
+		return fmt.Errorf("vmt: need a positive server count")
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("vmt: need a positive step")
+	}
+	if c.CustomTrace != nil {
+		if c.CustomTrace.Len() < 2 {
+			return fmt.Errorf("vmt: custom trace needs at least two samples")
+		}
+		return nil
+	}
+	return c.Trace.Validate()
+}
+
+// Result holds the observables of one run, sampled once per Step.
+type Result struct {
+	// Config echoes the resolved configuration.
+	Config Config
+	// CoolingLoadW is the cluster cooling load over time — the series
+	// behind Figures 13 and 16.
+	CoolingLoadW *stats.Series
+	// TotalPowerW is the aggregate electrical draw over time.
+	TotalPowerW *stats.Series
+	// MeanAirTempC is the fleet-average air temperature at the wax.
+	MeanAirTempC *stats.Series
+	// HotGroupTempC is the hot-group average air temperature (VMT
+	// policies only; nil otherwise) — Figures 12 and 15.
+	HotGroupTempC *stats.Series
+	// HotGroupSize tracks the dynamic hot group (VMT policies only) —
+	// the expansions visible in Figure 14.
+	HotGroupSize *stats.Series
+	// MeanMeltFrac is the fleet-average ground-truth melt fraction.
+	MeanMeltFrac *stats.Series
+	// WaxEnergyJ is the total latent+sensible energy currently parked
+	// in wax, relative to the run start.
+	WaxEnergyJ *stats.Series
+	// MaxCPUTempC tracks the fleet's hottest estimated die
+	// temperature; ThrottleMinutes counts sample periods during which
+	// any server exceeded the CPU limit (must stay zero — the paper's
+	// wax deployment is constrained to never throttle).
+	MaxCPUTempC     *stats.Series
+	ThrottleMinutes int
+	// TaskArrivals and TaskDrops report the query-level load model's
+	// totals (JobStream runs only); drops are the QoS failure the
+	// paper attributes to undersized groups.
+	TaskArrivals, TaskDrops uint64
+	// AirTempGrid and MeltFracGrid are [sample][server] snapshots,
+	// recorded only with Config.RecordGrids (Figures 9–11, 14).
+	AirTempGrid  [][]float64
+	MeltFracGrid [][]float64
+}
+
+// CoolingSummary reduces the cooling-load series.
+func (r *Result) CoolingSummary() (cooling.Summary, error) {
+	return cooling.Summarize(r.CoolingLoadW)
+}
+
+// PeakCoolingW returns the peak cooling load in watts.
+func (r *Result) PeakCoolingW() float64 {
+	peak, _, err := r.CoolingLoadW.Peak()
+	if err != nil {
+		return 0
+	}
+	return peak
+}
+
+// hotGrouper is implemented by the VMT schedulers.
+type hotGrouper interface {
+	HotGroupSize() int
+}
+
+// Run executes one simulation over the configured trace and returns
+// the sampled result. Runs are deterministic: identical configurations
+// produce identical results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	cl, err := cluster.New(cluster.Config{
+		NumServers:  cfg.Servers,
+		Server:      cfg.Server,
+		Material:    cfg.Material,
+		InletTempC:  cfg.InletTempC,
+		InletStdevC: cfg.InletStdevC,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scheduler, err := newScheduler(cfg, cl)
+	if err != nil {
+		return nil, err
+	}
+	tr := cfg.CustomTrace
+	if tr == nil {
+		tr, err = trace.Generate(cfg.Trace, cfg.Step)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var reconcile interface {
+		Reconcile(time.Duration) error
+	}
+	var stream *sched.StreamManager
+	if cfg.JobStream {
+		durations := cfg.TaskDurations
+		if durations == nil {
+			durations = sched.DefaultTaskDurations()
+		}
+		stream, err = sched.NewStreamManager(cl, cfg.Mix, tr, scheduler, durations, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		reconcile = stream
+	} else {
+		lm, err := sched.NewLoadManager(cl, cfg.Mix, tr, scheduler)
+		if err != nil {
+			return nil, err
+		}
+		reconcile = lm
+	}
+
+	res := &Result{
+		Config:       cfg,
+		CoolingLoadW: stats.NewSeries(cfg.Step),
+		TotalPowerW:  stats.NewSeries(cfg.Step),
+		MeanAirTempC: stats.NewSeries(cfg.Step),
+		MeanMeltFrac: stats.NewSeries(cfg.Step),
+		WaxEnergyJ:   stats.NewSeries(cfg.Step),
+		MaxCPUTempC:  stats.NewSeries(cfg.Step),
+	}
+	grouper, hasGroups := scheduler.(hotGrouper)
+	if hasGroups {
+		res.HotGroupTempC = stats.NewSeries(cfg.Step)
+		res.HotGroupSize = stats.NewSeries(cfg.Step)
+	}
+
+	eng := sim.NewEngine()
+	var runErr error
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	// Physics: advance the cluster by one period. Skipped at t=0 (no
+	// elapsed time yet); the scheduler places the initial load first.
+	var lastSample cluster.Sample
+	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityModel, func(time.Duration) {
+		if runErr != nil {
+			return
+		}
+		s, err := cl.Step(cfg.Step)
+		if err != nil {
+			fail(err)
+			return
+		}
+		lastSample = s
+	}); err != nil {
+		return nil, err
+	}
+
+	// Scheduling: reconcile the job population with the trace.
+	if _, err := eng.Every(0, cfg.Step, sim.PriorityScheduler, func(now time.Duration) {
+		if runErr != nil {
+			return
+		}
+		if err := reconcile.Reconcile(now); err != nil {
+			fail(err)
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Metrics: sample the settled state each period (after the first
+	// physics step so the series align with elapsed intervals).
+	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, func(time.Duration) {
+		if runErr != nil {
+			return
+		}
+		res.CoolingLoadW.Append(lastSample.CoolingLoadW)
+		res.TotalPowerW.Append(lastSample.TotalPowerW)
+		res.MeanAirTempC.Append(lastSample.MeanAirTempC)
+		res.MeanMeltFrac.Append(lastSample.MeanMeltFrac)
+		res.MaxCPUTempC.Append(lastSample.MaxCPUTempC)
+		if lastSample.ThrottlingServers > 0 {
+			res.ThrottleMinutes++
+		}
+		var wax float64
+		for _, s := range cl.Servers() {
+			wax += s.Node().Ledger().WaxStoredJ
+		}
+		res.WaxEnergyJ.Append(wax)
+		if hasGroups {
+			size := grouper.HotGroupSize()
+			res.HotGroupSize.Append(float64(size))
+			var sum float64
+			for i := 0; i < size; i++ {
+				sum += lastSample.AirTempC[i]
+			}
+			if size > 0 {
+				res.HotGroupTempC.Append(sum / float64(size))
+			} else {
+				res.HotGroupTempC.Append(lastSample.MeanAirTempC)
+			}
+		}
+		if cfg.RecordGrids {
+			air := make([]float64, len(lastSample.AirTempC))
+			copy(air, lastSample.AirTempC)
+			melt := make([]float64, len(lastSample.MeltFrac))
+			copy(melt, lastSample.MeltFrac)
+			res.AirTempGrid = append(res.AirTempGrid, air)
+			res.MeltFracGrid = append(res.MeltFracGrid, melt)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	res.CoolingLoadW.Start = cfg.Step
+	res.TotalPowerW.Start = cfg.Step
+	res.MeanAirTempC.Start = cfg.Step
+	res.MeanMeltFrac.Start = cfg.Step
+	res.WaxEnergyJ.Start = cfg.Step
+	res.MaxCPUTempC.Start = cfg.Step
+	if hasGroups {
+		res.HotGroupTempC.Start = cfg.Step
+		res.HotGroupSize.Start = cfg.Step
+	}
+
+	if err := eng.RunUntil(tr.Duration()); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	if stream != nil {
+		res.TaskArrivals = stream.Arrived()
+		res.TaskDrops = stream.Dropped()
+	}
+	return res, nil
+}
+
+// newScheduler instantiates the configured policy bound to cl.
+func newScheduler(cfg Config, cl *cluster.Cluster) (sched.Scheduler, error) {
+	coreCfg := core.Config{
+		GV:                  cfg.GV,
+		WaxThreshold:        cfg.WaxThreshold,
+		OracleWaxState:      cfg.OracleWaxState,
+		MigrationBudgetFrac: cfg.MigrationBudgetFrac,
+	}
+	var (
+		s   sched.Scheduler
+		err error
+	)
+	switch cfg.Policy {
+	case PolicyRoundRobin:
+		s = sched.NewRoundRobin(cl)
+	case PolicyCoolestFirst:
+		s = sched.NewCoolestFirst(cl)
+	case PolicyVMTTA:
+		s, err = core.NewThermalAware(cl, coreCfg)
+	case PolicyVMTWA:
+		s, err = core.NewWaxAware(cl, coreCfg)
+	case PolicyVMTPreserve:
+		s, err = core.NewPreserving(cl, coreCfg, cfg.PreserveUntil, cfg.SacrificeFrac)
+	default:
+		return nil, fmt.Errorf("vmt: unknown policy %q", cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.GVSchedule) > 0 {
+		tunable, ok := s.(core.Tunable)
+		if !ok {
+			return nil, fmt.Errorf("vmt: policy %s does not support GV retuning", cfg.Policy)
+		}
+		schedule := make([]core.GVChange, len(cfg.GVSchedule))
+		for i, ch := range cfg.GVSchedule {
+			schedule[i] = core.GVChange{At: ch.At, GV: ch.GV}
+		}
+		return core.NewRetuning(tunable, schedule)
+	}
+	return s, nil
+}
