@@ -1,0 +1,16 @@
+# Convenience targets; `make check` is the repo's full verification
+# (gofmt, vet, build, tests, race pass) — see scripts/check.sh.
+
+.PHONY: check test bench build
+
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -14,6 +14,7 @@ import (
 
 	"vmt/internal/energy"
 	"vmt/internal/pcm"
+	"vmt/internal/telemetry"
 	"vmt/internal/thermal"
 	"vmt/internal/trace"
 )
@@ -527,4 +528,33 @@ func BenchmarkVolumeSweep(b *testing.B) {
 		gain = pts[1].ReductionPct - pts[0].ReductionPct
 	}
 	b.ReportMetric(gain, "8L-over-4L-pts")
+}
+
+// BenchmarkRun is the telemetry overhead baseline: one uninstrumented
+// run at the paper sweep size. BenchmarkRunTraced must stay within a
+// few percent of it.
+func BenchmarkRun(b *testing.B) {
+	cfg := Scenario(benchServers, PolicyVMTTA, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTraced runs the identical configuration with the full
+// telemetry stack attached — recording tracer plus metrics registry —
+// to quantify instrumentation overhead against BenchmarkRun.
+func BenchmarkRunTraced(b *testing.B) {
+	cfg := Scenario(benchServers, PolicyVMTTA, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Tracer = telemetry.NewRecorder()
+		c.Metrics = telemetry.NewRegistry()
+		if _, err := Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -6,6 +6,12 @@
 //	vmtsim -policy vmt-ta -gv 22 -servers 1000
 //	vmtsim -policy round-robin -servers 100 -series
 //	vmtsim -policy vmt-wa -gv 20 -threshold 0.95 -inlet-stdev 2 -seed 3
+//
+// Observability (see internal/cliobs):
+//
+//	vmtsim -trace out.json          # Chrome trace for Perfetto / chrome://tracing
+//	vmtsim -metrics metrics.txt     # dump counters/gauges/histograms on exit
+//	vmtsim -cpuprofile cpu.pprof -debug-addr localhost:8080
 package main
 
 import (
@@ -14,11 +20,19 @@ import (
 	"os"
 
 	"vmt"
+	"vmt/internal/cliobs"
 	"vmt/internal/report"
 	"vmt/internal/stats"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	policy := flag.String("policy", "vmt-ta", "placement policy: round-robin, coolest-first, vmt-ta, vmt-wa")
 	gv := flag.Float64("gv", 22, "grouping value for the VMT policies")
 	servers := flag.Int("servers", 100, "cluster size")
@@ -28,6 +42,7 @@ func main() {
 	series := flag.Bool("series", false, "print the hourly cooling-load series")
 	jobStream := flag.Bool("jobstream", false, "use the query-level load model (Poisson task arrivals)")
 	baseline := flag.Bool("baseline", true, "also run a round-robin baseline and report the peak reduction")
+	obs := cliobs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg := vmt.Config{
@@ -39,15 +54,31 @@ func main() {
 		Seed:         *seed,
 		JobStream:    *jobStream,
 	}
+	// Reject bad policies/parameters before any simulation (or
+	// profiling) starts, with usage for the flag that caused it.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsim: invalid configuration: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := obs.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		// A failed trace/metrics/profile flush must fail the command.
+		if cerr := obs.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("observability: %w", cerr)
+		}
+	}()
+
 	res, err := vmt.Run(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	sum, err := res.CoolingSummary()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	tb := report.Table{
@@ -74,24 +105,22 @@ func main() {
 	if *baseline && cfg.Policy != vmt.PolicyRoundRobin {
 		red, err := vmt.PeakReductionPct(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "vmtsim: baseline: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("baseline: %w", err)
 		}
 		tb.AddRow("Peak reduction vs round robin", fmt.Sprintf("%.2f%%", red))
 	}
 	if err := tb.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	if *series {
 		hourly := res.CoolingLoadW.Downsample(60)
 		if err := report.SeriesCSV(os.Stdout, []string{"cooling_kw"},
 			[]*stats.Series{scaled(hourly, 1e-3)}); err != nil {
-			fmt.Fprintf(os.Stderr, "vmtsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // scaled returns a copy of s with values multiplied by k.

@@ -7,6 +7,10 @@
 //	vmtsweep -kind gv -servers 100 -from 10 -to 30 -step 2
 //	vmtsweep -kind threshold -gv 22
 //	vmtsweep -kind inlet -policy vmt-wa -runs 5
+//
+// Observability (see internal/cliobs): the -trace, -metrics,
+// -cpuprofile and -debug-addr flags observe every run of the sweep —
+// traces are tagged per run so Perfetto shows one track per point.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"os"
 
 	"vmt"
+	"vmt/internal/cliobs"
 	"vmt/internal/report"
 )
 
@@ -27,7 +32,13 @@ func main() {
 	to := flag.Float64("to", 30, "sweep end (gv sweep)")
 	step := flag.Float64("step", 2, "sweep step (gv sweep)")
 	runs := flag.Int("runs", 5, "runs per point (inlet sweep)")
+	obs := cliobs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := obs.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsweep: %v\n", err)
+		os.Exit(1)
+	}
 
 	var err error
 	switch *kind {
@@ -43,6 +54,11 @@ func main() {
 		err = sweepMaterial(*servers, "volume")
 	default:
 		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	}
+	// Flush trace/metrics/profile artifacts before any exit: os.Exit
+	// would skip deferred closes.
+	if cerr := obs.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("observability: %w", cerr)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmtsweep: %v\n", err)

@@ -1,0 +1,56 @@
+// Command traced shows the programmatic telemetry API: attach a
+// metrics registry and a recording tracer to a run, print the headline
+// counters, and export a Chrome trace_event file that
+// chrome://tracing or https://ui.perfetto.dev can load.
+//
+//	go run ./examples/traced
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vmt"
+	"vmt/internal/telemetry"
+)
+
+func main() {
+	cfg := vmt.Scenario(50, vmt.PolicyVMTWA, 22)
+	cfg.Metrics = telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	cfg.Tracer = rec
+
+	res, err := vmt.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traced: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("peak cooling load: %.1f kW\n", res.PeakCoolingW()/1000)
+	fmt.Printf("spans recorded:    %d\n", rec.Len())
+
+	// Counters accumulate across the whole run; the registry snapshot
+	// is a stable, name-sorted view.
+	snap := cfg.Metrics.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Printf("%-28s %d\n", c.Name, c.Value)
+	}
+	for _, h := range snap.Histograms {
+		fmt.Printf("%-28s count=%d sum=%.1f\n", h.Name, h.Count, h.Sum)
+	}
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traced: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "traced: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "traced: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote trace.json — open it in chrome://tracing or ui.perfetto.dev")
+}

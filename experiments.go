@@ -44,19 +44,23 @@ type GVSweepPoint struct {
 }
 
 // GVSweep reproduces the Figure 18 axis: peak cooling load reduction
-// versus GV for one policy, against a shared round-robin baseline.
+// versus GV for one policy, against a shared round-robin baseline. The
+// points run concurrently via RunMany, so a batch tracer sees one
+// tagged run per sweep point (run 0 is the baseline).
 func GVSweep(servers int, policy Policy, gvs []float64) ([]GVSweepPoint, error) {
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	cfgs := make([]Config, 0, len(gvs)+1)
+	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
+	for _, gv := range gvs {
+		cfgs = append(cfgs, Scenario(servers, policy, gv))
+	}
+	runs, err := RunMany(cfgs)
 	if err != nil {
 		return nil, err
 	}
+	baseline := runs[0]
 	out := make([]GVSweepPoint, 0, len(gvs))
-	for _, gv := range gvs {
-		res, err := Run(Scenario(servers, policy, gv))
-		if err != nil {
-			return nil, err
-		}
-		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, res.CoolingLoadW)
+	for i, gv := range gvs {
+		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, runs[i+1].CoolingLoadW)
 		if err != nil {
 			return nil, err
 		}
@@ -74,19 +78,21 @@ type ThresholdSweepPoint struct {
 // WaxThresholdSweep reproduces Figure 17: VMT-WA peak reduction as the
 // wax threshold varies (paper: 100 servers, GV=22, thresholds 0.85–1).
 func WaxThresholdSweep(servers int, gv float64, thresholds []float64) ([]ThresholdSweepPoint, error) {
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]ThresholdSweepPoint, 0, len(thresholds))
+	cfgs := make([]Config, 0, len(thresholds)+1)
+	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
 	for _, th := range thresholds {
 		cfg := Scenario(servers, PolicyVMTWA, gv)
 		cfg.WaxThreshold = th
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, res.CoolingLoadW)
+		cfgs = append(cfgs, cfg)
+	}
+	runs, err := RunMany(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	baseline := runs[0]
+	out := make([]ThresholdSweepPoint, 0, len(thresholds))
+	for i, th := range thresholds {
+		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, runs[i+1].CoolingLoadW)
 		if err != nil {
 			return nil, err
 		}

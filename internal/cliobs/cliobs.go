@@ -1,0 +1,221 @@
+// Package cliobs wires the shared observability command-line flags —
+// run tracing, metrics dumps, CPU profiles, and a live debug server —
+// into the vmt binaries. Both cmd/vmtsim and cmd/vmtsweep register the
+// same flags through it so every tool observes runs the same way:
+//
+//	-trace out.json      write a Chrome trace_event file (Perfetto)
+//	-trace out.jsonl     write spans as JSON lines instead
+//	-metrics out.txt     dump the metrics registry on exit (.json for JSON)
+//	-cpuprofile out.pprof  write a CPU profile for go tool pprof
+//	-debug-addr :8080    serve expvar + net/http/pprof while running
+//
+// The sinks are installed as the process-wide defaults
+// (vmt.SetDefaultObservability), so runs constructed deep inside the
+// sweep helpers report too. Telemetry is observational only: enabling
+// any of these flags cannot change simulation results.
+package cliobs
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vmt"
+	"vmt/internal/telemetry"
+)
+
+// Observability carries the flag values and the sinks they activate.
+// Zero value is inert; populate via RegisterFlags + flag parsing, then
+// bracket the program body with Start and Close.
+type Observability struct {
+	TracePath      string
+	MetricsPath    string
+	CPUProfilePath string
+	DebugAddr      string
+
+	registry    *telemetry.Registry
+	recorder    *telemetry.Recorder
+	cpuFile     *os.File
+	traceFile   *os.File
+	metricsFile *os.File
+	listener    net.Listener
+}
+
+// RegisterFlags adds the shared observability flags to fs and returns
+// the Observability they populate.
+func RegisterFlags(fs *flag.FlagSet) *Observability {
+	o := &Observability{}
+	fs.StringVar(&o.TracePath, "trace", "",
+		"write a run trace to this file (.json → Chrome trace_event for Perfetto, .jsonl → JSON lines)")
+	fs.StringVar(&o.MetricsPath, "metrics", "",
+		"dump the metrics registry to this file on exit (.json → JSON, otherwise text)")
+	fs.StringVar(&o.CPUProfilePath, "cpuprofile", "",
+		"write a CPU profile to this file")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "",
+		"serve expvar and net/http/pprof on this address while running (e.g. localhost:8080)")
+	return o
+}
+
+// expvar registration is process-global and panics on duplicates, so
+// the published variable reads through an atomic pointer that Start
+// retargets.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[telemetry.Registry]
+)
+
+func publishExpvar() {
+	expvar.Publish("vmt_metrics", expvar.Func(func() any {
+		r := expvarReg.Load()
+		if r == nil {
+			return nil
+		}
+		return r.Snapshot()
+	}))
+}
+
+// Enabled reports whether any observability flag was set.
+func (o *Observability) Enabled() bool {
+	return o.TracePath != "" || o.MetricsPath != "" ||
+		o.CPUProfilePath != "" || o.DebugAddr != ""
+}
+
+// Start activates the sinks the parsed flags requested and installs
+// them as the process-wide defaults. It returns an error if a file or
+// listener cannot be created; in that case nothing is installed.
+func (o *Observability) Start() error {
+	if o.CPUProfilePath != "" {
+		f, err := os.Create(o.CPUProfilePath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	// Output files open up front so a bad path fails before the
+	// simulation, not after it.
+	if o.MetricsPath != "" || o.DebugAddr != "" {
+		o.registry = telemetry.NewRegistry()
+		if o.MetricsPath != "" {
+			f, err := os.Create(o.MetricsPath)
+			if err != nil {
+				o.stopProfile()
+				return fmt.Errorf("metrics: %w", err)
+			}
+			o.metricsFile = f
+		}
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			o.stopProfile()
+			o.closeFiles()
+			return fmt.Errorf("trace: %w", err)
+		}
+		o.recorder = telemetry.NewRecorder()
+		o.traceFile = f
+	}
+	if o.DebugAddr != "" {
+		ln, err := net.Listen("tcp", o.DebugAddr)
+		if err != nil {
+			o.stopProfile()
+			o.closeFiles()
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		o.listener = ln
+		expvarOnce.Do(publishExpvar)
+		expvarReg.Store(o.registry)
+		go http.Serve(ln, nil) // expvar + pprof live on the default mux
+	}
+	var tracer telemetry.Tracer
+	if o.recorder != nil {
+		tracer = o.recorder
+	}
+	vmt.SetDefaultObservability(o.registry, tracer)
+	return nil
+}
+
+// Addr returns the debug server's listen address ("" when disabled) —
+// useful when -debug-addr picked an ephemeral port.
+func (o *Observability) Addr() string {
+	if o.listener == nil {
+		return ""
+	}
+	return o.listener.Addr().String()
+}
+
+func (o *Observability) stopProfile() {
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		o.cpuFile.Close()
+		o.cpuFile = nil
+	}
+}
+
+func (o *Observability) closeFiles() {
+	if o.traceFile != nil {
+		o.traceFile.Close()
+		o.traceFile = nil
+	}
+	if o.metricsFile != nil {
+		o.metricsFile.Close()
+		o.metricsFile = nil
+	}
+}
+
+// Close flushes every active sink: it stops the CPU profile, writes
+// the trace and metrics files, shuts down the debug listener, and
+// clears the process defaults. Safe to call when nothing was enabled.
+func (o *Observability) Close() error {
+	vmt.SetDefaultObservability(nil, nil)
+	o.stopProfile()
+	if o.listener != nil {
+		o.listener.Close()
+		o.listener = nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.traceFile != nil {
+		keep(flushFile(o.traceFile, o.TracePath, func(f *os.File) error {
+			if strings.EqualFold(filepath.Ext(o.TracePath), ".jsonl") {
+				return o.recorder.WriteJSONL(f)
+			}
+			return o.recorder.WriteChromeTrace(f)
+		}))
+		o.traceFile = nil
+	}
+	if o.metricsFile != nil {
+		keep(flushFile(o.metricsFile, o.MetricsPath, func(f *os.File) error {
+			if strings.EqualFold(filepath.Ext(o.MetricsPath), ".json") {
+				return o.registry.WriteJSON(f)
+			}
+			return o.registry.WriteText(f)
+		}))
+		o.metricsFile = nil
+	}
+	return firstErr
+}
+
+func flushFile(f *os.File, path string, write func(*os.File) error) error {
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

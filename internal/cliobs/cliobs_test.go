@@ -1,0 +1,168 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmt"
+	"vmt/internal/trace"
+)
+
+func smallCfg() vmt.Config {
+	cfg := vmt.Scenario(5, vmt.PolicyVMTTA, 22)
+	spec := trace.PaperTwoDay()
+	spec.Days = 1
+	spec.PeakUtil = []float64{0.95}
+	spec.PeakHours = []float64{20}
+	cfg.Trace = spec
+	return cfg
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	o := RegisterFlags(fs)
+	if err := fs.Parse([]string{
+		"-trace", "t.json", "-metrics", "m.txt",
+		"-cpuprofile", "c.pprof", "-debug-addr", ":0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if o.TracePath != "t.json" || o.MetricsPath != "m.txt" ||
+		o.CPUProfilePath != "c.pprof" || o.DebugAddr != ":0" {
+		t.Fatalf("flags not bound: %+v", o)
+	}
+	if !o.Enabled() {
+		t.Fatal("Enabled() should be true")
+	}
+	if (&Observability{}).Enabled() {
+		t.Fatal("zero Observability should be disabled")
+	}
+}
+
+// TestStartRunClose drives the full CLI path: flags → Start → a real
+// run through the process-wide defaults → Close, then checks each
+// artifact.
+func TestStartRunClose(t *testing.T) {
+	dir := t.TempDir()
+	o := &Observability{
+		TracePath:      filepath.Join(dir, "trace.json"),
+		MetricsPath:    filepath.Join(dir, "metrics.txt"),
+		CPUProfilePath: filepath.Join(dir, "cpu.pprof"),
+		DebugAddr:      "127.0.0.1:0",
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmt.Run(smallCfg()); err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+
+	// The debug server exposes expvar with the live registry.
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", o.Addr()))
+	if err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "vmt_metrics") ||
+		!strings.Contains(string(body), "sim_events_dispatched") {
+		t.Fatalf("expvar output missing metrics: %.300s", body)
+	}
+
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chrome trace artifact is valid JSON with span events.
+	raw, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid chrome JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no span events")
+	}
+
+	// Metrics text dump has the engine counters.
+	mtxt, err := os.ReadFile(o.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mtxt), "sim_events_dispatched") {
+		t.Fatalf("metrics dump missing counters:\n%s", mtxt)
+	}
+
+	// The CPU profile exists and is non-trivial (pprof files start with
+	// a gzip header).
+	prof, err := os.ReadFile(o.CPUProfilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) < 2 || prof[0] != 0x1f || prof[1] != 0x8b {
+		t.Fatalf("cpu profile does not look like a pprof file (%d bytes)", len(prof))
+	}
+}
+
+func TestJSONVariants(t *testing.T) {
+	dir := t.TempDir()
+	o := &Observability{
+		TracePath:   filepath.Join(dir, "trace.jsonl"),
+		MetricsPath: filepath.Join(dir, "metrics.json"),
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmt.Run(smallCfg()); err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(o.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+	}
+	mraw, err := os.ReadFile(o.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(mraw, &snap); err != nil {
+		t.Fatalf("metrics .json is not JSON: %v", err)
+	}
+}
+
+func TestCloseWithoutStartIsSafe(t *testing.T) {
+	if err := (&Observability{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"vmt/internal/cluster"
 	"vmt/internal/sched"
+	"vmt/internal/telemetry"
 	"vmt/internal/workload"
 )
 
@@ -130,6 +131,11 @@ type Config struct {
 	// fraction of the cluster's cores; zero selects the default 0.25.
 	// An ablation knob for the rebalancing granularity.
 	MigrationBudgetFrac float64
+	// Metrics, when non-nil, receives scheduler instrumentation:
+	// sched_hot_group_resizes, sched_threshold_trips (servers crossing
+	// the wax threshold), and sched_migrations (VMT-WA rebalancing
+	// moves). Purely observational — placement decisions never read it.
+	Metrics *telemetry.Registry
 }
 
 // DefaultWaxThreshold is the paper's operating point.

@@ -5,6 +5,7 @@ import (
 
 	"vmt/internal/cluster"
 	"vmt/internal/sched"
+	"vmt/internal/telemetry"
 	"vmt/internal/workload"
 )
 
@@ -19,6 +20,8 @@ type ThermalAware struct {
 	g    groups
 	cfg  Config
 	pmtC float64
+	// resizes counts SetGV-driven hot-group size changes (nil-safe).
+	resizes *telemetry.Counter
 }
 
 // NewThermalAware builds a VMT-TA scheduler over c. The hot group size
@@ -29,14 +32,22 @@ func NewThermalAware(c *cluster.Cluster, cfg Config) (*ThermalAware, error) {
 	}
 	pmt := c.Config().Material.MeltTempC
 	hot := HotGroupSize(cfg.GV, pmt, c.Len())
-	return &ThermalAware{g: groups{c: c, hotSize: hot}, cfg: cfg, pmtC: pmt}, nil
+	return &ThermalAware{
+		g:       groups{c: c, hotSize: hot},
+		cfg:     cfg,
+		pmtC:    pmt,
+		resizes: cfg.Metrics.Counter("sched_hot_group_resizes"),
+	}, nil
 }
 
 // SetGV retunes the grouping value in place (Equation 1 re-evaluated),
 // the operator action behind day-to-day VMT adjustment.
 func (t *ThermalAware) SetGV(gv float64) {
 	t.cfg.GV = gv
-	t.g.hotSize = HotGroupSize(gv, t.pmtC, t.g.c.Len())
+	if size := HotGroupSize(gv, t.pmtC, t.g.c.Len()); size != t.g.hotSize {
+		t.g.hotSize = size
+		t.resizes.Inc()
+	}
 }
 
 // Name implements sched.Scheduler.

@@ -5,6 +5,7 @@ import (
 
 	"vmt/internal/cluster"
 	"vmt/internal/sched"
+	"vmt/internal/telemetry"
 	"vmt/internal/workload"
 )
 
@@ -22,6 +23,14 @@ type WaxAware struct {
 	cfg     Config
 	baseHot int
 	pmtC    float64
+
+	// Optional instruments (nil-safe) plus the last observed state
+	// they diff against. prevMelted starts at 0 so the first tick's
+	// melted servers (normally none) count as trips.
+	resizes    *telemetry.Counter
+	trips      *telemetry.Counter
+	migrations *telemetry.Counter
+	prevMelted int
 }
 
 // NewWaxAware builds a VMT-WA scheduler over c.
@@ -38,10 +47,13 @@ func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
 	pmt := c.Config().Material.MeltTempC
 	base := HotGroupSize(cfg.GV, pmt, c.Len())
 	return &WaxAware{
-		g:       groups{c: c, hotSize: base},
-		cfg:     cfg,
-		baseHot: base,
-		pmtC:    pmt,
+		g:          groups{c: c, hotSize: base},
+		cfg:        cfg,
+		baseHot:    base,
+		pmtC:       pmt,
+		resizes:    cfg.Metrics.Counter("sched_hot_group_resizes"),
+		trips:      cfg.Metrics.Counter("sched_threshold_trips"),
+		migrations: cfg.Metrics.Counter("sched_migrations"),
 	}, nil
 }
 
@@ -99,9 +111,16 @@ func (wa *WaxAware) Tick(time.Duration) {
 			meltedCount++
 		}
 	}
+	if meltedCount > wa.prevMelted {
+		wa.trips.Add(uint64(meltedCount - wa.prevMelted))
+	}
+	wa.prevMelted = meltedCount
 	size := wa.baseHot + meltedCount
 	if size > wa.g.c.Len() {
 		size = wa.g.c.Len()
+	}
+	if size != wa.g.hotSize {
+		wa.resizes.Inc()
 	}
 	wa.g.hotSize = size
 	wa.rebalanceMelted()
@@ -137,10 +156,12 @@ func (wa *WaxAware) rebalanceMelted() {
 		if wa.shedOneHot() {
 			budget--
 			moved = true
+			wa.migrations.Inc()
 		}
 		if budget > 0 && wa.clearOneCold() {
 			budget--
 			moved = true
+			wa.migrations.Inc()
 		}
 		if !moved && wa.swapOne() {
 			// Fully packed cluster: neither side has a free core to
@@ -148,6 +169,7 @@ func (wa *WaxAware) rebalanceMelted() {
 			// for one cold job atomically.
 			budget--
 			moved = true
+			wa.migrations.Inc()
 		}
 		if !moved {
 			return

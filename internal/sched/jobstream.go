@@ -8,6 +8,7 @@ import (
 
 	"vmt/internal/cluster"
 	"vmt/internal/stats"
+	"vmt/internal/telemetry"
 	"vmt/internal/trace"
 	"vmt/internal/workload"
 )
@@ -44,6 +45,22 @@ type StreamManager struct {
 	arrived     uint64
 	lastNow     time.Duration
 	started     bool
+
+	// Optional instruments (nil-safe).
+	placements   *telemetry.Counter
+	evictions    *telemetry.Counter
+	taskArrivals *telemetry.Counter
+	taskDrops    *telemetry.Counter
+}
+
+// SetMetrics registers the stream manager's counters in r:
+// sched_placements, sched_evictions, sched_task_arrivals, and
+// sched_task_drops. A nil registry leaves it uninstrumented.
+func (m *StreamManager) SetMetrics(r *telemetry.Registry) {
+	m.placements = r.Counter("sched_placements")
+	m.evictions = r.Counter("sched_evictions")
+	m.taskArrivals = r.Counter("sched_task_arrivals")
+	m.taskDrops = r.Counter("sched_task_drops")
 }
 
 // DefaultTaskDurations returns the task model for the paper mix:
@@ -169,6 +186,7 @@ func (m *StreamManager) finishTask(c completion) error {
 	if err := s.Remove(c.w); err != nil {
 		return err
 	}
+	m.evictions.Inc()
 	m.taskCounts[c.w]--
 	return nil
 }
@@ -182,11 +200,13 @@ func (m *StreamManager) resizeFluid(w workload.Workload, target int, now time.Du
 			// The cluster is momentarily full of tasks; serve what we
 			// can and try again next period (counted as degradation).
 			m.dropped++
+			m.taskDrops.Inc()
 			break
 		}
 		if err := s.Place(w); err != nil {
 			return err
 		}
+		m.placements.Inc()
 		cur++
 	}
 	for cur > target {
@@ -197,6 +217,7 @@ func (m *StreamManager) resizeFluid(w workload.Workload, target int, now time.Du
 		if err := s.Remove(w); err != nil {
 			return err
 		}
+		m.evictions.Inc()
 		cur--
 	}
 	m.fluidCounts[w] = cur
@@ -219,14 +240,17 @@ func (m *StreamManager) arrivals(now, dt time.Duration) error {
 		n := m.poisson(lambda)
 		for i := 0; i < n; i++ {
 			m.arrived++
+			m.taskArrivals.Inc()
 			s, err := m.sched.Place(e.Workload)
 			if err != nil {
 				m.dropped++
+				m.taskDrops.Inc()
 				continue
 			}
 			if err := s.Place(e.Workload); err != nil {
 				return err
 			}
+			m.placements.Inc()
 			m.taskCounts[e.Workload]++
 			d := m.expDuration(mean)
 			heap.Push(&m.completions, completion{at: now + d, server: s.ID(), w: e.Workload})

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vmt/internal/cluster"
+	"vmt/internal/telemetry"
 	"vmt/internal/trace"
 	"vmt/internal/workload"
 )
@@ -23,6 +24,17 @@ type LoadManager struct {
 	// counts caches per-workload job totals so reconciliation does not
 	// rescan the cluster.
 	counts map[workload.Workload]int
+	// placements/evictions are optional instruments (nil-safe).
+	placements *telemetry.Counter
+	evictions  *telemetry.Counter
+}
+
+// SetMetrics registers the load manager's counters (sched_placements,
+// sched_evictions) in r. A nil registry leaves the manager
+// uninstrumented.
+func (m *LoadManager) SetMetrics(r *telemetry.Registry) {
+	m.placements = r.Counter("sched_placements")
+	m.evictions = r.Counter("sched_evictions")
 }
 
 // NewLoadManager binds a cluster, workload mix, trace, and scheduler.
@@ -65,6 +77,7 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 				return fmt.Errorf("sched: %s chose full server %d: %w",
 					m.sched.Name(), s.ID(), err)
 			}
+			m.placements.Inc()
 			cur++
 		}
 		for cur > target {
@@ -76,6 +89,7 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 				return fmt.Errorf("sched: %s chose empty server %d: %w",
 					m.sched.Name(), s.ID(), err)
 			}
+			m.evictions.Inc()
 			cur--
 		}
 		m.counts[e.Workload] = cur

@@ -20,6 +20,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"vmt/internal/telemetry"
 )
 
 // Priority orders events that share a timestamp. Lower values fire
@@ -86,6 +88,40 @@ type Engine struct {
 	// canceled tracks event IDs whose firing should be suppressed.
 	canceled map[uint64]bool
 	fired    uint64
+	// metrics is nil unless Instrument was called; dispatch pays one
+	// nil check per event when uninstrumented.
+	metrics *engineMetrics
+}
+
+// engineMetrics holds the engine's resolved instruments. Wall time is
+// attributed per priority band so a profile shows where a run spends
+// its time: physics, scheduling, or observation.
+type engineMetrics struct {
+	dispatched *telemetry.Counter
+	queueHWM   *telemetry.Gauge
+	bandNanos  map[Priority]*telemetry.Counter
+	otherNanos *telemetry.Counter
+}
+
+// Instrument registers the engine's instruments in r and starts
+// updating them: sim_events_dispatched, sim_queue_depth_hwm (peak
+// queue length), and sim_wall_ns_{model,scheduler,metrics,other}
+// (wall time per priority band). Instrumentation only observes —
+// event order and simulation results are unchanged.
+func (e *Engine) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	e.metrics = &engineMetrics{
+		dispatched: r.Counter("sim_events_dispatched"),
+		queueHWM:   r.Gauge("sim_queue_depth_hwm"),
+		bandNanos: map[Priority]*telemetry.Counter{
+			PriorityModel:     r.Counter("sim_wall_ns_model"),
+			PriorityScheduler: r.Counter("sim_wall_ns_scheduler"),
+			PriorityMetrics:   r.Counter("sim_wall_ns_metrics"),
+		},
+		otherNanos: r.Counter("sim_wall_ns_other"),
+	}
 }
 
 // NewEngine returns an engine at time zero.
@@ -137,6 +173,9 @@ func (e *Engine) push(at time.Duration, p Priority, fn Handler, interval time.Du
 	e.nextID++
 	ev := &event{at: at, priority: p, seq: e.nextSeq, fn: fn, interval: interval, id: e.nextID}
 	heap.Push(&e.queue, ev)
+	if e.metrics != nil {
+		e.metrics.queueHWM.SetMax(float64(e.queue.Len()))
+	}
 	return EventID(e.nextID)
 }
 
@@ -164,7 +203,18 @@ func (e *Engine) RunUntil(end time.Duration) error {
 		}
 		e.now = next.at
 		e.fired++
-		next.fn(e.now)
+		if m := e.metrics; m != nil {
+			m.dispatched.Inc()
+			start := time.Now()
+			next.fn(e.now)
+			band, ok := m.bandNanos[next.priority]
+			if !ok {
+				band = m.otherNanos
+			}
+			band.Add(uint64(time.Since(start)))
+		} else {
+			next.fn(e.now)
+		}
 		if next.interval > 0 && !e.canceled[next.id] {
 			next.at += next.interval
 			e.nextSeq++

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"vmt/internal/telemetry"
 )
 
 func TestOneShotOrdering(t *testing.T) {
@@ -226,4 +228,68 @@ func TestFiredCounter(t *testing.T) {
 	if e.Fired() != 11 {
 		t.Fatalf("Fired = %d, want 11", e.Fired())
 	}
+}
+
+func TestInstrumentedEngineCountsAndOrder(t *testing.T) {
+	run := func(reg *telemetry.Registry) []int {
+		e := NewEngine()
+		e.Instrument(reg)
+		var order []int
+		if _, err := e.Every(0, time.Second, PriorityScheduler, func(time.Duration) {
+			order = append(order, 2)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Every(0, time.Second, PriorityModel, func(time.Duration) {
+			order = append(order, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.At(2*time.Second, Priority(999), func(time.Duration) {
+			order = append(order, 3)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunUntil(3 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+
+	reg := telemetry.NewRegistry()
+	instrumented := run(reg)
+	plain := run(nil)
+	if len(instrumented) != len(plain) {
+		t.Fatalf("dispatch count changed: %d vs %d", len(instrumented), len(plain))
+	}
+	for i := range plain {
+		if instrumented[i] != plain[i] {
+			t.Fatalf("instrumentation changed event order at %d: %v vs %v",
+				i, instrumented, plain)
+		}
+	}
+
+	if got := reg.Counter("sim_events_dispatched").Value(); got != 9 {
+		t.Fatalf("sim_events_dispatched = %d, want 9", got)
+	}
+	if hwm := reg.Gauge("sim_queue_depth_hwm").Value(); hwm < 3 {
+		t.Fatalf("sim_queue_depth_hwm = %v, want ≥ 3", hwm)
+	}
+	// The out-of-band priority lands in the "other" bucket; the named
+	// bands accumulated (possibly tiny but counted) wall time.
+	for _, name := range []string{"sim_wall_ns_model", "sim_wall_ns_scheduler"} {
+		if _, ok := find(reg, name); !ok {
+			t.Fatalf("missing band counter %s", name)
+		}
+	}
+}
+
+// find reports whether the registry snapshot has the named counter.
+func find(reg *telemetry.Registry, name string) (uint64, bool) {
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
 }

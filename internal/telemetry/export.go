@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSONL writes the recorded events one JSON object per line — the
+// stream-friendly structured log form (jq-able, appendable).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format (the JSON
+// understood by chrome://tracing and Perfetto). Timestamps and
+// durations are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object container variant of the
+// trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded events as Chrome trace_event
+// JSON, loadable directly in chrome://tracing or https://ui.perfetto.dev.
+// Each batch run becomes a process (pid = run+1) and each phase name a
+// named thread within it; spans are laid out on the wall-clock
+// timeline with the simulation time attached as an argument.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+
+	// Deterministic thread numbering: phase names sorted per run.
+	type key struct {
+		run  int
+		name string
+	}
+	names := map[key]bool{}
+	for _, ev := range events {
+		names[key{ev.Run, ev.Name}] = true
+	}
+	keys := make([]key, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].run != keys[j].run {
+			return keys[i].run < keys[j].run
+		}
+		return keys[i].name < keys[j].name
+	})
+	tids := make(map[key]int, len(keys))
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	nextTid := map[int]int{}
+	for _, k := range keys {
+		nextTid[k.run]++
+		tids[k] = nextTid[k.run]
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{
+				Name: "process_name", Ph: "M", Pid: k.run + 1,
+				Args: map[string]any{"name": fmt.Sprintf("vmt run %d", k.run)},
+			},
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: k.run + 1, Tid: tids[k],
+				Args: map[string]any{"name": k.name},
+			})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  "vmt",
+			Ph:   "X",
+			Ts:   float64(ev.WallStart) / float64(time.Microsecond),
+			Dur:  float64(ev.Wall) / float64(time.Microsecond),
+			Pid:  ev.Run + 1,
+			Tid:  tids[key{ev.Run, ev.Name}],
+			Args: map[string]any{"sim_time_s": ev.At.Seconds()},
+		}
+		for k, v := range ev.Args {
+			ce.Args[k] = v
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

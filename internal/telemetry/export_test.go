@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecorder() *Recorder {
+	rec := NewRecorder()
+	for run := 0; run < 2; run++ {
+		tr := WithRun(rec, run)
+		for i := 0; i < 3; i++ {
+			tr.Emit(SpanEvent{
+				Name:      "physics",
+				At:        time.Duration(i) * time.Minute,
+				WallStart: time.Duration(i*10) * time.Microsecond,
+				Wall:      5 * time.Microsecond,
+				Args:      map[string]float64{"cooling_load_w": float64(100 + i)},
+			})
+			tr.Emit(SpanEvent{
+				Name:      "schedule",
+				At:        time.Duration(i) * time.Minute,
+				WallStart: time.Duration(i*10+5) * time.Microsecond,
+				Wall:      2 * time.Microsecond,
+			})
+		}
+	}
+	return rec
+}
+
+func TestWriteJSONL(t *testing.T) {
+	rec := sampleRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if ev.Name == "" {
+			t.Fatalf("line %d missing name", lines)
+		}
+		lines++
+	}
+	if lines != rec.Len() {
+		t.Fatalf("wrote %d lines for %d events", lines, rec.Len())
+	}
+}
+
+// TestChromeTraceIsValid verifies the export satisfies the Chrome
+// trace_event JSON object format that chrome://tracing and Perfetto
+// load: a traceEvents array of events with name/ph/pid/tid, complete
+// ("X") events carrying non-negative microsecond timestamps.
+func TestChromeTraceIsValid(t *testing.T) {
+	rec := sampleRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	spans, metas := 0, 0
+	for i, ev := range decoded.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Pid == nil {
+			t.Fatalf("event %d incomplete: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts == nil || *ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("span %d has bad timing: %+v", i, ev)
+			}
+			if ev.Tid == nil || *ev.Tid <= 0 {
+				t.Fatalf("span %d missing thread: %+v", i, ev)
+			}
+			if _, ok := ev.Args["sim_time_s"]; !ok {
+				t.Fatalf("span %d missing sim_time_s arg", i)
+			}
+		case "M":
+			metas++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != rec.Len() {
+		t.Fatalf("exported %d spans for %d events", spans, rec.Len())
+	}
+	// Two runs × two phases: process and thread metadata for each.
+	if metas != 8 {
+		t.Fatalf("metadata events = %d, want 8", metas)
+	}
+	// Distinct runs land in distinct processes.
+	pids := map[int]bool{}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph == "X" {
+			pids[*ev.Pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("pids = %v, want 2 distinct", pids)
+	}
+}
+
+func TestChromeTraceArgsCarryGauges(t *testing.T) {
+	rec := sampleRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cooling_load_w") {
+		t.Fatal("gauge args missing from chrome trace")
+	}
+}
+
+func TestChromeTraceEmptyRecorder(t *testing.T) {
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["traceEvents"]; !ok {
+		t.Fatal("traceEvents key must exist even when empty")
+	}
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanEvent is one traced unit of work: a named simulation phase that
+// ran at simulation time At and took Wall of wall-clock time, starting
+// WallStart after the run began. Args carries a few key gauges sampled
+// when the span closed (cooling load, melt fraction, hot-group size).
+// Run distinguishes concurrent runs in a batch (RunMany tags it).
+type SpanEvent struct {
+	// Name is the phase, e.g. "physics", "schedule", "sample".
+	Name string `json:"name"`
+	// Run is the batch index of the run emitting the event (0 for a
+	// solo run).
+	Run int `json:"run"`
+	// At is the simulation time of the tick.
+	At time.Duration `json:"sim_ns"`
+	// WallStart is the wall-clock offset from the start of the run.
+	WallStart time.Duration `json:"wall_start_ns"`
+	// Wall is the wall-clock duration of the phase.
+	Wall time.Duration `json:"wall_ns"`
+	// Args are key gauges sampled at span close.
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// Tracer receives span events. Implementations must be safe for
+// concurrent use when shared across RunMany workers; they must only
+// record — a Tracer that mutates simulation state breaks the
+// instrumented-equals-uninstrumented invariant.
+type Tracer interface {
+	Emit(ev SpanEvent)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(SpanEvent)
+
+// Emit implements Tracer.
+func (f TracerFunc) Emit(ev SpanEvent) { f(ev) }
+
+// Recorder is a Tracer that appends events to memory for later export.
+// Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev SpanEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []SpanEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// runTagger stamps a fixed run index onto every event before
+// forwarding, so a shared tracer can tell batch runs apart.
+type runTagger struct {
+	t   Tracer
+	run int
+}
+
+// WithRun wraps t so every emitted event carries the given run index.
+// A nil t yields nil.
+func WithRun(t Tracer, run int) Tracer {
+	if t == nil {
+		return nil
+	}
+	return runTagger{t: t, run: run}
+}
+
+// Emit implements Tracer.
+func (rt runTagger) Emit(ev SpanEvent) {
+	ev.Run = rt.run
+	rt.t.Emit(ev)
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRecordsInOrder(t *testing.T) {
+	rec := NewRecorder()
+	for i := 0; i < 3; i++ {
+		rec.Emit(SpanEvent{Name: "physics", At: time.Duration(i) * time.Minute})
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("len = %d, want 3", rec.Len())
+	}
+	evs := rec.Events()
+	for i, ev := range evs {
+		if ev.At != time.Duration(i)*time.Minute {
+			t.Fatalf("event %d at %v", i, ev.At)
+		}
+	}
+	// Events returns a copy: mutating it must not affect the recorder.
+	evs[0].Name = "mutated"
+	if rec.Events()[0].Name != "physics" {
+		t.Fatal("Events should return a copy")
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("Reset should clear events")
+	}
+}
+
+func TestTracerFunc(t *testing.T) {
+	var got SpanEvent
+	tr := TracerFunc(func(ev SpanEvent) { got = ev })
+	tr.Emit(SpanEvent{Name: "sample"})
+	if got.Name != "sample" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestWithRunTagsEvents(t *testing.T) {
+	rec := NewRecorder()
+	tagged := WithRun(rec, 7)
+	tagged.Emit(SpanEvent{Name: "physics"})
+	if got := rec.Events()[0].Run; got != 7 {
+		t.Fatalf("run = %d, want 7", got)
+	}
+	if WithRun(nil, 1) != nil {
+		t.Fatal("WithRun(nil) should be nil")
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	rec := NewRecorder()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			tr := WithRun(rec, run)
+			for i := 0; i < per; i++ {
+				tr.Emit(SpanEvent{Name: "schedule", At: time.Duration(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rec.Len() != workers*per {
+		t.Fatalf("len = %d, want %d", rec.Len(), workers*per)
+	}
+	perRun := map[int]int{}
+	for _, ev := range rec.Events() {
+		perRun[ev.Run]++
+	}
+	for w := 0; w < workers; w++ {
+		if perRun[w] != per {
+			t.Fatalf("run %d recorded %d events, want %d", w, perRun[w], per)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package vmt
+
+import (
+	"sync"
+
+	"vmt/internal/telemetry"
+)
+
+// The default observability sinks let the command-line tools observe
+// every run of a process — including runs the sweep helpers construct
+// internally — without threading a registry through each experiment
+// signature. Run and RunMany fall back to these only for
+// configurations whose own Metrics/Tracer fields are nil.
+var (
+	obsMu          sync.RWMutex
+	defaultMetrics *telemetry.Registry
+	defaultTracer  telemetry.Tracer
+)
+
+// SetDefaultObservability installs process-wide fallback telemetry
+// sinks: any subsequent Run whose Config leaves Metrics (resp. Tracer)
+// nil uses these instead. Pass nils to clear. Both sinks must be safe
+// for concurrent use, since RunMany shares them across workers;
+// *telemetry.Registry and *telemetry.Recorder both are.
+//
+// This is intended for process-scoped wiring (the -metrics/-trace CLI
+// flags); library callers should prefer the per-Config fields.
+func SetDefaultObservability(m *telemetry.Registry, t telemetry.Tracer) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	defaultMetrics = m
+	defaultTracer = t
+}
+
+// withDefaultObservability resolves cfg's nil telemetry fields against
+// the process defaults.
+func (c Config) withDefaultObservability() Config {
+	if c.Metrics != nil && c.Tracer != nil {
+		return c
+	}
+	obsMu.RLock()
+	defer obsMu.RUnlock()
+	if c.Metrics == nil {
+		c.Metrics = defaultMetrics
+	}
+	if c.Tracer == nil && defaultTracer != nil {
+		c.Tracer = defaultTracer
+	}
+	return c
+}

@@ -2,19 +2,54 @@ package vmt
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
+
+	"vmt/internal/telemetry"
 )
+
+// RunError reports which configuration of a batch failed. It wraps the
+// underlying cause for errors.Is/As.
+type RunError struct {
+	// Index is the position of the failing configuration in the input
+	// slice.
+	Index int
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string { return fmt.Sprintf("vmt: run %d: %v", e.Index, e.Err) }
+
+// Unwrap returns the underlying failure.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// BatchOptions tunes RunManyOpts.
+type BatchOptions struct {
+	// Workers bounds concurrency; ≤0 selects GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per completed run with
+	// elapsed time and batch throughput — sweep feedback for long
+	// parameter studies.
+	Progress io.Writer
+	// Tracer, when non-nil, is shared across the batch: every run
+	// whose Config has no Tracer of its own emits into it, tagged with
+	// the run's index so exported traces keep runs apart. Must be safe
+	// for concurrent use (telemetry.Recorder is).
+	Tracer telemetry.Tracer
+	// Metrics, when non-nil, is applied to every run whose Config has
+	// no registry of its own; counters aggregate across the batch.
+	Metrics *telemetry.Registry
+}
 
 // RunMany executes the given configurations concurrently (each run is
 // itself single-threaded and independent) and returns results in input
 // order. Determinism is preserved: every run produces exactly what a
 // sequential Run of the same configuration would.
-//
-// The first error aborts the batch and is returned with its index; the
-// remaining in-flight runs still complete.
 func RunMany(cfgs []Config) ([]*Result, error) {
-	return RunManyN(cfgs, runtime.GOMAXPROCS(0))
+	return RunManyOpts(cfgs, BatchOptions{})
 }
 
 // RunManyN is RunMany with an explicit worker bound (≥1).
@@ -22,11 +57,42 @@ func RunManyN(cfgs []Config, workers int) ([]*Result, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("vmt: need at least one worker")
 	}
+	return RunManyOpts(cfgs, BatchOptions{Workers: workers})
+}
+
+// RunManyOpts is RunMany with batch options. Every configuration runs
+// to completion even if another fails; the error for the
+// lowest-indexed failure is returned as a *RunError carrying that
+// index, and results at all successful indices are still populated —
+// callers that can use partial sweeps may inspect both.
+func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+
+	start := time.Now()
+	var progressMu sync.Mutex
+	done := 0
+	report := func(i int, d time.Duration) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		elapsed := time.Since(start)
+		fmt.Fprintf(opts.Progress,
+			"vmt: run %d/%d done (%s, %d servers) in %v — %.2f runs/s\n",
+			done, len(cfgs), cfgs[i].Policy, cfgs[i].Servers,
+			d.Round(time.Millisecond), float64(done)/elapsed.Seconds())
+	}
+
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -34,7 +100,25 @@ func RunManyN(cfgs []Config, workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(cfgs[i])
+				cfg := cfgs[i]
+				if cfg.Metrics == nil {
+					cfg.Metrics = opts.Metrics
+				}
+				// Tag the batch tracer (or the process default) with
+				// the run index so exported traces keep runs apart; a
+				// per-Config tracer is the caller's own and passes
+				// through untagged.
+				if cfg.Tracer == nil {
+					shared := opts.Tracer
+					if shared == nil {
+						cfg = cfg.withDefaultObservability()
+						shared = cfg.Tracer
+					}
+					cfg.Tracer = telemetry.WithRun(shared, i)
+				}
+				runStart := time.Now()
+				results[i], errs[i] = Run(cfg)
+				report(i, time.Since(runStart))
 			}
 		}()
 	}
@@ -45,7 +129,7 @@ func RunManyN(cfgs []Config, workers int) ([]*Result, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("vmt: run %d: %w", i, err)
+			return results, &RunError{Index: i, Err: err}
 		}
 	}
 	return results, nil

@@ -1,7 +1,12 @@
 package vmt
 
 import (
+	"bytes"
+	"errors"
+	"strings"
 	"testing"
+
+	"vmt/internal/telemetry"
 )
 
 func TestRunManyMatchesSequential(t *testing.T) {
@@ -50,5 +55,92 @@ func TestRunManyNWorkerBounds(t *testing.T) {
 	res, err := RunManyN([]Config{cfg}, 16) // workers > jobs
 	if err != nil || len(res) != 1 {
 		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+// TestRunManyPartialResults is the error-path contract: the returned
+// error names the failing configuration's index, every other run still
+// completes, and its result is populated.
+func TestRunManyPartialResults(t *testing.T) {
+	mk := func(servers int) Config {
+		c := Scenario(servers, PolicyRoundRobin, 0)
+		c.Trace = smallTrace()
+		return c
+	}
+	cfgs := []Config{mk(3), Scenario(0, PolicyRoundRobin, 0) /* invalid */, mk(4)}
+	results, err := RunManyN(cfgs, 2)
+	if err == nil {
+		t.Fatal("invalid config should fail the batch")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v does not carry a *RunError", err)
+	}
+	if re.Index != 1 {
+		t.Fatalf("failing index = %d, want 1", re.Index)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results length = %d, want 3", len(results))
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Fatalf("successful runs not populated: %v", results)
+	}
+	if results[1] != nil {
+		t.Fatal("failed run should have a nil result")
+	}
+	// The completed runs match a sequential Run of the same config.
+	seq, err := Run(mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[2].PeakCoolingW() != seq.PeakCoolingW() {
+		t.Fatal("in-flight run did not complete equivalently")
+	}
+}
+
+func TestRunManyOptsProgressAndThroughput(t *testing.T) {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = Scenario(3, PolicyRoundRobin, 0)
+		cfgs[i].Trace = smallTrace()
+	}
+	var buf bytes.Buffer
+	if _, err := RunManyOpts(cfgs, BatchOptions{Workers: 2, Progress: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(cfgs) {
+		t.Fatalf("progress lines = %d, want %d:\n%s", len(lines), len(cfgs), buf.String())
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "3/3") || !strings.Contains(last, "runs/s") {
+		t.Fatalf("last progress line malformed: %q", last)
+	}
+}
+
+// TestRunManyOptsSharedTracerTagsRuns checks a batch-shared recorder
+// separates runs by index, and a shared registry aggregates.
+func TestRunManyOptsSharedTracerTagsRuns(t *testing.T) {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = Scenario(3, PolicyRoundRobin, 0)
+		cfgs[i].Trace = smallTrace()
+	}
+	rec := telemetry.NewRecorder()
+	reg := telemetry.NewRegistry()
+	if _, err := RunManyOpts(cfgs, BatchOptions{Tracer: rec, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	runs := map[int]int{}
+	for _, ev := range rec.Events() {
+		runs[ev.Run]++
+	}
+	if len(runs) != len(cfgs) {
+		t.Fatalf("expected spans from %d runs, saw %v", len(cfgs), runs)
+	}
+	// run_ticks aggregates: 1-day trace at 1-minute step → 1440 ticks
+	// per run.
+	if got := reg.Counter("run_ticks").Value(); got != uint64(len(cfgs))*1440 {
+		t.Fatalf("run_ticks = %d, want %d", got, len(cfgs)*1440)
 	}
 }

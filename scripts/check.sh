@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repo-wide verification: formatting, vet, build, tests, and a race
+# pass over the concurrency-bearing packages. Run from the repo root
+# (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages)"
+go test -race ./internal/telemetry/ ./internal/cliobs/ \
+    -run 'Test' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability' -count=1
+
+echo "ok"

@@ -1,0 +1,183 @@
+package vmt
+
+// The telemetry contract: instrumentation observes, it never perturbs.
+// These tests prove it by running the same configuration with and
+// without full telemetry (recording tracer + metrics registry) and
+// requiring the exported results to be byte-identical.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vmt/internal/telemetry"
+)
+
+// exportBytes serializes a result through the stable export format.
+func exportBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestInstrumentedRunIsBitIdentical(t *testing.T) {
+	for _, policy := range []Policy{PolicyRoundRobin, PolicyVMTTA, PolicyVMTWA} {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			t.Parallel()
+			gv := 0.0
+			if policy != PolicyRoundRobin {
+				gv = 22
+			}
+			cfg := Scenario(10, policy, gv)
+			cfg.Trace = smallTrace()
+
+			plain, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			instrumented := cfg
+			rec := telemetry.NewRecorder()
+			reg := telemetry.NewRegistry()
+			instrumented.Tracer = rec
+			instrumented.Metrics = reg
+			traced, err := Run(instrumented)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := exportBytes(t, traced), exportBytes(t, plain); !bytes.Equal(got, want) {
+				t.Fatalf("instrumented run diverged from uninstrumented run\ninstrumented: %s\nplain: %s",
+					got, want)
+			}
+
+			// The instrumentation actually observed something.
+			if rec.Len() == 0 {
+				t.Fatal("tracer recorded no events")
+			}
+			snap := reg.Snapshot()
+			counters := map[string]uint64{}
+			for _, c := range snap.Counters {
+				counters[c.Name] = c.Value
+			}
+			for _, name := range []string{"sim_events_dispatched", "sched_placements", "run_ticks"} {
+				if counters[name] == 0 {
+					t.Fatalf("counter %s stayed zero: %+v", name, snap.Counters)
+				}
+			}
+			if len(snap.Histograms) == 0 || snap.Histograms[0].Count == 0 {
+				t.Fatal("melt-fraction histogram recorded nothing")
+			}
+		})
+	}
+}
+
+// TestRerunWithSameRecorderIsDeterministic re-runs one instrumented
+// configuration and checks the *simulation-visible* span fields
+// (phase, sim time, order) repeat exactly; only wall timings may
+// differ between runs.
+func TestTraceSpanStructureIsDeterministic(t *testing.T) {
+	cfg := Scenario(8, PolicyVMTWA, 22)
+	cfg.Trace = smallTrace()
+	runOnce := func() []telemetry.SpanEvent {
+		rec := telemetry.NewRecorder()
+		c := cfg
+		c.Tracer = rec
+		if _, err := Run(c); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].At != b[i].At {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		for k, v := range a[i].Args {
+			if b[i].Args[k] != v {
+				t.Fatalf("span %d arg %s differs: %v vs %v", i, k, v, b[i].Args[k])
+			}
+		}
+	}
+}
+
+// TestTracedRunExportsValidChromeTrace drives the full path the
+// `vmtsim -trace out.json` flag uses and validates the artifact is
+// well-formed Chrome trace_event JSON (the format Perfetto loads).
+func TestTracedRunExportsValidChromeTrace(t *testing.T) {
+	cfg := Scenario(6, PolicyVMTTA, 22)
+	cfg.Trace = smallTrace()
+	rec := telemetry.NewRecorder()
+	cfg.Tracer = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("not valid chrome trace JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, ev := range decoded.TraceEvents {
+		if ev.Ph == "X" {
+			phases[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"physics", "schedule", "sample"} {
+		if !phases[want] {
+			t.Fatalf("missing %q spans; phases seen: %v", want, phases)
+		}
+	}
+}
+
+// TestDefaultObservabilityAppliesToRuns exercises the process-wide
+// fallback the CLI flags use, including cleanup.
+func TestDefaultObservabilityAppliesToRuns(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	SetDefaultObservability(reg, rec)
+	defer SetDefaultObservability(nil, nil)
+
+	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg.Trace = smallTrace()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("sim_events_dispatched").Value() == 0 {
+		t.Fatal("default registry saw no events")
+	}
+	if rec.Len() == 0 {
+		t.Fatal("default tracer saw no spans")
+	}
+
+	// A per-Config registry takes precedence over the default.
+	own := telemetry.NewRegistry()
+	cfg.Metrics = own
+	before := reg.Counter("sim_events_dispatched").Value()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if own.Counter("sim_events_dispatched").Value() == 0 {
+		t.Fatal("per-config registry ignored")
+	}
+	if reg.Counter("sim_events_dispatched").Value() != before {
+		t.Fatal("default registry should not see a run with its own registry")
+	}
+}

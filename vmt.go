@@ -29,6 +29,7 @@ import (
 	"vmt/internal/sched"
 	"vmt/internal/sim"
 	"vmt/internal/stats"
+	"vmt/internal/telemetry"
 	"vmt/internal/thermal"
 	"vmt/internal/trace"
 	"vmt/internal/workload"
@@ -117,6 +118,19 @@ type Config struct {
 	// (nil selects sched.DefaultTaskDurations).
 	JobStream     bool
 	TaskDurations map[string]time.Duration
+	// Metrics, when non-nil, receives run instrumentation: engine
+	// dispatch counts and per-band wall time, scheduler placements and
+	// hot-group resizes, the fleet melt-fraction histogram, and
+	// time-above-PMT. Telemetry is strictly observational — results
+	// are bit-identical with or without it. Safe to share one registry
+	// across RunMany workers.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives one span event per simulation
+	// phase per tick (physics, schedule, sample) with wall-clock
+	// timings and key gauges; export via telemetry.Recorder as JSONL
+	// or Chrome trace_event JSON. Nil disables tracing at (near) zero
+	// cost.
+	Tracer telemetry.Tracer
 }
 
 // Scenario returns a ready-to-run paper configuration for the given
@@ -248,7 +262,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	cfg = cfg.withDefaults().withDefaultObservability()
 
 	cl, err := cluster.New(cluster.Config{
 		NumServers:  cfg.Servers,
@@ -285,11 +299,17 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Metrics != nil {
+			stream.SetMetrics(cfg.Metrics)
+		}
 		reconcile = stream
 	} else {
 		lm, err := sched.NewLoadManager(cl, cfg.Mix, tr, scheduler)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Metrics != nil {
+			lm.SetMetrics(cfg.Metrics)
 		}
 		reconcile = lm
 	}
@@ -310,6 +330,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.NewEngine()
+	eng.Instrument(cfg.Metrics)
 	var runErr error
 	fail := func(err error) {
 		if runErr == nil {
@@ -317,10 +338,51 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Tracing: span wraps a phase handler so each tick emits one span
+	// event with wall timings and the gauges args samples at close.
+	// With a nil tracer the handler is returned untouched, so the
+	// uninstrumented hot path is unchanged.
+	tracer := cfg.Tracer
+	var wall0 time.Time
+	if tracer != nil {
+		wall0 = time.Now()
+	}
+	span := func(name string, fn sim.Handler, args func() map[string]float64) sim.Handler {
+		if tracer == nil {
+			return fn
+		}
+		return func(now time.Duration) {
+			t0 := time.Now()
+			fn(now)
+			ev := telemetry.SpanEvent{
+				Name:      name,
+				At:        now,
+				WallStart: t0.Sub(wall0),
+				Wall:      time.Since(t0),
+			}
+			if args != nil {
+				ev.Args = args()
+			}
+			tracer.Emit(ev)
+		}
+	}
+
+	// Thermal/PCM instruments, sampled in the metrics band: the fleet
+	// melt-fraction distribution and accumulated server-seconds above
+	// the wax's physical melting temperature.
+	var (
+		meltHist  = cfg.Metrics.Histogram("pcm_melt_frac", telemetry.LinearBounds(0, 1, 10)...)
+		abovePMT  = cfg.Metrics.Counter("thermal_above_pmt_server_s")
+		runTicks  = cfg.Metrics.Counter("run_ticks")
+		pmtC      = cfg.Material.MeltTempC
+		stepSecs  = uint64(cfg.Step.Seconds())
+		hasMetric = cfg.Metrics != nil
+	)
+
 	// Physics: advance the cluster by one period. Skipped at t=0 (no
 	// elapsed time yet); the scheduler places the initial load first.
 	var lastSample cluster.Sample
-	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityModel, func(time.Duration) {
+	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityModel, span("physics", func(time.Duration) {
 		if runErr != nil {
 			return
 		}
@@ -330,27 +392,48 @@ func Run(cfg Config) (*Result, error) {
 			return
 		}
 		lastSample = s
-	}); err != nil {
+	}, func() map[string]float64 {
+		return map[string]float64{
+			"cooling_load_w":  lastSample.CoolingLoadW,
+			"mean_air_temp_c": lastSample.MeanAirTempC,
+			"mean_melt_frac":  lastSample.MeanMeltFrac,
+		}
+	})); err != nil {
 		return nil, err
 	}
 
 	// Scheduling: reconcile the job population with the trace.
-	if _, err := eng.Every(0, cfg.Step, sim.PriorityScheduler, func(now time.Duration) {
+	if _, err := eng.Every(0, cfg.Step, sim.PriorityScheduler, span("schedule", func(now time.Duration) {
 		if runErr != nil {
 			return
 		}
 		if err := reconcile.Reconcile(now); err != nil {
 			fail(err)
 		}
-	}); err != nil {
+	}, func() map[string]float64 {
+		args := map[string]float64{"total_power_w": lastSample.TotalPowerW}
+		if hasGroups {
+			args["hot_group_size"] = float64(grouper.HotGroupSize())
+		}
+		return args
+	})); err != nil {
 		return nil, err
 	}
 
 	// Metrics: sample the settled state each period (after the first
 	// physics step so the series align with elapsed intervals).
-	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, func(time.Duration) {
+	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, span("sample", func(time.Duration) {
 		if runErr != nil {
 			return
+		}
+		if hasMetric {
+			runTicks.Inc()
+			for i, f := range lastSample.MeltFrac {
+				meltHist.Observe(f)
+				if lastSample.AirTempC[i] >= pmtC {
+					abovePMT.Add(stepSecs)
+				}
+			}
 		}
 		res.CoolingLoadW.Append(lastSample.CoolingLoadW)
 		res.TotalPowerW.Append(lastSample.TotalPowerW)
@@ -386,7 +469,13 @@ func Run(cfg Config) (*Result, error) {
 			res.AirTempGrid = append(res.AirTempGrid, air)
 			res.MeltFracGrid = append(res.MeltFracGrid, melt)
 		}
-	}); err != nil {
+	}, func() map[string]float64 {
+		args := map[string]float64{"max_cpu_temp_c": lastSample.MaxCPUTempC}
+		if n := res.WaxEnergyJ.Len(); n > 0 {
+			args["wax_energy_j"] = res.WaxEnergyJ.Values[n-1]
+		}
+		return args
+	})); err != nil {
 		return nil, err
 	}
 	res.CoolingLoadW.Start = cfg.Step
@@ -420,6 +509,7 @@ func newScheduler(cfg Config, cl *cluster.Cluster) (sched.Scheduler, error) {
 		WaxThreshold:        cfg.WaxThreshold,
 		OracleWaxState:      cfg.OracleWaxState,
 		MigrationBudgetFrac: cfg.MigrationBudgetFrac,
+		Metrics:             cfg.Metrics,
 	}
 	var (
 		s   sched.Scheduler
