@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"vmt"
+)
+
+// simOptions carries the presentation knobs that ride alongside the
+// simulation configuration on the command line.
+type simOptions struct {
+	// Series prints the hourly cooling-load series after the summary.
+	Series bool
+	// Baseline also runs a round-robin baseline for the reduction row.
+	Baseline bool
+}
+
+// registerConfigFlags declares every simulation flag on fs and returns
+// a builder that assembles the validated Config after fs.Parse. Keeping
+// declaration and assembly together (and separate from main's
+// observability wiring) gives the fuzz harness the exact surface the
+// CLI exposes: any argv must either produce a Validate-clean Config or
+// return an error — never panic.
+func registerConfigFlags(fs *flag.FlagSet) func() (vmt.Config, simOptions, error) {
+	policy := fs.String("policy", "vmt-ta", "placement policy: round-robin, coolest-first, vmt-ta, vmt-wa")
+	gv := fs.Float64("gv", 22, "grouping value for the VMT policies")
+	servers := fs.Int("servers", 100, "cluster size")
+	threshold := fs.Float64("threshold", 0.98, "VMT-WA wax threshold")
+	inletStdev := fs.Float64("inlet-stdev", 0, "per-server inlet temperature stdev (°C)")
+	seed := fs.Uint64("seed", 0, "random seed for inlet variation")
+	series := fs.Bool("series", false, "print the hourly cooling-load series")
+	jobStream := fs.Bool("jobstream", false, "use the query-level load model (Poisson task arrivals)")
+	baseline := fs.Bool("baseline", true, "also run a round-robin baseline and report the peak reduction")
+	physicsWorkers := fs.Int("physics-workers", 0,
+		"per-tick physics goroutines (0 = auto: serial for small clusters, bounded by GOMAXPROCS otherwise); results are identical for any value")
+	return func() (vmt.Config, simOptions, error) {
+		cfg := vmt.Config{
+			Servers:        *servers,
+			Policy:         vmt.Policy(*policy),
+			GV:             *gv,
+			WaxThreshold:   *threshold,
+			InletStdevC:    *inletStdev,
+			Seed:           *seed,
+			JobStream:      *jobStream,
+			PhysicsWorkers: *physicsWorkers,
+		}
+		if err := cfg.Validate(); err != nil {
+			return vmt.Config{}, simOptions{}, fmt.Errorf("invalid configuration: %w", err)
+		}
+		return cfg, simOptions{Series: *series, Baseline: *baseline}, nil
+	}
+}
+
+// buildConfig parses args (argv without the program name) into a
+// validated Config — the single entry point main and the fuzz harness
+// share.
+func buildConfig(fs *flag.FlagSet, args []string) (vmt.Config, simOptions, error) {
+	build := registerConfigFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return vmt.Config{}, simOptions{}, err
+	}
+	return build()
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzBuildConfig drives the CLI's flag parsing and configuration
+// validation with arbitrary argv strings. The contract buildConfig
+// gives main: never panic, and any (cfg, _, nil) return is a
+// Validate-clean configuration the simulator will accept.
+func FuzzBuildConfig(f *testing.F) {
+	f.Add("")
+	f.Add("-policy vmt-ta -gv 22 -servers 100")
+	f.Add("-policy vmt-wa -gv 20 -threshold 0.95 -inlet-stdev 2 -seed 3")
+	f.Add("-policy round-robin -servers 1 -series -baseline=false")
+	f.Add("-servers 2048 -physics-workers 8")
+	f.Add("-policy nonsense")
+	f.Add("-servers -5")
+	f.Add("-gv NaN")
+	f.Add("-threshold 2")
+	f.Add("-physics-workers -1")
+	f.Add("-servers 9999999999999999999999")
+	f.Add("-unknown-flag x")
+	f.Add("--")
+	f.Add("-h")
+
+	f.Fuzz(func(t *testing.T, argv string) {
+		args := strings.Fields(argv)
+		fs := flag.NewFlagSet("vmtsim", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		cfg, _, err := buildConfig(fs, args)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("buildConfig accepted %q but Validate rejects: %v", argv, verr)
+		}
+	})
+}

@@ -6,6 +6,7 @@
 //	vmtsim -policy vmt-ta -gv 22 -servers 1000
 //	vmtsim -policy round-robin -servers 100 -series
 //	vmtsim -policy vmt-wa -gv 20 -threshold 0.95 -inlet-stdev 2 -seed 3
+//	vmtsim -servers 2048 -physics-workers 8
 //
 // Observability (see internal/cliobs):
 //
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,32 +35,18 @@ func main() {
 }
 
 func run() (err error) {
-	policy := flag.String("policy", "vmt-ta", "placement policy: round-robin, coolest-first, vmt-ta, vmt-wa")
-	gv := flag.Float64("gv", 22, "grouping value for the VMT policies")
-	servers := flag.Int("servers", 100, "cluster size")
-	threshold := flag.Float64("threshold", 0.98, "VMT-WA wax threshold")
-	inletStdev := flag.Float64("inlet-stdev", 0, "per-server inlet temperature stdev (°C)")
-	seed := flag.Uint64("seed", 0, "random seed for inlet variation")
-	series := flag.Bool("series", false, "print the hourly cooling-load series")
-	jobStream := flag.Bool("jobstream", false, "use the query-level load model (Poisson task arrivals)")
-	baseline := flag.Bool("baseline", true, "also run a round-robin baseline and report the peak reduction")
-	obs := cliobs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
-
-	cfg := vmt.Config{
-		Servers:      *servers,
-		Policy:       vmt.Policy(*policy),
-		GV:           *gv,
-		WaxThreshold: *threshold,
-		InletStdevC:  *inletStdev,
-		Seed:         *seed,
-		JobStream:    *jobStream,
-	}
-	// Reject bad policies/parameters before any simulation (or
-	// profiling) starts, with usage for the flag that caused it.
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "vmtsim: invalid configuration: %v\n\n", err)
-		flag.Usage()
+	fs := flag.NewFlagSet("vmtsim", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	obs := cliobs.RegisterFlags(fs)
+	cfg, opts, err := buildConfig(fs, os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		// Reject bad policies/parameters before any simulation (or
+		// profiling) starts, with usage for the flag that caused it.
+		fmt.Fprintf(os.Stderr, "vmtsim: %v\n\n", err)
+		fs.Usage()
 		os.Exit(2)
 	}
 
@@ -102,7 +90,7 @@ func run() (err error) {
 		tb.AddRow("Task arrivals / drops",
 			fmt.Sprintf("%d / %d", res.TaskArrivals, res.TaskDrops))
 	}
-	if *baseline && cfg.Policy != vmt.PolicyRoundRobin {
+	if opts.Baseline && cfg.Policy != vmt.PolicyRoundRobin {
 		red, err := vmt.PeakReductionPct(cfg)
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)
@@ -113,7 +101,7 @@ func run() (err error) {
 		return err
 	}
 
-	if *series {
+	if opts.Series {
 		hourly := res.CoolingLoadW.Downsample(60)
 		if err := report.SeriesCSV(os.Stdout, []string{"cooling_kw"},
 			[]*stats.Series{scaled(hourly, 1e-3)}); err != nil {

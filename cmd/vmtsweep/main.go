@@ -7,6 +7,7 @@
 //	vmtsweep -kind gv -servers 100 -from 10 -to 30 -step 2
 //	vmtsweep -kind threshold -gv 22
 //	vmtsweep -kind inlet -policy vmt-wa -runs 5
+//	vmtsweep -kind gv -sweep-workers 2 -progress
 //
 // Observability (see internal/cliobs): the -trace, -metrics,
 // -cpuprofile and -debug-addr flags observe every run of the sweep —
@@ -32,6 +33,9 @@ func main() {
 	to := flag.Float64("to", 30, "sweep end (gv sweep)")
 	step := flag.Float64("step", 2, "sweep step (gv sweep)")
 	runs := flag.Int("runs", 5, "runs per point (inlet sweep)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"concurrent sweep points for gv/threshold sweeps (0 = GOMAXPROCS); results are identical for any value")
+	progress := flag.Bool("progress", false, "print per-run progress to stderr (gv/threshold sweeps)")
 	obs := cliobs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -40,12 +44,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	batch := vmt.BatchOptions{Workers: *sweepWorkers}
+	if *progress {
+		batch.Progress = os.Stderr
+	}
+
 	var err error
 	switch *kind {
 	case "gv":
-		err = sweepGV(vmt.Policy(*policy), *servers, *from, *to, *step)
+		err = sweepGV(vmt.Policy(*policy), *servers, *from, *to, *step, batch)
 	case "threshold":
-		err = sweepThreshold(*servers, *gv)
+		err = sweepThreshold(*servers, *gv, batch)
 	case "inlet":
 		err = sweepInlet(vmt.Policy(*policy), *servers, *runs)
 	case "pmt":
@@ -66,7 +75,7 @@ func main() {
 	}
 }
 
-func sweepGV(policy vmt.Policy, servers int, from, to, step float64) error {
+func sweepGV(policy vmt.Policy, servers int, from, to, step float64, batch vmt.BatchOptions) error {
 	if step <= 0 || to < from {
 		return fmt.Errorf("bad sweep range %v..%v step %v", from, to, step)
 	}
@@ -74,7 +83,7 @@ func sweepGV(policy vmt.Policy, servers int, from, to, step float64) error {
 	for gv := from; gv <= to+1e-9; gv += step {
 		gvs = append(gvs, gv)
 	}
-	pts, err := vmt.GVSweep(servers, policy, gvs)
+	pts, err := vmt.GVSweepOpts(servers, policy, gvs, batch)
 	if err != nil {
 		return err
 	}
@@ -88,9 +97,9 @@ func sweepGV(policy vmt.Policy, servers int, from, to, step float64) error {
 	return tb.Render(os.Stdout)
 }
 
-func sweepThreshold(servers int, gv float64) error {
-	pts, err := vmt.WaxThresholdSweep(servers, gv,
-		[]float64{0.85, 0.90, 0.95, 0.98, 0.99, 1.00})
+func sweepThreshold(servers int, gv float64, batch vmt.BatchOptions) error {
+	pts, err := vmt.WaxThresholdSweepOpts(servers, gv,
+		[]float64{0.85, 0.90, 0.95, 0.98, 0.99, 1.00}, batch)
 	if err != nil {
 		return err
 	}

@@ -48,12 +48,18 @@ type GVSweepPoint struct {
 // points run concurrently via RunMany, so a batch tracer sees one
 // tagged run per sweep point (run 0 is the baseline).
 func GVSweep(servers int, policy Policy, gvs []float64) ([]GVSweepPoint, error) {
+	return GVSweepOpts(servers, policy, gvs, BatchOptions{})
+}
+
+// GVSweepOpts is GVSweep with batch options: a worker bound for the
+// concurrent points and an optional progress writer for long sweeps.
+func GVSweepOpts(servers int, policy Policy, gvs []float64, opts BatchOptions) ([]GVSweepPoint, error) {
 	cfgs := make([]Config, 0, len(gvs)+1)
 	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
 	for _, gv := range gvs {
 		cfgs = append(cfgs, Scenario(servers, policy, gv))
 	}
-	runs, err := RunMany(cfgs)
+	runs, err := RunManyOpts(cfgs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +84,11 @@ type ThresholdSweepPoint struct {
 // WaxThresholdSweep reproduces Figure 17: VMT-WA peak reduction as the
 // wax threshold varies (paper: 100 servers, GV=22, thresholds 0.85–1).
 func WaxThresholdSweep(servers int, gv float64, thresholds []float64) ([]ThresholdSweepPoint, error) {
+	return WaxThresholdSweepOpts(servers, gv, thresholds, BatchOptions{})
+}
+
+// WaxThresholdSweepOpts is WaxThresholdSweep with batch options.
+func WaxThresholdSweepOpts(servers int, gv float64, thresholds []float64, opts BatchOptions) ([]ThresholdSweepPoint, error) {
 	cfgs := make([]Config, 0, len(thresholds)+1)
 	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
 	for _, th := range thresholds {
@@ -85,7 +96,7 @@ func WaxThresholdSweep(servers int, gv float64, thresholds []float64) ([]Thresho
 		cfg.WaxThreshold = th
 		cfgs = append(cfgs, cfg)
 	}
-	runs, err := RunMany(cfgs)
+	runs, err := RunManyOpts(cfgs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -181,16 +192,23 @@ type GVMappingRow struct {
 // opposite way, which is only consistent if its GV column sizes the
 // cold group. See EXPERIMENTS.md for the full discussion.
 func GVMapping(servers int, gvs []float64) ([]GVMappingRow, error) {
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	// One batch: the baseline plus every GV point. Each run is
+	// deterministic, so the concurrent batch returns exactly what the
+	// sequential loop produced (and shares the decoded trace and
+	// material tables across points).
+	cfgs := make([]Config, 0, len(gvs)+1)
+	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
+	for _, gv := range gvs {
+		cfgs = append(cfgs, Scenario(servers, PolicyVMTTA, gv))
+	}
+	runs, err := RunMany(cfgs)
 	if err != nil {
 		return nil, err
 	}
+	baseline := runs[0]
 	rows := make([]GVMappingRow, 0, len(gvs))
-	for _, gv := range gvs {
-		res, err := Run(Scenario(servers, PolicyVMTTA, gv))
-		if err != nil {
-			return nil, err
-		}
+	for k, gv := range gvs {
+		res := runs[k+1]
 		row := GVMappingRow{GV: gv}
 		for i, frac := range res.MeanMeltFrac.Values {
 			if frac > 1e-4 {

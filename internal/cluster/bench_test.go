@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vmt/internal/workload"
+)
+
+// BenchmarkClusterStepWorkers measures one cluster tick at different
+// physics fan-outs (results are bit-identical across all of them; the
+// knob trades goroutines for wall time on multi-core hosts).
+func BenchmarkClusterStepWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := PaperCluster(256)
+			cfg.PhysicsWorkers = workers
+			c, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Load a third of the fleet so hot and cold paths both run.
+			for i := 0; i < c.Len(); i += 3 {
+				for j := 0; j < 16; j++ {
+					if err := c.Server(i).Place(workload.VideoEncoding); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Step(time.Minute); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

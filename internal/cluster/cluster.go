@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"vmt/internal/pcm"
@@ -27,6 +29,13 @@ type Config struct {
 	InletStdevC float64
 	// Seed drives the inlet variation draw.
 	Seed uint64
+	// PhysicsWorkers bounds the goroutines advancing per-server
+	// physics inside one Step. Servers couple only through the
+	// scheduler, never through physics, and the post-step aggregation
+	// is a sequential reduction in server-ID order — so results are
+	// bit-identical for every worker count. Zero picks an automatic
+	// value (parallel only for large clusters); negative is invalid.
+	PhysicsWorkers int
 }
 
 // PaperCluster returns the scale-out configuration: n paper servers
@@ -48,6 +57,9 @@ func (c Config) Validate() error {
 	if c.InletStdevC < 0 {
 		return fmt.Errorf("cluster: negative inlet stdev")
 	}
+	if c.PhysicsWorkers < 0 {
+		return fmt.Errorf("cluster: negative physics worker count %d", c.PhysicsWorkers)
+	}
 	if err := c.Server.Validate(); err != nil {
 		return err
 	}
@@ -59,6 +71,49 @@ type Cluster struct {
 	cfg     Config
 	servers []*Server
 	reg     *registry
+	// workers is the resolved physics worker count (≥1; 1 = serial).
+	workers int
+	// Per-server scratch reused across Steps so the steady-state
+	// physics path allocates nothing. stepRes/stepPow/stepErr carry
+	// each worker's per-server outputs to the sequential reduction;
+	// airBuf/meltBuf back the Sample snapshots.
+	stepRes []thermal.StepResult
+	stepPow []float64
+	stepErr []error
+	airBuf  []float64
+	meltBuf []float64
+}
+
+// Automatic physics parallelism: below the threshold a goroutine
+// handoff costs more than the physics; above it, workers are sized so
+// each keeps a meaningful slab of servers.
+const (
+	autoParallelMinServers = 256
+	autoServersPerWorker   = 64
+	autoMaxPhysicsWorkers  = 8
+)
+
+func resolveWorkers(cfg Config) int {
+	w := cfg.PhysicsWorkers
+	if w == 0 {
+		if cfg.NumServers < autoParallelMinServers {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+		if max := cfg.NumServers / autoServersPerWorker; w > max {
+			w = max
+		}
+		if w > autoMaxPhysicsWorkers {
+			w = autoMaxPhysicsWorkers
+		}
+	}
+	if w > cfg.NumServers {
+		w = cfg.NumServers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // New builds a cluster per the configuration. With InletStdevC > 0,
@@ -82,7 +137,35 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		servers[i] = s
 	}
-	return &Cluster{cfg: cfg, servers: servers, reg: reg}, nil
+	n := cfg.NumServers
+	return &Cluster{
+		cfg:     cfg,
+		servers: servers,
+		reg:     reg,
+		workers: resolveWorkers(cfg),
+		stepRes: make([]thermal.StepResult, n),
+		stepPow: make([]float64, n),
+		stepErr: make([]error, n),
+		airBuf:  make([]float64, n),
+		meltBuf: make([]float64, n),
+	}, nil
+}
+
+// PhysicsWorkers returns the resolved per-Step physics worker count.
+func (c *Cluster) PhysicsWorkers() int { return c.workers }
+
+// SetPhysicsWorkers overrides the physics worker count (minimum 1,
+// capped at the server count). Results are bit-identical for any
+// value; the knob only trades goroutines for wall time, and exists so
+// determinism tests can pin specific counts.
+func (c *Cluster) SetPhysicsWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.servers) {
+		n = len(c.servers)
+	}
+	c.workers = n
 }
 
 // Config returns the cluster's configuration.
@@ -149,37 +232,100 @@ type Sample struct {
 	// constraint VMT's concentrated placement must not break.
 	MaxCPUTempC       float64
 	ThrottlingServers int
+	// WaxEnergyJ is the cumulative energy parked in wax since the run
+	// started (the sum of every server's wax ledger, in ID order).
+	WaxEnergyJ float64
 	// AirTempC and MeltFrac are per-server snapshots (ground truth),
 	// indexed by server ID — the raw material of the paper's heat
-	// maps.
+	// maps. The backing arrays are owned by the cluster and reused by
+	// the next Step; callers that retain a snapshot across steps must
+	// copy them.
 	AirTempC []float64
 	MeltFrac []float64
 }
 
 // Step advances every server by dt and returns the aggregate sample.
+//
+// The per-server physics is embarrassingly parallel (servers couple
+// only through the scheduler between steps), so it fans out across
+// PhysicsWorkers goroutines writing disjoint per-server slots; the
+// aggregation below is a single sequential reduction in server-ID
+// order, which keeps every float sum in a fixed order and the result
+// bit-identical for any worker count.
 func (c *Cluster) Step(dt time.Duration) (Sample, error) {
-	sample := Sample{
-		AirTempC: make([]float64, len(c.servers)),
-		MeltFrac: make([]float64, len(c.servers)),
+	if c.workers > 1 {
+		c.stepParallel(dt)
+	} else {
+		for i, s := range c.servers {
+			c.stepRes[i], c.stepErr[i] = s.step(dt)
+			c.stepPow[i] = s.PowerW()
+		}
 	}
+	sample := Sample{AirTempC: c.airBuf, MeltFrac: c.meltBuf}
+	// Hoisted spec scalars; keep in sync with ServerSpec.CPUTempC and
+	// ServerSpec.WouldThrottle (inlining them here avoids copying the
+	// full spec struct per server per tick).
+	idleW := c.cfg.Server.IdlePowerW
+	cpus := float64(c.cfg.Server.CPUs)
+	rCPU := c.cfg.Server.CPUThermalResistanceKPerW
+	limitC := c.cfg.Server.CPULimitC
+	var sumAir, sumMelt float64
 	for i, s := range c.servers {
-		res, err := s.step(dt)
-		if err != nil {
+		if err := c.stepErr[i]; err != nil {
 			return Sample{}, fmt.Errorf("cluster: server %d: %w", i, err)
 		}
-		sample.TotalPowerW += s.PowerW()
+		res := &c.stepRes[i]
+		pw := c.stepPow[i]
+		sample.TotalPowerW += pw
 		sample.CoolingLoadW += res.CoolingLoadW
 		sample.WaxFlowW += res.WaxFlowW
-		sample.AirTempC[i] = res.AirTempC
-		sample.MeltFrac[i] = res.MeltFrac
-		if cpu := c.cfg.Server.CPUTempC(s.PowerW(), res.AirTempC); cpu > sample.MaxCPUTempC {
+		c.airBuf[i] = res.AirTempC
+		c.meltBuf[i] = res.MeltFrac
+		sumAir += res.AirTempC
+		sumMelt += res.MeltFrac
+		dynamic := pw - idleW
+		if dynamic < 0 {
+			dynamic = 0
+		}
+		cpu := res.AirTempC + dynamic/cpus*rCPU
+		if cpu > sample.MaxCPUTempC {
 			sample.MaxCPUTempC = cpu
 		}
-		if c.cfg.Server.WouldThrottle(s.PowerW(), res.AirTempC) {
+		if limitC > 0 && cpu > limitC {
 			sample.ThrottlingServers++
 		}
+		sample.WaxEnergyJ += s.node.Ledger().WaxStoredJ
 	}
-	sample.MeanAirTempC = stats.Mean(sample.AirTempC)
-	sample.MeanMeltFrac = stats.Mean(sample.MeltFrac)
+	// Same ID-order addition sequence as stats.Mean over the snapshot
+	// arrays, folded into the reduction pass above.
+	if n := float64(len(c.servers)); n > 0 {
+		sample.MeanAirTempC = sumAir / n
+		sample.MeanMeltFrac = sumMelt / n
+	}
 	return sample, nil
+}
+
+// stepParallel advances the servers on c.workers goroutines, each
+// owning a contiguous ID range and writing only its own servers'
+// result slots.
+func (c *Cluster) stepParallel(dt time.Duration) {
+	n := len(c.servers)
+	chunk := (n + c.workers - 1) / c.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s := c.servers[i]
+				c.stepRes[i], c.stepErr[i] = s.step(dt)
+				c.stepPow[i] = s.PowerW()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }

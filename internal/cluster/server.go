@@ -24,6 +24,11 @@ type Server struct {
 	node *thermal.Node
 	est  *pcm.Estimator
 
+	// cores caches spec.Cores(): the scheduler scan loops read
+	// FreeCores for every server they visit, and the spec is immutable
+	// after construction.
+	cores int
+
 	// reg is the cluster-wide workload interner; counts[i] is the job
 	// count for the workload with registry index i.
 	reg       *registry
@@ -46,11 +51,12 @@ func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64
 		return nil, err
 	}
 	return &Server{
-		id:   id,
-		spec: spec,
-		node: node,
-		est:  est,
-		reg:  reg,
+		id:    id,
+		spec:  spec,
+		node:  node,
+		est:   est,
+		cores: spec.Cores(),
+		reg:   reg,
 	}, nil
 }
 
@@ -58,13 +64,13 @@ func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64
 func (s *Server) ID() int { return s.id }
 
 // Cores returns the server's total core count.
-func (s *Server) Cores() int { return s.spec.Cores() }
+func (s *Server) Cores() int { return s.cores }
 
 // BusyCores returns the number of occupied cores.
 func (s *Server) BusyCores() int { return s.busyCores }
 
 // FreeCores returns the number of unoccupied cores.
-func (s *Server) FreeCores() int { return s.spec.Cores() - s.busyCores }
+func (s *Server) FreeCores() int { return s.cores - s.busyCores }
 
 // Jobs returns the job count for workload w.
 func (s *Server) Jobs(w workload.Workload) int {
@@ -98,9 +104,37 @@ func (s *Server) Workloads() []workload.Workload {
 	return out
 }
 
+// LargestJob returns the workload of the given class with the most
+// jobs on s, scanning in name order so ties break deterministically
+// (first name wins). It is the allocation-free form of filtering
+// Workloads() by class and taking the max — the shape of VMT-WA's
+// per-tick rebalancing query.
+func (s *Server) LargestJob(class workload.Class) (workload.Workload, bool) {
+	var best workload.Workload
+	bestN := 0
+	found := false
+	for _, i := range s.reg.byName {
+		if i >= len(s.counts) {
+			continue
+		}
+		n := s.counts[i]
+		if n == 0 {
+			continue
+		}
+		w := s.reg.list[i]
+		if w.Class != class {
+			continue
+		}
+		if !found || n > bestN {
+			best, bestN, found = w, n, true
+		}
+	}
+	return best, found
+}
+
 // Utilization returns busy cores over total cores.
 func (s *Server) Utilization() float64 {
-	return float64(s.busyCores) / float64(s.spec.Cores())
+	return float64(s.busyCores) / float64(s.cores)
 }
 
 // Place assigns one job of workload w to a free core.

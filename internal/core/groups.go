@@ -55,63 +55,122 @@ type groups struct {
 
 func (g *groups) isHot(s *cluster.Server) bool { return s.ID() < g.hotSize }
 
-// scan visits servers [lo,hi) starting from a rotating offset, calling
-// visit for each; the rotation point advances by one per scan.
-func (g *groups) scan(lo, hi int, visit func(*cluster.Server)) {
-	n := hi - lo
-	if n <= 0 {
-		return
-	}
-	g.cursor++
-	start := g.cursor % n
-	for i := 0; i < n; i++ {
-		visit(g.c.Server(lo + (start+i)%n))
-	}
-}
-
 // leastBusy returns the best placement target with a free core among
 // servers [lo,hi) that satisfy keep (nil = all): fewest jobs of w
 // first (even per-workload spread keeps server thermal compositions
 // uniform within a group), then fewest busy cores, with ties rotating.
 // Returns nil if none qualify.
+//
+// The rotating scan is written as a direct loop: placement scans run
+// hundreds of times per tick, and routing each visit through a
+// closure (capturing the comparison state) was a measurable share of
+// whole-run CPU. Each scan over a non-empty range advances the cursor
+// by exactly one.
 func (g *groups) leastBusy(lo, hi int, w workload.Workload, keep func(*cluster.Server) bool) *cluster.Server {
 	wi := g.c.WorkloadIndex(w)
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	g.cursor++
+	start := g.cursor % n
+	servers := g.c.Servers()
 	var best *cluster.Server
 	bestJobs := 0
-	g.scan(lo, hi, func(s *cluster.Server) {
-		if s.FreeCores() == 0 {
-			return
+	// Walk [start, n) then [0, start) with a wrapping index instead of
+	// a per-visit modulo — same visit order, two integer ops cheaper on
+	// a loop that runs for every placement decision. The common nil
+	// filter (every VMT-TA call) gets its own loop without the
+	// per-visit keep check.
+	idx := lo + start
+	if keep == nil {
+		for i := 0; i < n; i++ {
+			s := servers[idx]
+			idx++
+			if idx == lo+n {
+				idx = lo
+			}
+			if s.FreeCores() == 0 {
+				continue
+			}
+			j := s.JobsAt(wi)
+			if best == nil || j < bestJobs ||
+				(j == bestJobs && s.BusyCores() < best.BusyCores()) {
+				best, bestJobs = s, j
+			}
 		}
-		if keep != nil && !keep(s) {
-			return
+		return best
+	}
+	for i := 0; i < n; i++ {
+		s := servers[idx]
+		idx++
+		if idx == lo+n {
+			idx = lo
+		}
+		if s.FreeCores() == 0 {
+			continue
+		}
+		if !keep(s) {
+			continue
 		}
 		j := s.JobsAt(wi)
 		if best == nil || j < bestJobs ||
 			(j == bestJobs && s.BusyCores() < best.BusyCores()) {
 			best, bestJobs = s, j
 		}
-	})
+	}
 	return best
 }
 
 // mostBusyWith returns the server in [lo,hi) running w with the most
-// jobs of w (ties rotating), optionally filtered by keep.
+// jobs of w (ties rotating), optionally filtered by keep. Direct loop
+// for the same reason as leastBusy.
 func (g *groups) mostBusyWith(lo, hi int, w workload.Workload, keep func(*cluster.Server) bool) *cluster.Server {
 	wi := g.c.WorkloadIndex(w)
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	g.cursor++
+	start := g.cursor % n
+	servers := g.c.Servers()
 	var best *cluster.Server
 	bestJobs := 0
-	g.scan(lo, hi, func(s *cluster.Server) {
+	idx := lo + start
+	if keep == nil {
+		for i := 0; i < n; i++ {
+			s := servers[idx]
+			idx++
+			if idx == lo+n {
+				idx = lo
+			}
+			j := s.JobsAt(wi)
+			if j == 0 {
+				continue
+			}
+			if best == nil || j > bestJobs {
+				best, bestJobs = s, j
+			}
+		}
+		return best
+	}
+	for i := 0; i < n; i++ {
+		s := servers[idx]
+		idx++
+		if idx == lo+n {
+			idx = lo
+		}
 		j := s.JobsAt(wi)
 		if j == 0 {
-			return
+			continue
 		}
-		if keep != nil && !keep(s) {
-			return
+		if !keep(s) {
+			continue
 		}
 		if best == nil || j > bestJobs {
 			best, bestJobs = s, j
 		}
-	})
+	}
 	return best
 }
 

@@ -23,6 +23,11 @@ type WaxAware struct {
 	cfg     Config
 	baseHot int
 	pmtC    float64
+	// kAirWPerK and powerScale are hoisted spec scalars; reading them
+	// through Config() would copy the whole spec struct once per
+	// rebalancing probe.
+	kAirWPerK  float64
+	powerScale float64
 
 	// Optional instruments (nil-safe) plus the last observed state
 	// they diff against. prevMelted starts at 0 so the first tick's
@@ -51,6 +56,8 @@ func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
 		cfg:        cfg,
 		baseHot:    base,
 		pmtC:       pmt,
+		kAirWPerK:  c.Config().Server.AirConductanceWPerK,
+		powerScale: c.Config().Server.PowerScale,
 		resizes:    cfg.Metrics.Counter("sched_hot_group_resizes"),
 		trips:      cfg.Metrics.Counter("sched_threshold_trips"),
 		migrations: cfg.Metrics.Counter("sched_migrations"),
@@ -131,8 +138,7 @@ func (wa *WaxAware) Tick(time.Duration) {
 // for a fully melted server. A +0.5 °C margin guards against the wax
 // refreezing (and dumping its stored heat) on small load dips.
 func (wa *WaxAware) keepWarmPowerW(s *cluster.Server) float64 {
-	spec := wa.g.c.Config().Server
-	return (wa.pmtC + 0.5 - s.InletTempC()) * spec.AirConductanceWPerK
+	return (wa.pmtC + 0.5 - s.InletTempC()) * wa.kAirWPerK
 }
 
 // rebalanceMelted migrates load after the hot group saturates: surplus
@@ -181,7 +187,6 @@ func (wa *WaxAware) rebalanceMelted() {
 // for one cold job on an extension server, without needing any free
 // core. Reports whether an exchange happened.
 func (wa *WaxAware) swapOne() bool {
-	spec := wa.g.c.Config().Server
 	for i := 0; i < wa.g.hotSize; i++ {
 		src := wa.g.c.Server(i)
 		if !wa.melted(src) || src.AirTempC() < wa.pmtC {
@@ -192,7 +197,7 @@ func (wa *WaxAware) swapOne() bool {
 			continue
 		}
 		keep := wa.keepWarmPowerW(src)
-		if src.PowerW()-hot.PerCorePowerW()*spec.PowerScale < keep {
+		if src.PowerW()-hot.PerCorePowerW()*wa.powerScale < keep {
 			continue
 		}
 		for j := wa.baseHot; j < wa.g.hotSize; j++ {
@@ -233,8 +238,7 @@ func (wa *WaxAware) shedOneHot() bool {
 		// Only shed if the server stays at keep-warm power afterwards;
 		// draining it would refreeze the wax and release stored heat
 		// in the middle of the peak.
-		spec := wa.g.c.Config().Server
-		if src.PowerW()-w.PerCorePowerW()*spec.PowerScale < keep {
+		if src.PowerW()-w.PerCorePowerW()*wa.powerScale < keep {
 			continue
 		}
 		dst := wa.meltTarget(w, src.ID())
@@ -277,19 +281,10 @@ func (wa *WaxAware) clearOneCold() bool {
 }
 
 // largestJob returns the workload of the given class with the most
-// jobs on s.
+// jobs on s (name-ordered ties, via the cluster's allocation-free
+// scan).
 func (wa *WaxAware) largestJob(s *cluster.Server, class workload.Class) (workload.Workload, bool) {
-	var best workload.Workload
-	found := false
-	for _, w := range s.Workloads() {
-		if w.Class != class {
-			continue
-		}
-		if !found || s.Jobs(w) > s.Jobs(best) {
-			best, found = w, true
-		}
-	}
-	return best, found
+	return s.LargestJob(class)
 }
 
 // Place implements sched.Scheduler using the Section III-B cascade.

@@ -47,3 +47,49 @@ func BenchmarkEstimatorUpdate(b *testing.B) {
 		e.Update(36+float64(i%5), time.Minute)
 	}
 }
+
+// BenchmarkEstimatorUpdateSettled measures the settled fast path: the
+// shadow has equilibrated and every update's enthalpy increment rounds
+// to zero, so Update should cost a lookup and two compares.
+func BenchmarkEstimatorUpdateSettled(b *testing.B) {
+	e, err := NewEstimator(CommercialParaffin(), 4, 22, 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		e.Update(22, time.Minute)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Update(22, time.Minute)
+	}
+}
+
+// BenchmarkCurveProjection measures the enthalpy-table reads the
+// thermal substep loop performs: the temperature-only projection and
+// the full (temperature, melt fraction) state read.
+func BenchmarkCurveProjection(b *testing.B) {
+	p, err := NewPack(CommercialParaffin(), 4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h0, _ := p.IntegratorState()
+	span := p.LatentCapacityJ() * 1.5
+	b.Run("tempAt", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += p.TempAtEnthalpyJ(h0 + float64(i%16)/16*span)
+		}
+		benchSink = sink
+	})
+	b.Run("state", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.SetEnthalpyJ(h0 + float64(i%16)/16*span)
+		}
+	})
+}
+
+var benchSink float64

@@ -1,0 +1,120 @@
+package pcm
+
+import "sync"
+
+// curve is the precomputed enthalpy table for one (material, mass)
+// pair: the piecewise-linear map between pack enthalpy (J, measured
+// relative to fully solid wax at 0 °C) and the observable state
+// (temperature, melt fraction). The table has two breakpoints — the
+// enthalpies where melting starts and completes — with constant slopes
+// between them, so advancing a pack is one addition plus one segment
+// lookup instead of the regime-walking loop the old state machine ran
+// per substep. Built once per material and shared by every pack (and
+// estimator shadow pack) in a cluster via curveFor.
+type curve struct {
+	// meltC is the physical melting temperature.
+	meltC float64
+	// capSolidJPerK and capLiquidJPerK are the sensible heat
+	// capacities (mass × specific heat) of the two phases.
+	capSolidJPerK  float64
+	capLiquidJPerK float64
+	// latentJ is the total heat of fusion (mass × latent heat).
+	latentJ float64
+	// hMeltLoJ and hMeltHiJ are the breakpoint enthalpies: melting
+	// spans [hMeltLoJ, hMeltHiJ).
+	hMeltLoJ float64
+	hMeltHiJ float64
+	// invCapSolidJPerK and invCapLiquidJPerK are reciprocals of the
+	// sensible capacities: the temperature projection runs once per
+	// integration substep, and a multiply is several times cheaper
+	// than a divide there. The melt fraction keeps true division so
+	// (h−hMeltLo)/latentJ can never round above 1 inside the segment.
+	invCapSolidJPerK  float64
+	invCapLiquidJPerK float64
+}
+
+func newCurve(m Material, massKg float64) *curve {
+	cv := &curve{
+		meltC:          m.MeltTempC,
+		capSolidJPerK:  massKg * m.SpecificHeatSolidJPerKgK,
+		capLiquidJPerK: massKg * m.SpecificHeatLiquidJPerKgK,
+		latentJ:        massKg * m.LatentHeatJPerKg,
+	}
+	cv.hMeltLoJ = cv.capSolidJPerK * m.MeltTempC
+	cv.hMeltHiJ = cv.hMeltLoJ + cv.latentJ
+	cv.invCapSolidJPerK = 1 / cv.capSolidJPerK
+	cv.invCapLiquidJPerK = 1 / cv.capLiquidJPerK
+	return cv
+}
+
+// enthalpyAt inverts the table at a phase boundary state: fully solid
+// (or, above the melting point, fully liquid) at tempC.
+func (cv *curve) enthalpyAt(tempC float64) float64 {
+	if tempC > cv.meltC {
+		return cv.hMeltHiJ + cv.capLiquidJPerK*(tempC-cv.meltC)
+	}
+	return cv.capSolidJPerK * tempC
+}
+
+// state maps an enthalpy to (temperature, melt fraction). Inside the
+// melting segment the temperature is pinned exactly at the melting
+// point and the fraction interpolates linearly across the latent span.
+func (cv *curve) state(h float64) (tempC, meltFrac float64) {
+	switch {
+	case h < cv.hMeltLoJ:
+		return h * cv.invCapSolidJPerK, 0
+	case h >= cv.hMeltHiJ:
+		return cv.meltC + (h-cv.hMeltHiJ)*cv.invCapLiquidJPerK, 1
+	default:
+		return cv.meltC, (h - cv.hMeltLoJ) / cv.latentJ
+	}
+}
+
+// tempAt is the temperature-only projection of state, for integrator
+// loops that advance enthalpy many substeps per reporting interval and
+// only need the melt fraction once at the end.
+func (cv *curve) tempAt(h float64) float64 {
+	switch {
+	case h < cv.hMeltLoJ:
+		return h * cv.invCapSolidJPerK
+	case h >= cv.hMeltHiJ:
+		return cv.meltC + (h-cv.hMeltHiJ)*cv.invCapLiquidJPerK
+	default:
+		return cv.meltC
+	}
+}
+
+// curveKey identifies a cached curve. Material is comparable (scalar
+// and string fields only), so the pair is directly usable as a map key.
+type curveKey struct {
+	mat    Material
+	massKg float64
+}
+
+var (
+	curveMu    sync.Mutex
+	curveCache = map[curveKey]*curve{}
+)
+
+// curveFor returns the shared curve for the pair, building it on first
+// use. Curves are immutable after construction, so sharing one pointer
+// across packs (and across RunMany workers) is safe; the cache is
+// bounded by the number of distinct (material, volume) pairs a process
+// sweeps, which the experiments keep small.
+func curveFor(m Material, massKg float64) *curve {
+	key := curveKey{mat: m, massKg: massKg}
+	curveMu.Lock()
+	defer curveMu.Unlock()
+	if cv, ok := curveCache[key]; ok {
+		return cv
+	}
+	// Material sweeps with many synthesized variants (e.g. fuzzed
+	// specs) must not grow the cache without bound; dropping it whole
+	// is cheap and keeps the steady state (a handful of materials) hot.
+	if len(curveCache) >= 256 {
+		curveCache = map[curveKey]*curve{}
+	}
+	cv := newCurve(m, massKg)
+	curveCache[key] = cv
+	return cv
+}

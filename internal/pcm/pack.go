@@ -20,9 +20,22 @@ import (
 // During the phase transition the temperature is pinned at the melting
 // point, which is what lets TTS hold server exhaust temperatures flat
 // through the peak.
+//
+// Internally the primary state is a single enthalpy scalar, and the
+// observable (temperature, melt fraction) pair is read off a
+// precomputed piecewise-linear enthalpy table built once per material
+// (see curve). Adding heat is therefore one addition plus one segment
+// interpolation, regardless of how many phase boundaries the interval
+// crosses — the hot path the per-substep thermal integration hits.
 type Pack struct {
-	mat      Material
-	massKg   float64
+	mat    Material
+	massKg float64
+	cv     *curve
+	// hJ is the enthalpy relative to fully solid wax at 0 °C — the
+	// single integrated state variable.
+	hJ float64
+	// tempC and meltFrac are cached projections of hJ through the
+	// curve, refreshed on every state change.
 	tempC    float64
 	meltFrac float64
 }
@@ -37,10 +50,9 @@ func NewPack(m Material, volumeL, initialTempC float64) (*Pack, error) {
 	if volumeL <= 0 {
 		return nil, fmt.Errorf("pcm: volume must be positive, got %v L", volumeL)
 	}
-	p := &Pack{mat: m, massKg: volumeL * m.DensityKgPerL, tempC: initialTempC}
-	if initialTempC > m.MeltTempC {
-		p.meltFrac = 1
-	}
+	p := &Pack{mat: m, massKg: volumeL * m.DensityKgPerL}
+	p.cv = curveFor(m, p.massKg)
+	p.Reset(initialTempC)
 	return p, nil
 }
 
@@ -58,27 +70,13 @@ func (p *Pack) MeltFrac() float64 { return p.meltFrac }
 
 // LatentCapacityJ returns the total latent storage capacity (mass ×
 // heat of fusion) — the headline thermal battery size.
-func (p *Pack) LatentCapacityJ() float64 {
-	return p.massKg * p.mat.LatentHeatJPerKg
-}
+func (p *Pack) LatentCapacityJ() float64 { return p.cv.latentJ }
 
 // EnthalpyJ returns the pack enthalpy relative to fully solid wax at
 // refTempC (refTempC must not exceed the melting point for the
 // reference to be meaningful).
 func (p *Pack) EnthalpyJ(refTempC float64) float64 {
-	m := p.mat
-	if p.meltFrac == 0 {
-		// Solid at tempC.
-		return p.massKg * m.SpecificHeatSolidJPerKgK * (p.tempC - refTempC)
-	}
-	// Solid sensible up to melt, plus latent portion, plus any liquid
-	// sensible beyond melt.
-	h := p.massKg * m.SpecificHeatSolidJPerKgK * (m.MeltTempC - refTempC)
-	h += p.meltFrac * p.LatentCapacityJ()
-	if p.meltFrac == 1 && p.tempC > m.MeltTempC {
-		h += p.massKg * m.SpecificHeatLiquidJPerKgK * (p.tempC - m.MeltTempC)
-	}
-	return h
+	return p.hJ - p.cv.capSolidJPerK*refTempC
 }
 
 // Apply transfers heat at powerW (negative to extract heat) for dt and
@@ -88,74 +86,43 @@ func (p *Pack) EnthalpyJ(refTempC float64) float64 {
 // into latent melting, and finish with liquid sensible heating.
 func (p *Pack) Apply(powerW float64, dt time.Duration) float64 {
 	energy := powerW * dt.Seconds()
-	p.applyEnergy(energy)
+	p.AddEnergyJ(energy)
 	return energy
 }
 
-// applyEnergy adds (or removes, if negative) energy joules, walking the
-// phase regimes in order.
-func (p *Pack) applyEnergy(energy float64) {
-	const eps = 1e-12
-	m := p.mat
-	for energy > eps || energy < -eps {
-		switch {
-		case energy > 0 && p.meltFrac == 0 && p.tempC < m.MeltTempC:
-			// Sensible solid heating toward the melting point.
-			cap := p.massKg * m.SpecificHeatSolidJPerKgK
-			need := cap * (m.MeltTempC - p.tempC)
-			if energy < need {
-				p.tempC += energy / cap
-				return
-			}
-			p.tempC = m.MeltTempC
-			energy -= need
-		case energy > 0 && p.meltFrac < 1:
-			// Latent melting at the pinned melting temperature.
-			p.tempC = m.MeltTempC
-			need := (1 - p.meltFrac) * p.LatentCapacityJ()
-			if energy < need {
-				p.meltFrac += energy / p.LatentCapacityJ()
-				return
-			}
-			p.meltFrac = 1
-			energy -= need
-		case energy > 0:
-			// Sensible liquid heating.
-			cap := p.massKg * m.SpecificHeatLiquidJPerKgK
-			p.tempC += energy / cap
-			return
-		case energy < 0 && p.meltFrac == 1 && p.tempC > m.MeltTempC:
-			// Sensible liquid cooling toward the melting point.
-			cap := p.massKg * m.SpecificHeatLiquidJPerKgK
-			avail := cap * (p.tempC - m.MeltTempC)
-			if -energy < avail {
-				p.tempC += energy / cap
-				return
-			}
-			p.tempC = m.MeltTempC
-			energy += avail
-		case energy < 0 && p.meltFrac > 0:
-			// Latent freezing at the pinned melting temperature.
-			p.tempC = m.MeltTempC
-			avail := p.meltFrac * p.LatentCapacityJ()
-			if -energy < avail {
-				p.meltFrac += energy / p.LatentCapacityJ()
-				return
-			}
-			p.meltFrac = 0
-			energy += avail
-		default:
-			// Sensible solid cooling (unbounded below).
-			cap := p.massKg * m.SpecificHeatSolidJPerKgK
-			p.tempC += energy / cap
-			return
-		}
-	}
+// AddEnergyJ adds (or removes, if negative) energy joules — the
+// allocation-free fast path the thermal integration and the estimator
+// use, equivalent to Apply with a precomputed energy.
+func (p *Pack) AddEnergyJ(energy float64) {
+	p.hJ += energy
+	p.tempC, p.meltFrac = p.cv.state(p.hJ)
+}
+
+// IntegratorState returns the pack enthalpy and temperature so an
+// integrator loop (thermal.Node) can advance the pack on locals and
+// commit once via SetEnthalpyJ — the per-substep cost is then one
+// addition plus one TempAtEnthalpyJ projection.
+func (p *Pack) IntegratorState() (hJ, tempC float64) { return p.hJ, p.tempC }
+
+// TempAtEnthalpyJ projects an enthalpy through the pack's curve to a
+// temperature without touching pack state — the per-substep companion
+// of IntegratorState.
+func (p *Pack) TempAtEnthalpyJ(h float64) float64 { return p.cv.tempAt(h) }
+
+// SetEnthalpyJ commits an externally integrated enthalpy and refreshes
+// the cached temperature and melt fraction. Equivalent to AddEnergyJ
+// of the accumulated delta.
+func (p *Pack) SetEnthalpyJ(h float64) {
+	p.hJ = h
+	p.tempC, p.meltFrac = p.cv.state(h)
 }
 
 // Reset returns the pack to fully solid at tempC (or fully liquid if
-// tempC is above the melting point).
+// tempC is above the melting point). The cached temperature is set
+// verbatim so resets land on exact values rather than round-tripping
+// through the enthalpy table.
 func (p *Pack) Reset(tempC float64) {
+	p.hJ = p.cv.enthalpyAt(tempC)
 	p.tempC = tempC
 	if tempC > p.mat.MeltTempC {
 		p.meltFrac = 1

@@ -1,0 +1,125 @@
+package pcm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Random energy sequences through the enthalpy table must keep the
+// observable state lawful: melt fraction in [0,1], temperature pinned
+// at the melting point exactly while melting, and the three regimes
+// consistent with the enthalpy segment boundaries.
+func TestPackStateBoundedProperty(t *testing.T) {
+	f := func(deltas []int16, volTenthsL uint8) bool {
+		vol := 0.5 + float64(volTenthsL%80)/10 // 0.5..8.4 L
+		p, err := NewPack(CommercialParaffin(), vol, 22)
+		if err != nil {
+			return false
+		}
+		for _, d := range deltas {
+			p.AddEnergyJ(float64(d) * 50) // up to ±1.6 MJ swings
+			frac, temp := p.MeltFrac(), p.TempC()
+			if frac < 0 || frac > 1 || math.IsNaN(frac) {
+				t.Logf("melt frac %v out of bounds", frac)
+				return false
+			}
+			if math.IsNaN(temp) || math.IsInf(temp, 0) {
+				t.Logf("temperature %v unphysical", temp)
+				return false
+			}
+			switch {
+			case frac > 0 && frac < 1:
+				if temp != p.Material().MeltTempC {
+					t.Logf("melting at %v°C, want pinned %v°C", temp, p.Material().MeltTempC)
+					return false
+				}
+			case frac == 0:
+				if temp > p.Material().MeltTempC {
+					t.Logf("solid above melt: %v°C", temp)
+					return false
+				}
+			case frac == 1:
+				if temp < p.Material().MeltTempC {
+					t.Logf("liquid below melt: %v°C", temp)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Enthalpy is the single integrated state: a sequence of AddEnergyJ
+// calls accumulates exactly (same float additions in the same order as
+// a running sum), and the observable state is a pure function of that
+// enthalpy — a fresh pack fast-forwarded to the same enthalpy reads
+// back the identical temperature and melt fraction.
+func TestPackEnthalpyConservationProperty(t *testing.T) {
+	f := func(deltas []int16) bool {
+		p, err := NewPack(CommercialParaffin(), 4, 22)
+		if err != nil {
+			return false
+		}
+		h0, _ := p.IntegratorState()
+		sum := h0
+		for _, d := range deltas {
+			e := float64(d) * 100
+			p.AddEnergyJ(e)
+			sum += e
+		}
+		h, temp := p.IntegratorState()
+		if math.Float64bits(h) != math.Float64bits(sum) {
+			t.Logf("enthalpy %v, running sum %v", h, sum)
+			return false
+		}
+		q, err := NewPack(CommercialParaffin(), 4, 22)
+		if err != nil {
+			return false
+		}
+		q.SetEnthalpyJ(h)
+		if math.Float64bits(q.TempC()) != math.Float64bits(temp) ||
+			math.Float64bits(q.MeltFrac()) != math.Float64bits(p.MeltFrac()) {
+			t.Logf("state not a pure function of enthalpy: %v/%v vs %v/%v",
+				q.TempC(), q.MeltFrac(), temp, p.MeltFrac())
+			return false
+		}
+		// The temperature-only projection must agree with the full
+		// state read at every enthalpy the walk visited.
+		if math.Float64bits(p.TempAtEnthalpyJ(h)) != math.Float64bits(temp) {
+			t.Logf("TempAtEnthalpyJ diverges from state projection")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The estimator's shadow state obeys the same bounds as the pack it
+// shadows, for arbitrary sensed air temperatures and step lengths.
+func TestEstimatorBoundedProperty(t *testing.T) {
+	f := func(temps []int8, stepMin uint8) bool {
+		e, err := NewEstimator(CommercialParaffin(), 4, 22, 18)
+		if err != nil {
+			return false
+		}
+		dt := time.Duration(1+stepMin%10) * time.Minute
+		for _, tc := range temps {
+			e.Update(float64(tc), dt) // −128..127 °C, well past the clamp range
+			if f := e.MeltFrac(); f < 0 || f > 1 || math.IsNaN(f) {
+				t.Logf("estimator melt %v out of bounds", f)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

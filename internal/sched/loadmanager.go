@@ -21,9 +21,13 @@ type LoadManager struct {
 	mix   *workload.Mix
 	tr    *trace.Trace
 	sched Scheduler
-	// counts caches per-workload job totals so reconciliation does not
-	// rescan the cluster.
-	counts map[workload.Workload]int
+	// entries and shares cache the mix decomposition (entry order and
+	// Share lookups are invariant per run), and counts caches the
+	// per-entry job totals so reconciliation neither rescans the
+	// cluster nor hashes Workload structs per tick.
+	entries []workload.MixEntry
+	shares  []float64
+	counts  []int
 	// placements/evictions are optional instruments (nil-safe).
 	placements *telemetry.Counter
 	evictions  *telemetry.Counter
@@ -42,12 +46,19 @@ func NewLoadManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace, s Sc
 	if c == nil || mix == nil || tr == nil || s == nil {
 		return nil, fmt.Errorf("sched: load manager needs cluster, mix, trace, and scheduler")
 	}
+	entries := mix.Entries()
+	shares := make([]float64, len(entries))
+	for i, e := range entries {
+		shares[i] = mix.Share(e.Workload.Name)
+	}
 	return &LoadManager{
-		c:      c,
-		mix:    mix,
-		tr:     tr,
-		sched:  s,
-		counts: make(map[workload.Workload]int),
+		c:       c,
+		mix:     mix,
+		tr:      tr,
+		sched:   s,
+		entries: entries,
+		shares:  shares,
+		counts:  make([]int, len(entries)),
 	}, nil
 }
 
@@ -62,12 +73,16 @@ func (m *LoadManager) TargetCores(now time.Duration, w workload.Workload) int {
 
 // Reconcile runs one scheduling period: the scheduler's Tick first
 // (group maintenance), then per-workload placement/eviction in
-// deterministic (name) order.
+// deterministic (name) order. The target arithmetic matches
+// TargetCores term for term (u × share × cores, same association), so
+// the cached shares change no decisions.
 func (m *LoadManager) Reconcile(now time.Duration) error {
 	m.sched.Tick(now)
-	for _, e := range m.mix.Entries() {
-		target := m.TargetCores(now, e.Workload)
-		cur := m.counts[e.Workload]
+	u := m.tr.At(now)
+	totalCores := float64(m.c.TotalCores())
+	for k, e := range m.entries {
+		target := int(math.Round(u * m.shares[k] * totalCores))
+		cur := m.counts[k]
 		for cur < target {
 			s, err := m.sched.Place(e.Workload)
 			if err != nil {
@@ -92,7 +107,7 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 			m.evictions.Inc()
 			cur--
 		}
-		m.counts[e.Workload] = cur
+		m.counts[k] = cur
 	}
 	return nil
 }

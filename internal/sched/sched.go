@@ -111,11 +111,15 @@ func (r *RoundRobin) SelectRemoval(w workload.Workload) (*cluster.Server, error)
 // the opposite of what a thermal balancer is for.
 type CoolestFirst struct {
 	c *cluster.Cluster
+	// kAirWPerK caches the spec's air conductance; reading it through
+	// Config() would copy the whole spec per ranking probe, and the
+	// ranking probes every server per placement.
+	kAirWPerK float64
 }
 
 // NewCoolestFirst returns a coolest-first scheduler bound to c.
 func NewCoolestFirst(c *cluster.Cluster) *CoolestFirst {
-	return &CoolestFirst{c: c}
+	return &CoolestFirst{c: c, kAirWPerK: c.Config().Server.AirConductanceWPerK}
 }
 
 // Name implements Scheduler.
@@ -126,9 +130,9 @@ func (f *CoolestFirst) Tick(time.Duration) {}
 
 // projectedTempC is the steady-state temperature the server is heading
 // toward at its current power draw — the quantity a placement changes
-// immediately.
+// immediately. Keep in sync with ServerSpec.SteadyAirTempC.
 func (f *CoolestFirst) projectedTempC(s *cluster.Server) float64 {
-	return f.c.Config().Server.SteadyAirTempC(s.PowerW(), s.InletTempC())
+	return s.InletTempC() + s.PowerW()/f.kAirWPerK
 }
 
 // Place implements Scheduler.

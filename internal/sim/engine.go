@@ -85,9 +85,14 @@ type Engine struct {
 	queue   eventQueue
 	nextSeq uint64
 	nextID  uint64
-	// canceled tracks event IDs whose firing should be suppressed.
-	canceled map[uint64]bool
-	fired    uint64
+	// live indexes queued events by ID so Cancel can mark the event
+	// itself; dispatch then checks a plain struct field instead of
+	// paying a map lookup per event on the steady-state path.
+	live  map[uint64]*event
+	fired uint64
+	// pool recycles one-shot event structs so bursty task-arrival
+	// workloads do not allocate one event per scheduled callback.
+	pool []*event
 	// metrics is nil unless Instrument was called; dispatch pays one
 	// nil check per event when uninstrumented.
 	metrics *engineMetrics
@@ -126,7 +131,7 @@ func (e *Engine) Instrument(r *telemetry.Registry) {
 
 // NewEngine returns an engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{canceled: make(map[uint64]bool)}
+	return &Engine{live: make(map[uint64]*event)}
 }
 
 // Now returns the current simulation time.
@@ -171,17 +176,42 @@ func (e *Engine) Every(start, interval time.Duration, p Priority, fn Handler) (E
 func (e *Engine) push(at time.Duration, p Priority, fn Handler, interval time.Duration) EventID {
 	e.nextSeq++
 	e.nextID++
-	ev := &event{at: at, priority: p, seq: e.nextSeq, fn: fn, interval: interval, id: e.nextID}
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		*ev = event{}
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.priority, ev.seq = at, p, e.nextSeq
+	ev.fn, ev.interval, ev.id = fn, interval, e.nextID
 	heap.Push(&e.queue, ev)
+	e.live[e.nextID] = ev
 	if e.metrics != nil {
 		e.metrics.queueHWM.SetMax(float64(e.queue.Len()))
 	}
 	return EventID(e.nextID)
 }
 
+// retire removes a finished (fired one-shot or canceled) event from the
+// live index and recycles its struct. The pool is capped so a burst of
+// one-shots does not pin memory forever.
+func (e *Engine) retire(ev *event) {
+	delete(e.live, ev.id)
+	if len(e.pool) < 64 {
+		ev.fn = nil // drop the handler reference while pooled
+		e.pool = append(e.pool, ev)
+	}
+}
+
 // Cancel prevents a scheduled (or periodic) event from firing again.
 // Canceling an already-fired one-shot event is a harmless no-op.
-func (e *Engine) Cancel(id EventID) { e.canceled[uint64(id)] = true }
+func (e *Engine) Cancel(id EventID) {
+	if ev, ok := e.live[uint64(id)]; ok {
+		ev.canceled = true
+	}
+}
 
 // RunUntil dispatches events in order until the queue empties or the
 // next event lies strictly beyond end. The clock finishes at end.
@@ -195,10 +225,8 @@ func (e *Engine) RunUntil(end time.Duration) error {
 			break
 		}
 		heap.Pop(&e.queue)
-		if e.canceled[next.id] {
-			if next.interval == 0 {
-				delete(e.canceled, next.id)
-			}
+		if next.canceled {
+			e.retire(next)
 			continue
 		}
 		e.now = next.at
@@ -215,11 +243,14 @@ func (e *Engine) RunUntil(end time.Duration) error {
 		} else {
 			next.fn(e.now)
 		}
-		if next.interval > 0 && !e.canceled[next.id] {
+		if next.interval > 0 && !next.canceled {
 			next.at += next.interval
 			e.nextSeq++
 			next.seq = e.nextSeq
 			heap.Push(&e.queue, next)
+		} else {
+			// Fired one-shot, or a periodic event canceled mid-dispatch.
+			e.retire(next)
 		}
 	}
 	e.now = end

@@ -22,6 +22,18 @@ func NewSeries(step time.Duration) *Series {
 	return &Series{Step: step}
 }
 
+// NewSeriesCap returns an empty series with capacity preallocated for
+// n samples — the simulator knows its sample count up front, and
+// growing per-minute series by repeated append doubling is measurable
+// across a sweep.
+func NewSeriesCap(step time.Duration, n int) *Series {
+	s := NewSeries(step)
+	if n > 0 {
+		s.Values = make([]float64, 0, n)
+	}
+	return s
+}
+
 // Append adds a sample at the next slot.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -103,4 +105,120 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// ReadJSONL decodes a stream in the WriteJSONL format back into span
+// events: one JSON object per line, blank lines ignored. It is the
+// inverse of WriteJSONL — a round trip reproduces the event slice
+// exactly. Any malformed line aborts with an error naming the line.
+func ReadJSONL(r io.Reader) ([]SpanEvent, error) {
+	var events []SpanEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev SpanEvent
+		dec := json.NewDecoder(bytes.NewReader(line))
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", lineNo, err)
+		}
+		// Trailing garbage after the object ("{}x") must not pass.
+		if dec.More() {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: trailing data after event", lineNo)
+		}
+		if err := validateSpanEvent(ev); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: jsonl: %w", err)
+	}
+	return events, nil
+}
+
+// validateSpanEvent rejects events no Tracer could have emitted, so
+// downstream consumers of a decoded stream can rely on the same
+// invariants the writers guarantee.
+func validateSpanEvent(ev SpanEvent) error {
+	if ev.Name == "" {
+		return fmt.Errorf("event missing name")
+	}
+	if ev.Run < 0 {
+		return fmt.Errorf("event %q: negative run %d", ev.Name, ev.Run)
+	}
+	if ev.Wall < 0 || ev.WallStart < 0 {
+		return fmt.Errorf("event %q: negative wall time", ev.Name)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a metrics snapshot in the Registry.WriteJSON
+// format and validates it: names must be present and unique per
+// section, and histogram bucket counts must be cumulative with the
+// final +Inf (null le) bucket equal to the total count. It is the
+// inverse of WriteJSON for any snapshot a Registry can produce.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: snapshot: %w", err)
+	}
+	seen := map[string]bool{}
+	uniq := func(section, name string) error {
+		if name == "" {
+			return fmt.Errorf("telemetry: snapshot: %s with empty name", section)
+		}
+		k := section + "\x00" + name
+		if seen[k] {
+			return fmt.Errorf("telemetry: snapshot: duplicate %s %q", section, name)
+		}
+		seen[k] = true
+		return nil
+	}
+	for _, c := range snap.Counters {
+		if err := uniq("counter", c.Name); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if err := uniq("gauge", g.Name); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if err := uniq("histogram", h.Name); err != nil {
+			return Snapshot{}, err
+		}
+		if len(h.Buckets) == 0 {
+			if h.Count != 0 {
+				return Snapshot{}, fmt.Errorf("telemetry: snapshot: histogram %q: count %d with no buckets", h.Name, h.Count)
+			}
+			continue
+		}
+		var prevLe float64
+		var total uint64
+		for i, b := range h.Buckets {
+			last := i == len(h.Buckets)-1
+			if last != (b.Le == nil) {
+				return Snapshot{}, fmt.Errorf("telemetry: snapshot: histogram %q: +Inf bucket must be last and only last", h.Name)
+			}
+			if b.Le != nil {
+				if i > 0 && *b.Le <= prevLe {
+					return Snapshot{}, fmt.Errorf("telemetry: snapshot: histogram %q: bucket bounds not increasing", h.Name)
+				}
+				prevLe = *b.Le
+			}
+			total += b.Count
+		}
+		if total != h.Count {
+			return Snapshot{}, fmt.Errorf("telemetry: snapshot: histogram %q: bucket counts sum to %d, want %d", h.Name, total, h.Count)
+		}
+	}
+	return snap, nil
 }

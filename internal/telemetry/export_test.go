@@ -136,6 +136,110 @@ func TestChromeTraceArgsCarryGauges(t *testing.T) {
 	}
 }
 
+func TestReadJSONLRoundTrip(t *testing.T) {
+	rec := sampleRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Events()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Name != w.Name || g.Run != w.Run || g.At != w.At ||
+			g.WallStart != w.WallStart || g.Wall != w.Wall {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, w)
+		}
+		if len(g.Args) != len(w.Args) {
+			t.Fatalf("event %d: args %v, want %v", i, g.Args, w.Args)
+		}
+		for k, v := range w.Args {
+			if g.Args[k] != v {
+				t.Fatalf("event %d: arg %s = %v, want %v", i, k, g.Args[k], v)
+			}
+		}
+	}
+}
+
+func TestReadJSONLEmptyAndBlank(t *testing.T) {
+	evs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty input: got %v, %v", evs, err)
+	}
+	evs, err = ReadJSONL(strings.NewReader("\n\n  \n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank lines: got %v, %v", evs, err)
+	}
+}
+
+func TestReadJSONLRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"{not json}",
+		`{"name":"x"} trailing`,
+		`{"run":1}`,                   // missing name
+		`{"name":"x","run":-1}`,       // negative run
+		`{"name":"x","wall_ns":-5}`,   // negative wall time
+		`{"name":"x"}` + "\n" + `???`, // good line then bad line
+	} {
+		if _, err := ReadJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadJSONL(%q) = nil error, want failure", bad)
+		}
+	}
+}
+
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ticks").Add(42)
+	reg.Counter("drops").Add(0)
+	reg.Gauge("melt_frac").Set(0.37)
+	h := reg.Histogram("phase_ms", 1, 5, 10)
+	for _, v := range []float64{0.5, 2, 7, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reg.Snapshot()
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("round trip mismatch:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}
+
+func TestReadSnapshotRejectsInvalid(t *testing.T) {
+	for name, bad := range map[string]string{
+		"not json":         `{`,
+		"empty name":       `{"counters":[{"name":"","value":1}]}`,
+		"duplicate name":   `{"gauges":[{"name":"g","value":1},{"name":"g","value":2}]}`,
+		"count no buckets": `{"histograms":[{"name":"h","count":3,"sum":1,"buckets":[]}]}`,
+		"inf not last":     `{"histograms":[{"name":"h","count":1,"sum":1,"buckets":[{"le":null,"count":1},{"le":5,"count":0}]}]}`,
+		"bounds decrease":  `{"histograms":[{"name":"h","count":2,"sum":1,"buckets":[{"le":5,"count":1},{"le":2,"count":0},{"le":null,"count":1}]}]}`,
+		"count mismatch":   `{"histograms":[{"name":"h","count":9,"sum":1,"buckets":[{"le":5,"count":1},{"le":null,"count":1}]}]}`,
+	} {
+		if _, err := ReadSnapshot(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted invalid input", name)
+		}
+	}
+	// Same-name instruments of different kinds are fine (separate
+	// namespaces, as in the registry itself).
+	ok := `{"counters":[{"name":"x","value":1}],"gauges":[{"name":"x","value":2}]}`
+	if _, err := ReadSnapshot(strings.NewReader(ok)); err != nil {
+		t.Errorf("cross-section name reuse rejected: %v", err)
+	}
+}
+
 func TestChromeTraceEmptyRecorder(t *testing.T) {
 	rec := NewRecorder()
 	var buf bytes.Buffer

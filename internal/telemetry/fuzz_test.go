@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSONL drives the JSONL trace decoder with arbitrary input.
+// The decoder must never panic, and on success every decoded event
+// must satisfy the writer invariants and survive a write→read round
+// trip unchanged.
+func FuzzReadJSONL(f *testing.F) {
+	// Seed with real writer output plus edge shapes.
+	rec := sampleRecorder()
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"name":"physics","run":0,"sim_ns":60000000000,"wall_start_ns":10000,"wall_ns":5000}`)
+	f.Add(`{"name":"sample","args":{"cooling_load_w":123.5}}`)
+	f.Add(`{not json}`)
+	f.Add(`{"name":""}`)
+	f.Add(`{"name":"x","run":-1}`)
+	f.Add(`{"name":"x"} trailing`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			if ev.Name == "" || ev.Run < 0 || ev.Wall < 0 || ev.WallStart < 0 {
+				t.Fatalf("event %d violates invariants: %+v", i, ev)
+			}
+		}
+		// Round trip: re-encode the decoded events and decode again;
+		// the decoder must accept its own writer's output and agree.
+		rt := NewRecorder()
+		for _, ev := range events {
+			rt.Emit(ev)
+		}
+		var out bytes.Buffer
+		if err := rt.WriteJSONL(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+	})
+}
+
+// FuzzReadSnapshot drives the metrics snapshot decoder with arbitrary
+// JSON. The decoder must never panic; anything it accepts must
+// re-encode to a snapshot it accepts again (idempotent validation).
+func FuzzReadSnapshot(f *testing.F) {
+	reg := NewRegistry()
+	reg.Counter("ticks").Add(7)
+	reg.Gauge("melt_frac").Set(0.25)
+	h := reg.Histogram("phase_ms", 1, 10)
+	h.Observe(0.5)
+	h.Observe(25)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"counters":null,"gauges":null,"histograms":null}`)
+	f.Add(`{"counters":[{"name":"c","value":1}]}`)
+	f.Add(`{"histograms":[{"name":"h","count":1,"sum":2,"buckets":[{"le":null,"count":1}]}]}`)
+	f.Add(`{"histograms":[{"name":"h","count":9,"sum":2,"buckets":[{"le":null,"count":1}]}]}`)
+	f.Add(`not json`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		snap, err := ReadSnapshot(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		re, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted snapshot failed: %v", err)
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(re)); err != nil {
+			t.Fatalf("validation not idempotent: %v\ninput: %s", err, re)
+		}
+	})
+}

@@ -23,6 +23,29 @@ func BenchmarkNodeStep(b *testing.B) {
 	}
 }
 
+// BenchmarkNodeStepSettled measures the memoized steady-state path:
+// after the node equilibrates under constant power, repeated identical
+// steps replay a recorded transition instead of integrating substeps.
+// Cold-group servers spend most of a diurnal trace here.
+func BenchmarkNodeStepSettled(b *testing.B) {
+	n, err := NewNode(PaperServer(), pcm.CommercialParaffin(), 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if _, err := n.Step(150, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Step(150, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkNodeStepMelting(b *testing.B) {
 	n, err := NewNode(PaperServer(), pcm.CommercialParaffin(), 22)
 	if err != nil {

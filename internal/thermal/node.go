@@ -15,11 +15,45 @@ type Node struct {
 	inletC float64
 	airC   float64
 	pack   *pcm.Pack
+	// cAirJPerK caches spec.AirHeatCapacityJPerK(): the spec is
+	// immutable after construction and the method (with its value
+	// receiver copy) would otherwise run once per Step call.
+	// invCAirPerJK is its reciprocal, so the substep loop multiplies
+	// instead of divides.
+	cAirJPerK    float64
+	invCAirPerJK float64
 	// cumulative energy accounting, used by conservation tests and
 	// the cooling metrics
 	inputJ  float64
 	ejectJ  float64
 	storedJ float64
+
+	// Step-transition memo. The substep loop is a pure function of
+	// (air temperature, wax enthalpy, power, dt) — plus the inlet and
+	// spec, which are fixed between SetInletTempC calls — so a step
+	// whose pre-state and inputs exactly match a memoized transition
+	// replays the memoized outcome bit-identically without
+	// integrating. Two slots (round-robin) cover both a true
+	// floating-point fixed point and the period-2 last-ulp limit
+	// cycles a settled air node falls into; long stretches of steady
+	// load (cold-group servers over a diurnal trace) then cost a few
+	// additions per tick. SetInletTempC invalidates the memo.
+	memo     [2]stepMemo
+	memoNext int
+}
+
+// stepMemo is one recorded step transition (see Node.memo).
+type stepMemo struct {
+	valid       bool
+	airC, waxHJ float64
+	powerW      float64
+	dt          time.Duration
+	postAirC    float64
+	postWaxHJ   float64
+	res         StepResult
+	ejectJ      float64
+	storedJ     float64
+	inputJ      float64
 }
 
 // NewNode builds a node at thermal equilibrium with its inlet air: the
@@ -34,7 +68,15 @@ func NewNode(spec ServerSpec, mat pcm.Material, inletC float64) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{spec: spec, inletC: inletC, airC: inletC, pack: pack}, nil
+	cAir := spec.AirHeatCapacityJPerK()
+	return &Node{
+		spec:         spec,
+		inletC:       inletC,
+		airC:         inletC,
+		pack:         pack,
+		cAirJPerK:    cAir,
+		invCAirPerJK: 1 / cAir,
+	}, nil
 }
 
 // Spec returns the node's server specification.
@@ -45,7 +87,11 @@ func (n *Node) InletTempC() float64 { return n.inletC }
 
 // SetInletTempC overrides the inlet temperature (used by the inlet
 // variation experiments, Figures 19–20).
-func (n *Node) SetInletTempC(c float64) { n.inletC = c }
+func (n *Node) SetInletTempC(c float64) {
+	n.inletC = c
+	n.memo[0].valid = false
+	n.memo[1].valid = false
+}
 
 // AirTempC returns the current air temperature at the wax.
 func (n *Node) AirTempC() float64 { return n.airC }
@@ -85,34 +131,94 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	if powerW < 0 {
 		return StepResult{}, fmt.Errorf("thermal: negative power %v", powerW)
 	}
-	var ejected, stored float64
-	remaining := dt
-	cAir := n.spec.AirHeatCapacityJPerK()
-	for remaining > 0 {
-		h := n.spec.SubStep
-		if h > remaining {
-			h = remaining
+	pack := n.pack
+	waxH, waxT := pack.IntegratorState()
+	airC0, waxH0 := n.airC, waxH
+	for i := range n.memo {
+		m := &n.memo[i]
+		if m.valid && m.airC == airC0 && m.waxHJ == waxH0 &&
+			m.powerW == powerW && m.dt == dt {
+			// Exact pre-state and inputs: the full loop would recompute
+			// exactly the memoized outcome.
+			n.airC = m.postAirC
+			pack.SetEnthalpyJ(m.postWaxHJ)
+			n.inputJ += m.inputJ
+			n.ejectJ += m.ejectJ
+			n.storedJ += m.storedJ
+			return m.res, nil
 		}
-		sec := h.Seconds()
-		toRoom := n.spec.AirConductanceWPerK * (n.airC - n.inletC)
-		toWax := n.spec.WaxConductanceWPerK * (n.airC - n.pack.TempC())
-		n.airC += sec * (powerW - toRoom - toWax) / cAir
-		n.pack.Apply(toWax, h)
+	}
+	// Invariant quantities are hoisted out of the substep loop and the
+	// wax pack is advanced on locals (enthalpy plus its temperature
+	// projection), committed once after the loop; the per-substep
+	// arithmetic (and therefore every float result) is unchanged from
+	// the straightforward form it replaces.
+	var ejected, stored float64
+	invCAir := n.invCAirPerJK
+	kAir := n.spec.AirConductanceWPerK
+	hWax := n.spec.WaxConductanceWPerK
+	inlet := n.inletC
+	airC := airC0
+	sub := n.spec.SubStep
+	subSec := sub.Seconds()
+	// Counted loop over the full substeps plus one explicit trailing
+	// partial: the same sequence of substep lengths the countdown form
+	// produced, without per-iteration duration bookkeeping.
+	nFull := int(dt / sub)
+	partial := dt - time.Duration(nFull)*sub
+	for i := 0; i < nFull; i++ {
+		toRoom := kAir * (airC - inlet)
+		toWax := hWax * (airC - waxT)
+		airC += subSec * (powerW - toRoom - toWax) * invCAir
+		waxH += toWax * subSec
+		waxT = pack.TempAtEnthalpyJ(waxH)
+		ejected += toRoom * subSec
+		stored += toWax * subSec
+	}
+	if partial > 0 {
+		sec := partial.Seconds()
+		toRoom := kAir * (airC - inlet)
+		toWax := hWax * (airC - waxT)
+		airC += sec * (powerW - toRoom - toWax) * invCAir
+		waxH += toWax * sec
 		ejected += toRoom * sec
 		stored += toWax * sec
-		remaining -= h
 	}
+	pack.SetEnthalpyJ(waxH)
+	n.airC = airC
 	sec := dt.Seconds()
-	n.inputJ += powerW * sec
+	inputJ := powerW * sec
+	n.inputJ += inputJ
 	n.ejectJ += ejected
 	n.storedJ += stored
-	return StepResult{
+	res := StepResult{
 		AirTempC:     n.airC,
 		WaxTempC:     n.pack.TempC(),
 		MeltFrac:     n.pack.MeltFrac(),
 		CoolingLoadW: ejected / sec,
 		WaxFlowW:     stored / sec,
-	}, nil
+	}
+	// Memoize only transitions whose wax enthalpy stayed put: while the
+	// wax is actively charging or discharging the pre-state can never
+	// recur, so recording those steps would pay the copy for no future
+	// hit. A stationary wax covers both the true fixed point and the
+	// last-ulp air limit cycles.
+	if waxH == waxH0 {
+		m := &n.memo[n.memoNext]
+		m.valid = true
+		m.airC = airC0
+		m.waxHJ = waxH0
+		m.powerW = powerW
+		m.dt = dt
+		m.postAirC = airC
+		m.postWaxHJ = waxH
+		m.res = res
+		m.ejectJ = ejected
+		m.storedJ = stored
+		m.inputJ = inputJ
+		n.memoNext = 1 - n.memoNext
+	}
+	return res, nil
 }
 
 // EnergyLedger reports cumulative energy totals since construction.
@@ -128,5 +234,5 @@ func (n *Node) Ledger() EnergyLedger {
 // AirEnergyJ returns the energy held by the air node relative to the
 // inlet temperature — the remainder term in the conservation balance.
 func (n *Node) AirEnergyJ() float64 {
-	return n.spec.AirHeatCapacityJPerK() * (n.airC - n.inletC)
+	return n.cAirJPerK * (n.airC - n.inletC)
 }

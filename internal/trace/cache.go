@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Generated traces are immutable (every accessor reads or copies), so
+// sweeps that run hundreds of configurations over the same spec can
+// share one decoded trace instead of re-synthesizing ~2,900 samples
+// per run. Spec contains slices and cannot be a map key directly; its
+// printed form (plus the step) is a faithful identity because
+// generation is a pure function of exactly those inputs.
+var (
+	cacheMu    sync.Mutex
+	traceCache = map[string]*Trace{}
+)
+
+// cachedMaxEntries bounds the cache; property tests that synthesize
+// many random specs must not grow it without limit. Dropping the whole
+// map is cheap and keeps the steady state (a few sweep specs) hot.
+const cachedMaxEntries = 256
+
+// Cached returns a shared trace for the spec/step pair, generating and
+// memoizing it on first use. The returned trace must be treated as
+// read-only (all Trace methods are). Safe for concurrent use — batch
+// runners hit it from every worker.
+func Cached(spec Spec, step time.Duration) (*Trace, error) {
+	key := fmt.Sprintf("%+v|%d", spec, step)
+	cacheMu.Lock()
+	if tr, ok := traceCache[key]; ok {
+		cacheMu.Unlock()
+		return tr, nil
+	}
+	cacheMu.Unlock()
+
+	// Generate outside the lock: synthesis is the expensive part, and
+	// two racing generators produce identical traces anyway.
+	tr, err := Generate(spec, step)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if prev, ok := traceCache[key]; ok {
+		return prev, nil
+	}
+	if len(traceCache) >= cachedMaxEntries {
+		traceCache = map[string]*Trace{}
+	}
+	traceCache[key] = tr
+	return tr, nil
+}

@@ -104,6 +104,13 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 				if cfg.Metrics == nil {
 					cfg.Metrics = opts.Metrics
 				}
+				// Batch workers already saturate the cores; nested
+				// per-tick physics parallelism would only add
+				// contention. Results are bit-identical for any
+				// worker count, so this changes nothing observable.
+				if cfg.PhysicsWorkers == 0 {
+					cfg.PhysicsWorkers = 1
+				}
 				// Tag the batch tracer (or the process default) with
 				// the run index so exported traces keep runs apart; a
 				// per-Config tracer is the caller's own and passes

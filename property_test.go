@@ -1,0 +1,104 @@
+package vmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+// identicalSeries reports the first bit-level divergence between two
+// result series sets, or "" if every sample matches exactly.
+func identicalSeries(a, b *Result) string {
+	pairs := []struct {
+		name string
+		x, y *stats.Series
+	}{
+		{"cooling", a.CoolingLoadW, b.CoolingLoadW},
+		{"power", a.TotalPowerW, b.TotalPowerW},
+		{"air", a.MeanAirTempC, b.MeanAirTempC},
+		{"melt", a.MeanMeltFrac, b.MeanMeltFrac},
+		{"wax_energy", a.WaxEnergyJ, b.WaxEnergyJ},
+	}
+	for _, p := range pairs {
+		if p.x.Len() != p.y.Len() {
+			return p.name + ": length mismatch"
+		}
+		for i := range p.x.Values {
+			if math.Float64bits(p.x.Values[i]) != math.Float64bits(p.y.Values[i]) {
+				return p.name + ": diverged"
+			}
+		}
+	}
+	return ""
+}
+
+// Physics parallelism must be invisible in the results: any
+// PhysicsWorkers value produces bit-identical series, because the
+// per-server updates are independent and the reduction runs in fixed
+// ID order regardless of which goroutine computed each server.
+func TestPhysicsWorkersBitIdenticalProperty(t *testing.T) {
+	f := func(peakPct, troughPct, noisePct uint8, seed uint64, wa, stream bool) bool {
+		policy := PolicyVMTTA
+		if wa {
+			policy = PolicyVMTWA
+		}
+		base := Scenario(9, policy, 22)
+		base.Trace = randomTrace(peakPct, troughPct, noisePct, seed)
+		base.Step = 2 * time.Minute
+		base.JobStream = stream
+		base.Seed = seed
+
+		var ref *Result
+		for _, workers := range []int{1, 2, 8} {
+			cfg := base
+			cfg.PhysicsWorkers = workers
+			res, err := Run(cfg)
+			if err != nil {
+				t.Logf("workers=%d: %v", workers, err)
+				return false
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if d := identicalSeries(ref, res); d != "" {
+				t.Logf("workers=%d vs 1: %s", workers, d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Batch parallelism must be equally invisible: RunMany with any worker
+// bound reproduces the sequential results run for run.
+func TestRunManyWorkerBoundsBitIdentical(t *testing.T) {
+	var cfgs []Config
+	for i, policy := range []Policy{PolicyRoundRobin, PolicyVMTTA, PolicyVMTWA, PolicyVMTTA} {
+		cfg := Scenario(6, policy, 20+2*float64(i))
+		cfg.Trace = randomTrace(uint8(40*i), 20, 3, uint64(i+1))
+		cfg.Step = 2 * time.Minute
+		cfgs = append(cfgs, cfg)
+	}
+	ref, err := RunManyN(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 100} {
+		got, err := RunManyN(cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range cfgs {
+			if d := identicalSeries(ref[i], got[i]); d != "" {
+				t.Fatalf("workers=%d, cfg %d: %s", workers, i, d)
+			}
+		}
+	}
+}

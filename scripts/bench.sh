@@ -1,0 +1,76 @@
+#!/bin/sh
+# Hot-path benchmark runner: exercises the end-to-end run benchmarks
+# plus the pcm/thermal/cluster/sim microbenchmarks several times and
+# records the samples (with per-benchmark medians) as JSON.
+#
+# Usage: scripts/bench.sh [count] [out.json]
+#
+#   count     repetitions per benchmark (go test -count; default 5)
+#   out.json  output path (default BENCH_PR2.json in the repo root)
+#
+# Medians over several -count repetitions are the comparison currency:
+# single runs on shared machines swing tens of percent. Compare the
+# committed BENCH_PR2.json against a fresh run on the same host, not
+# across hosts.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT=${1:-5}
+OUT=${2:-BENCH_PR2.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+run_bench() {
+    # run_bench <package> <pattern> <benchtime>
+    echo "== $1 ($2)" >&2
+    go test -run '^$' -bench "$2" -benchtime "$3" -count "$COUNT" "$1" >>"$TMP"
+}
+
+run_bench .                   '^(BenchmarkRun|BenchmarkRunTraced)$'                                  20x
+run_bench ./internal/pcm/     'BenchmarkPackApply|BenchmarkEstimatorUpdate|BenchmarkCurveProjection' 2000000x
+run_bench ./internal/thermal/ 'BenchmarkNodeStep'                                                    200000x
+run_bench ./internal/cluster/ 'BenchmarkClusterStepWorkers'                                          500x
+run_bench ./internal/sim/     'BenchmarkPeriodicDispatch|BenchmarkManyOneShots'                      100x
+
+awk -v count="$COUNT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = ""; bop = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bop = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    n = samples[name]++
+    val[name, n] = ns
+    lastb[name] = bop
+    lasta[name] = allocs
+    if (!(name in order)) { order[name] = ++norder; names[norder] = name }
+}
+END {
+    printf "{\n  \"count\": %d,\n  \"benchmarks\": [\n", count
+    for (k = 1; k <= norder; k++) {
+        name = names[k]
+        n = samples[name]
+        # insertion sort the samples for the median
+        for (i = 0; i < n; i++) sorted[i] = val[name, i] + 0
+        for (i = 1; i < n; i++) {
+            v = sorted[i]
+            for (j = i - 1; j >= 0 && sorted[j] > v; j--) sorted[j + 1] = sorted[j]
+            sorted[j + 1] = v
+        }
+        if (n % 2) median = sorted[int(n / 2)]
+        else median = (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        printf "    {\"name\": \"%s\", \"median_ns_op\": %g, \"samples_ns_op\": [", name, median
+        for (i = 0; i < n; i++) printf "%s%g", (i ? ", " : ""), val[name, i] + 0
+        printf "]"
+        if (lastb[name] != "") printf ", \"b_op\": %s, \"allocs_op\": %s", lastb[name], lasta[name]
+        printf "}%s\n", (k < norder ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$TMP" >"$OUT"
+
+echo "wrote $OUT" >&2

@@ -23,9 +23,16 @@ go build ./...
 echo "== go test"
 go test ./...
 
+echo "== golden + property harness (short mode)"
+go test -short -count=1 \
+    -run 'TestGolden|Property|BitIdentical' \
+    . ./internal/pcm/ ./internal/thermal/ ./internal/cluster/
+
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ \
     -run 'Test' -count=1
-go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability' -count=1
+go test -race ./internal/cluster/ \
+    -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability|TestPhysicsWorkers' -count=1
 
 echo "ok"

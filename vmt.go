@@ -106,6 +106,14 @@ type Config struct {
 	// Step is the scheduling/model period (zero → one minute, the
 	// paper's wax-model update interval).
 	Step time.Duration
+	// PhysicsWorkers bounds the goroutines advancing per-server
+	// physics inside each tick. Results are bit-identical for every
+	// value (the per-server updates are independent and the
+	// aggregation is a fixed-order sequential reduction); the knob
+	// only trades goroutines for wall time. Zero picks automatically:
+	// parallel for large clusters in a solo Run, serial inside RunMany
+	// (whose workers already saturate the cores). Negative is invalid.
+	PhysicsWorkers int
 	// RecordGrids retains per-server, per-sample air temperature and
 	// melt fraction (the heat-map figures). Costs O(servers×samples)
 	// memory, so it defaults off.
@@ -189,6 +197,9 @@ func (c Config) Validate() error {
 	if c.Step <= 0 {
 		return fmt.Errorf("vmt: need a positive step")
 	}
+	if c.PhysicsWorkers < 0 {
+		return fmt.Errorf("vmt: negative physics worker count %d", c.PhysicsWorkers)
+	}
 	if c.CustomTrace != nil {
 		if c.CustomTrace.Len() < 2 {
 			return fmt.Errorf("vmt: custom trace needs at least two samples")
@@ -265,12 +276,13 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults().withDefaultObservability()
 
 	cl, err := cluster.New(cluster.Config{
-		NumServers:  cfg.Servers,
-		Server:      cfg.Server,
-		Material:    cfg.Material,
-		InletTempC:  cfg.InletTempC,
-		InletStdevC: cfg.InletStdevC,
-		Seed:        cfg.Seed,
+		NumServers:     cfg.Servers,
+		Server:         cfg.Server,
+		Material:       cfg.Material,
+		InletTempC:     cfg.InletTempC,
+		InletStdevC:    cfg.InletStdevC,
+		Seed:           cfg.Seed,
+		PhysicsWorkers: cfg.PhysicsWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -281,7 +293,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	tr := cfg.CustomTrace
 	if tr == nil {
-		tr, err = trace.Generate(cfg.Trace, cfg.Step)
+		// Cached: sweeps rerun the same spec hundreds of times, and
+		// generated traces are immutable, so every run of a batch
+		// shares one decode.
+		tr, err = trace.Cached(cfg.Trace, cfg.Step)
 		if err != nil {
 			return nil, err
 		}
@@ -314,19 +329,22 @@ func Run(cfg Config) (*Result, error) {
 		reconcile = lm
 	}
 
+	// One sample lands per step over the trace; preallocating the
+	// series keeps the sample phase free of append reallocations.
+	nSamples := int(tr.Duration() / cfg.Step)
 	res := &Result{
 		Config:       cfg,
-		CoolingLoadW: stats.NewSeries(cfg.Step),
-		TotalPowerW:  stats.NewSeries(cfg.Step),
-		MeanAirTempC: stats.NewSeries(cfg.Step),
-		MeanMeltFrac: stats.NewSeries(cfg.Step),
-		WaxEnergyJ:   stats.NewSeries(cfg.Step),
-		MaxCPUTempC:  stats.NewSeries(cfg.Step),
+		CoolingLoadW: stats.NewSeriesCap(cfg.Step, nSamples),
+		TotalPowerW:  stats.NewSeriesCap(cfg.Step, nSamples),
+		MeanAirTempC: stats.NewSeriesCap(cfg.Step, nSamples),
+		MeanMeltFrac: stats.NewSeriesCap(cfg.Step, nSamples),
+		WaxEnergyJ:   stats.NewSeriesCap(cfg.Step, nSamples),
+		MaxCPUTempC:  stats.NewSeriesCap(cfg.Step, nSamples),
 	}
 	grouper, hasGroups := scheduler.(hotGrouper)
 	if hasGroups {
-		res.HotGroupTempC = stats.NewSeries(cfg.Step)
-		res.HotGroupSize = stats.NewSeries(cfg.Step)
+		res.HotGroupTempC = stats.NewSeriesCap(cfg.Step, nSamples)
+		res.HotGroupSize = stats.NewSeriesCap(cfg.Step, nSamples)
 	}
 
 	eng := sim.NewEngine()
@@ -443,11 +461,9 @@ func Run(cfg Config) (*Result, error) {
 		if lastSample.ThrottlingServers > 0 {
 			res.ThrottleMinutes++
 		}
-		var wax float64
-		for _, s := range cl.Servers() {
-			wax += s.Node().Ledger().WaxStoredJ
-		}
-		res.WaxEnergyJ.Append(wax)
+		// The cluster accumulates the fleet wax ledger during its own
+		// reduction (same ID-order sum this loop used to run).
+		res.WaxEnergyJ.Append(lastSample.WaxEnergyJ)
 		if hasGroups {
 			size := grouper.HotGroupSize()
 			res.HotGroupSize.Append(float64(size))
