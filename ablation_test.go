@@ -107,7 +107,7 @@ func TestPreserveStudyNeutralOnStandardTrace(t *testing.T) {
 }
 
 func TestDayPeakReductionsSplit(t *testing.T) {
-	cfg := Scenario(4, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(4)
 	base, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

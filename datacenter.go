@@ -118,7 +118,7 @@ func RunOversubscriptionStudy(servers int, policy Policy, gv, safetyFrac float64
 	if safetyFrac < 0 || safetyFrac >= 1 {
 		return OversubscriptionStudy{}, fmt.Errorf("vmt: safety fraction %v out of [0,1)", safetyFrac)
 	}
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	baseline, err := Run(BaselineScenario(servers))
 	if err != nil {
 		return OversubscriptionStudy{}, err
 	}

@@ -47,20 +47,20 @@ func TestRunFacilityErrors(t *testing.T) {
 	if _, err := RunFacility(Facility{}, chiller.Plant{}); err == nil {
 		t.Fatal("empty facility should fail")
 	}
-	short := Scenario(2, PolicyRoundRobin, 0)
+	short := BaselineScenario(2)
 	short.Trace = smallTrace()
-	long := Scenario(2, PolicyRoundRobin, 0) // full two-day default
+	long := BaselineScenario(2) // full two-day default
 	if _, err := RunFacility(Facility{Clusters: []Config{short, long}}, chiller.Plant{}); err == nil {
 		t.Fatal("mismatched trace lengths should fail")
 	}
-	bad := Scenario(0, PolicyRoundRobin, 0)
+	bad := BaselineScenario(0)
 	if _, err := RunFacility(Facility{Clusters: []Config{bad}}, chiller.Plant{}); err == nil {
 		t.Fatal("invalid member should fail")
 	}
 }
 
 func TestRunFacilityExplicitPlant(t *testing.T) {
-	c := Scenario(4, PolicyRoundRobin, 0)
+	c := BaselineScenario(4)
 	c.Trace = smallTrace()
 	tiny := chiller.PaperPlant(10) // absurdly small: every sample violates
 	res, err := RunFacility(Facility{Clusters: []Config{c}}, tiny)

@@ -20,7 +20,7 @@ func main() {
 	const servers = 1000
 	const gv = 22 // the best grouping value for the paper's mix
 
-	baseline, err := vmt.Run(vmt.Scenario(servers, vmt.PolicyRoundRobin, 0))
+	baseline, err := vmt.Run(vmt.BaselineScenario(servers))
 	if err != nil {
 		log.Fatal(err)
 	}

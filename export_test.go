@@ -47,7 +47,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 }
 
 func TestResultJSONOmitsAbsentSeries(t *testing.T) {
-	cfg := Scenario(3, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(3)
 	cfg.Trace = smallTrace()
 	res, err := Run(cfg)
 	if err != nil {
@@ -92,7 +92,7 @@ func TestCustomTraceDrivesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Scenario(4, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(4)
 	cfg.CustomTrace = tr
 	res, err := Run(cfg)
 	if err != nil {
@@ -114,7 +114,7 @@ func TestCustomTraceDrivesRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = short
-	bad := Scenario(2, PolicyRoundRobin, 0)
+	bad := BaselineScenario(2)
 	bad.CustomTrace = nil
 	bad.Trace.Days = -1
 	if err := bad.Validate(); err == nil {

@@ -11,7 +11,7 @@ import (
 
 func TestRunManyMatchesSequential(t *testing.T) {
 	cfgs := []Config{
-		func() Config { c := Scenario(5, PolicyRoundRobin, 0); c.Trace = smallTrace(); return c }(),
+		func() Config { c := BaselineScenario(5); c.Trace = smallTrace(); return c }(),
 		func() Config { c := Scenario(5, PolicyVMTTA, 22); c.Trace = smallTrace(); return c }(),
 		func() Config { c := Scenario(5, PolicyVMTWA, 22); c.Trace = smallTrace(); return c }(),
 	}
@@ -38,8 +38,8 @@ func TestRunManyMatchesSequential(t *testing.T) {
 
 func TestRunManyPropagatesErrors(t *testing.T) {
 	cfgs := []Config{
-		func() Config { c := Scenario(3, PolicyRoundRobin, 0); c.Trace = smallTrace(); return c }(),
-		Scenario(0, PolicyRoundRobin, 0), // invalid
+		func() Config { c := BaselineScenario(3); c.Trace = smallTrace(); return c }(),
+		BaselineScenario(0), // invalid
 	}
 	if _, err := RunMany(cfgs); err == nil {
 		t.Fatal("invalid config should fail the batch")
@@ -50,7 +50,7 @@ func TestRunManyNWorkerBounds(t *testing.T) {
 	if _, err := RunManyN(nil, 0); err == nil {
 		t.Fatal("zero workers should fail")
 	}
-	cfg := Scenario(3, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(3)
 	cfg.Trace = smallTrace()
 	res, err := RunManyN([]Config{cfg}, 16) // workers > jobs
 	if err != nil || len(res) != 1 {
@@ -63,11 +63,11 @@ func TestRunManyNWorkerBounds(t *testing.T) {
 // completes, and its result is populated.
 func TestRunManyPartialResults(t *testing.T) {
 	mk := func(servers int) Config {
-		c := Scenario(servers, PolicyRoundRobin, 0)
+		c := BaselineScenario(servers)
 		c.Trace = smallTrace()
 		return c
 	}
-	cfgs := []Config{mk(3), Scenario(0, PolicyRoundRobin, 0) /* invalid */, mk(4)}
+	cfgs := []Config{mk(3), BaselineScenario(0) /* invalid */, mk(4)}
 	results, err := RunManyN(cfgs, 2)
 	if err == nil {
 		t.Fatal("invalid config should fail the batch")
@@ -101,7 +101,7 @@ func TestRunManyPartialResults(t *testing.T) {
 func TestRunManyOptsProgressAndThroughput(t *testing.T) {
 	cfgs := make([]Config, 3)
 	for i := range cfgs {
-		cfgs[i] = Scenario(3, PolicyRoundRobin, 0)
+		cfgs[i] = BaselineScenario(3)
 		cfgs[i].Trace = smallTrace()
 	}
 	var buf bytes.Buffer
@@ -123,7 +123,7 @@ func TestRunManyOptsProgressAndThroughput(t *testing.T) {
 func TestRunManyOptsSharedTracerTagsRuns(t *testing.T) {
 	cfgs := make([]Config, 3)
 	for i := range cfgs {
-		cfgs[i] = Scenario(3, PolicyRoundRobin, 0)
+		cfgs[i] = BaselineScenario(3)
 		cfgs[i].Trace = smallTrace()
 	}
 	rec := telemetry.NewRecorder()

@@ -155,7 +155,7 @@ func TestDefaultObservabilityAppliesToRuns(t *testing.T) {
 	SetDefaultObservability(reg, rec)
 	defer SetDefaultObservability(nil, nil)
 
-	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(5)
 	cfg.Trace = smallTrace()
 	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)

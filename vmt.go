@@ -147,6 +147,16 @@ func Scenario(servers int, policy Policy, gv float64) Config {
 	return Config{Servers: servers, Policy: policy, GV: gv}
 }
 
+// BaselineScenario returns the round-robin reference configuration
+// every study measures against: the given cluster size under the prior
+// TTS work's baseline scheduler, no grouping value. Centralizing the
+// construction keeps the baseline semantics in one place (and makes
+// the shared-baseline run deduplication of the experiment engine easy
+// to see at call sites).
+func BaselineScenario(servers int) Config {
+	return Scenario(servers, PolicyRoundRobin, 0)
+}
+
 // withDefaults resolves zero values to the paper's configuration.
 func (c Config) withDefaults() Config {
 	if c.Server == (thermal.ServerSpec{}) {

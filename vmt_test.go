@@ -41,13 +41,13 @@ func TestConfigValidate(t *testing.T) {
 		}
 	}
 	// Baselines do not need a GV.
-	if err := Scenario(10, PolicyRoundRobin, 0).Validate(); err != nil {
+	if err := BaselineScenario(10).Validate(); err != nil {
 		t.Errorf("round robin without GV should be valid: %v", err)
 	}
 }
 
 func TestRunProducesAlignedSeries(t *testing.T) {
-	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(5)
 	cfg.Trace = smallTrace()
 	res, err := Run(cfg)
 	if err != nil {
@@ -92,7 +92,7 @@ func TestRunVMTReportsGroups(t *testing.T) {
 }
 
 func TestRunRecordsGrids(t *testing.T) {
-	cfg := Scenario(4, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(4)
 	cfg.Trace = smallTrace()
 	cfg.RecordGrids = true
 	res, err := Run(cfg)
@@ -431,7 +431,7 @@ func TestShapeJobStreamRobustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full two-day cluster runs")
 	}
-	rr := Scenario(100, PolicyRoundRobin, 0)
+	rr := BaselineScenario(100)
 	rr.JobStream = true
 	base, err := Run(rr)
 	if err != nil {
@@ -485,7 +485,7 @@ func TestJobStreamDeterministic(t *testing.T) {
 }
 
 func TestJobStreamCustomDurations(t *testing.T) {
-	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(5)
 	cfg.Trace = smallTrace()
 	cfg.JobStream = true
 	cfg.TaskDurations = map[string]time.Duration{"VideoEncoding": 3 * time.Minute}
@@ -549,7 +549,7 @@ func TestHeadline1000Servers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three 1,000-server two-day runs")
 	}
-	baseline, err := Run(Scenario(1000, PolicyRoundRobin, 0))
+	baseline, err := Run(BaselineScenario(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
