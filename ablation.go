@@ -1,6 +1,7 @@
 package vmt
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -27,43 +28,25 @@ type AblationPoint struct {
 //     extremes — near-frozen handover vs unbounded churn;
 //   - "ta": thermal-aware (no wax feedback at all).
 func AblationStudy(servers int, gv float64) ([]AblationPoint, error) {
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	spec := AblationSpec(servers, gv)
+	sr, err := RunSpecResults(spec, BatchOptions{})
 	if err != nil {
+		// Name the failing variant, as the sequential loop used to.
+		var re *RunError
+		if errors.As(err, &re) && re.Index >= 1 {
+			return nil, fmt.Errorf("vmt: ablation %s: %w",
+				spec.Axes[0].Cases[re.Index-1].Name, re.Err)
+		}
 		return nil, err
 	}
-	variants := []struct {
-		name string
-		cfg  Config
-	}{
-		{"ta", Scenario(servers, PolicyVMTTA, gv)},
-		{"wa", Scenario(servers, PolicyVMTWA, gv)},
-		{"wa-oracle", func() Config {
-			c := Scenario(servers, PolicyVMTWA, gv)
-			c.OracleWaxState = true
-			return c
-		}()},
-		{"wa-budget-2%", func() Config {
-			c := Scenario(servers, PolicyVMTWA, gv)
-			c.MigrationBudgetFrac = 0.02
-			return c
-		}()},
-		{"wa-budget-100%", func() Config {
-			c := Scenario(servers, PolicyVMTWA, gv)
-			c.MigrationBudgetFrac = 1.0
-			return c
-		}()},
-	}
-	out := make([]AblationPoint, 0, len(variants))
-	for _, v := range variants {
-		res, err := Run(v.cfg)
-		if err != nil {
-			return nil, fmt.Errorf("vmt: ablation %s: %w", v.name, err)
-		}
-		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, res.CoolingLoadW)
+	baseline := sr.Baselines[0]
+	out := make([]AblationPoint, 0, len(sr.Points))
+	for i, p := range sr.Points {
+		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, sr.Results[i].CoolingLoadW)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, AblationPoint{Name: v.name, ReductionPct: red})
+		out = append(out, AblationPoint{Name: p.Labels["variant"].(string), ReductionPct: red})
 	}
 	return out, nil
 }
@@ -154,7 +137,7 @@ type EnergyCostStudy struct {
 // loads through a plant sized for the baseline under the tariff.
 func RunEnergyCostStudy(servers int, gv float64, tariff energy.Tariff) (EnergyCostStudy, error) {
 	runs, err := RunMany([]Config{
-		Scenario(servers, PolicyRoundRobin, 0),
+		BaselineScenario(servers),
 		Scenario(servers, PolicyVMTWA, gv),
 	})
 	if err != nil {

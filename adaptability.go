@@ -3,8 +3,7 @@ package vmt
 import (
 	"fmt"
 
-	"vmt/internal/pcm"
-	"vmt/internal/thermal"
+	"vmt/internal/experiment"
 )
 
 // This file implements the studies behind the paper's motivation
@@ -29,60 +28,41 @@ type AdaptabilityPoint struct {
 	VMTReductionPct float64
 }
 
-// noWax returns cfg with the PCM replaced by an inert filler of equal
-// thermal mass — the "no TTS" reference fleet.
-func noWax(cfg Config) Config {
-	cfg.Material = pcm.Inert()
-	return cfg
-}
-
-// reductionVsNoWax runs cfg and an identical wax-free round-robin
-// fleet, returning cfg's peak reduction against it.
-func reductionVsNoWax(cfg Config) (float64, error) {
-	ref := noWax(cfg)
-	ref.Policy = PolicyRoundRobin
-	ref.GV = 0
-	runs, err := RunMany([]Config{ref, cfg})
+// adaptabilitySweep executes a (condition × variant) adaptability spec
+// and reduces it per condition: the passive-TTS reduction and the best
+// retuned VMT-TA reduction over the GV grid, both against the wax-free
+// round-robin fleet at the same condition. The arithmetic — including
+// the -1e9 argmax floor — matches the pre-engine sequential loops
+// exactly.
+func adaptabilitySweep(spec experiment.Spec, conditions, gvs []float64) ([]AdaptabilityPoint, error) {
+	sr, err := RunSpecResults(spec, BatchOptions{})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	base := runs[0].PeakCoolingW()
-	if base <= 0 {
-		return 0, fmt.Errorf("vmt: non-positive baseline peak")
-	}
-	return (base - runs[1].PeakCoolingW()) / base * 100, nil
-}
-
-// bestVMT returns the best VMT-TA reduction over the GV grid, with the
-// winning GV.
-func bestVMT(cfg Config, gvs []float64) (bestGV, bestRed float64, err error) {
-	cfgs := make([]Config, len(gvs))
-	for i, gv := range gvs {
-		c := cfg
-		c.Policy = PolicyVMTTA
-		c.GV = gv
-		cfgs[i] = c
-	}
-	ref := noWax(cfg)
-	ref.Policy = PolicyRoundRobin
-	ref.GV = 0
-	all := append([]Config{ref}, cfgs...)
-	runs, err := RunMany(all)
-	if err != nil {
-		return 0, 0, err
-	}
-	base := runs[0].PeakCoolingW()
-	if base <= 0 {
-		return 0, 0, fmt.Errorf("vmt: non-positive baseline peak")
-	}
-	bestRed = -1e9
-	for i, gv := range gvs {
-		red := (base - runs[i+1].PeakCoolingW()) / base * 100
-		if red > bestRed {
-			bestGV, bestRed = gv, red
+	variants := 1 + len(gvs) // case "tts" leads, then the GV grid
+	out := make([]AdaptabilityPoint, 0, len(conditions))
+	for ci, cond := range conditions {
+		at := ci * variants
+		base := sr.BaselineFor(at).PeakCoolingW()
+		if base <= 0 {
+			return nil, fmt.Errorf("vmt: non-positive baseline peak")
 		}
+		tts := (base - sr.Results[at].PeakCoolingW()) / base * 100
+		bestGV, bestRed := 0.0, -1e9
+		for gi, gv := range gvs {
+			red := (base - sr.Results[at+1+gi].PeakCoolingW()) / base * 100
+			if red > bestRed {
+				bestGV, bestRed = gv, red
+			}
+		}
+		out = append(out, AdaptabilityPoint{
+			Condition:       cond,
+			TTSReductionPct: tts,
+			BestGV:          bestGV,
+			VMTReductionPct: bestRed,
+		})
 	}
-	return bestGV, bestRed, nil
+	return out, nil
 }
 
 // AmbientSweep evaluates TTS vs retuned VMT across inlet temperatures
@@ -93,26 +73,7 @@ func AmbientSweep(servers int, inletsC, gvs []float64) ([]AdaptabilityPoint, err
 	if len(inletsC) == 0 || len(gvs) == 0 {
 		return nil, fmt.Errorf("vmt: need inlets and a GV grid")
 	}
-	out := make([]AdaptabilityPoint, 0, len(inletsC))
-	for _, inlet := range inletsC {
-		cfg := Scenario(servers, PolicyRoundRobin, 0)
-		cfg.InletTempC = inlet
-		tts, err := reductionVsNoWax(cfg)
-		if err != nil {
-			return nil, err
-		}
-		gv, vmtRed, err := bestVMT(cfg, gvs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AdaptabilityPoint{
-			Condition:       inlet,
-			TTSReductionPct: tts,
-			BestGV:          gv,
-			VMTReductionPct: vmtRed,
-		})
-	}
-	return out, nil
+	return adaptabilitySweep(AmbientSweepSpec(servers, inletsC, gvs), inletsC, gvs)
 }
 
 // DriftSweep evaluates TTS vs retuned VMT as workload power drifts
@@ -122,28 +83,7 @@ func DriftSweep(servers int, powerScales, gvs []float64) ([]AdaptabilityPoint, e
 	if len(powerScales) == 0 || len(gvs) == 0 {
 		return nil, fmt.Errorf("vmt: need power scales and a GV grid")
 	}
-	out := make([]AdaptabilityPoint, 0, len(powerScales))
-	for _, scale := range powerScales {
-		spec := thermal.PaperServer()
-		spec.PowerScale = scale
-		cfg := Scenario(servers, PolicyRoundRobin, 0)
-		cfg.Server = spec
-		tts, err := reductionVsNoWax(cfg)
-		if err != nil {
-			return nil, err
-		}
-		gv, vmtRed, err := bestVMT(cfg, gvs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AdaptabilityPoint{
-			Condition:       scale,
-			TTSReductionPct: tts,
-			BestGV:          gv,
-			VMTReductionPct: vmtRed,
-		})
-	}
-	return out, nil
+	return adaptabilitySweep(DriftSweepSpec(servers, powerScales, gvs), powerScales, gvs)
 }
 
 // DefaultGVGrid is the retuning grid the adaptability studies search:

@@ -126,7 +126,7 @@ func RunAdaptiveGVStudy(servers, tuneServers int, dayPeaks, gvGrid []float64) (A
 	study.StaticGV = staticGV
 
 	// Full runs: round robin, adaptive schedule, static.
-	base := Scenario(servers, PolicyRoundRobin, 0)
+	base := BaselineScenario(servers)
 	base.Trace = spec
 	adaptive := Scenario(servers, PolicyVMTWA, chosen[0])
 	adaptive.Trace = spec
@@ -136,7 +136,10 @@ func RunAdaptiveGVStudy(servers, tuneServers int, dayPeaks, gvGrid []float64) (A
 	}
 	static := Scenario(servers, PolicyVMTWA, staticGV)
 	static.Trace = spec
-	runs, err := RunMany([]Config{base, adaptive, static})
+	// Cached batch: the round-robin base and the static winner are
+	// exactly the configurations bestStaticGV just ran, so only the
+	// adaptive schedule simulates here.
+	runs, err := RunManyCached([]Config{base, adaptive, static}, BatchOptions{})
 	if err != nil {
 		return AdaptiveGVStudy{}, err
 	}
@@ -154,56 +157,38 @@ func RunAdaptiveGVStudy(servers, tuneServers int, dayPeaks, gvGrid []float64) (A
 // tuneGVOnTrace picks the grid GV with the best peak reduction on a
 // one-day forecast, using a smaller tuning cluster for speed.
 func tuneGVOnTrace(servers int, dayUtil []float64, gvGrid []float64) (float64, error) {
-	tr, err := trace.FromSamples(dayUtil, time.Minute)
+	if len(gvGrid) == 0 {
+		return 0, fmt.Errorf("vmt: need a GV grid")
+	}
+	sr, err := RunSpecResults(tuneGVSpec(servers, dayUtil, gvGrid), BatchOptions{})
 	if err != nil {
 		return 0, err
 	}
-	base := Scenario(servers, PolicyRoundRobin, 0)
-	base.CustomTrace = tr
-	cfgs := []Config{base}
-	for _, gv := range gvGrid {
-		c := Scenario(servers, PolicyVMTWA, gv)
-		c.CustomTrace = tr
-		cfgs = append(cfgs, c)
-	}
-	runs, err := RunMany(cfgs)
-	if err != nil {
-		return 0, err
-	}
-	budget := runs[0].PeakCoolingW()
-	bestGV, bestRed := gvGrid[0], -1e18
-	for i, gv := range gvGrid {
-		red := budget - runs[i+1].PeakCoolingW()
-		if red > bestRed {
-			bestGV, bestRed = gv, red
-		}
-	}
-	return bestGV, nil
+	return argmaxGV(sr, gvGrid), nil
 }
 
 // bestStaticGV sweeps the grid over the full multi-day trace.
 func bestStaticGV(servers int, spec trace.Spec, gvGrid []float64) (float64, error) {
-	base := Scenario(servers, PolicyRoundRobin, 0)
-	base.Trace = spec
-	cfgs := []Config{base}
-	for _, gv := range gvGrid {
-		c := Scenario(servers, PolicyVMTWA, gv)
-		c.Trace = spec
-		cfgs = append(cfgs, c)
-	}
-	runs, err := RunMany(cfgs)
+	sr, err := RunSpecResults(staticGVSpec(servers, spec, gvGrid), BatchOptions{})
 	if err != nil {
 		return 0, err
 	}
-	budget := runs[0].PeakCoolingW()
+	return argmaxGV(sr, gvGrid), nil
+}
+
+// argmaxGV reduces a single-axis GV spec run with the tuning loops'
+// original argmax: the GV whose run shaves the most absolute watts off
+// the baseline peak (first on ties, -1e18 floor).
+func argmaxGV(sr *SpecRun, gvGrid []float64) float64 {
+	budget := sr.Baselines[0].PeakCoolingW()
 	bestGV, bestRed := gvGrid[0], -1e18
 	for i, gv := range gvGrid {
-		red := budget - runs[i+1].PeakCoolingW()
+		red := budget - sr.Results[i].PeakCoolingW()
 		if red > bestRed {
 			bestGV, bestRed = gv, red
 		}
 	}
-	return bestGV, nil
+	return bestGV
 }
 
 // dailyPeakReductions splits both series into 24-hour windows and

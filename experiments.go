@@ -6,13 +6,13 @@ import (
 	"time"
 
 	"vmt/internal/cooling"
+	"vmt/internal/experiment"
 	"vmt/internal/feasibility"
 	"vmt/internal/pcm"
 	"vmt/internal/qos"
 	"vmt/internal/reliability"
 	"vmt/internal/stats"
 	"vmt/internal/tco"
-	"vmt/internal/thermal"
 	"vmt/internal/workload"
 )
 
@@ -54,19 +54,14 @@ func GVSweep(servers int, policy Policy, gvs []float64) ([]GVSweepPoint, error) 
 // GVSweepOpts is GVSweep with batch options: a worker bound for the
 // concurrent points and an optional progress writer for long sweeps.
 func GVSweepOpts(servers int, policy Policy, gvs []float64, opts BatchOptions) ([]GVSweepPoint, error) {
-	cfgs := make([]Config, 0, len(gvs)+1)
-	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
-	for _, gv := range gvs {
-		cfgs = append(cfgs, Scenario(servers, policy, gv))
-	}
-	runs, err := RunManyOpts(cfgs, opts)
+	sr, err := RunSpecResults(GVSweepSpec(servers, policy, gvs), opts)
 	if err != nil {
 		return nil, err
 	}
-	baseline := runs[0]
+	baseline := sr.Baselines[0]
 	out := make([]GVSweepPoint, 0, len(gvs))
 	for i, gv := range gvs {
-		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, runs[i+1].CoolingLoadW)
+		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, sr.Results[i].CoolingLoadW)
 		if err != nil {
 			return nil, err
 		}
@@ -89,21 +84,14 @@ func WaxThresholdSweep(servers int, gv float64, thresholds []float64) ([]Thresho
 
 // WaxThresholdSweepOpts is WaxThresholdSweep with batch options.
 func WaxThresholdSweepOpts(servers int, gv float64, thresholds []float64, opts BatchOptions) ([]ThresholdSweepPoint, error) {
-	cfgs := make([]Config, 0, len(thresholds)+1)
-	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
-	for _, th := range thresholds {
-		cfg := Scenario(servers, PolicyVMTWA, gv)
-		cfg.WaxThreshold = th
-		cfgs = append(cfgs, cfg)
-	}
-	runs, err := RunManyOpts(cfgs, opts)
+	sr, err := RunSpecResults(WaxThresholdSweepSpec(servers, gv, thresholds), opts)
 	if err != nil {
 		return nil, err
 	}
-	baseline := runs[0]
+	baseline := sr.Baselines[0]
 	out := make([]ThresholdSweepPoint, 0, len(thresholds))
 	for i, th := range thresholds {
-		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, runs[i+1].CoolingLoadW)
+		red, err := cooling.PeakReductionPct(baseline.CoolingLoadW, sr.Results[i].CoolingLoadW)
 		if err != nil {
 			return nil, err
 		}
@@ -127,32 +115,24 @@ func InletVariationStudy(servers int, policy Policy, gvs, stdevs []float64, runs
 	if runs <= 0 {
 		return nil, fmt.Errorf("vmt: need at least one run")
 	}
+	if len(stdevs) == 0 || len(gvs) == 0 {
+		return nil, nil
+	}
+	// The grid expands stdev-outer, gv, seed-fastest, and the baseline
+	// varies with (stdev, seed) only — one baseline per inlet draw,
+	// shared across the GV axis. The seed-order accumulation below
+	// reproduces the original sequential sums exactly.
+	sr, err := RunSpecResults(InletVariationSpec(servers, policy, gvs, stdevs, runs), BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
 	var out []InletVariationPoint
-	for _, sd := range stdevs {
-		// The baseline depends only on the inlet draw, not the GV:
-		// run it once per seed and share it across the GV axis.
-		baselines := make([]*Result, runs)
-		for r := 0; r < runs; r++ {
-			base := Scenario(servers, PolicyRoundRobin, 0)
-			base.InletStdevC = sd
-			base.Seed = uint64(r + 1)
-			res, err := Run(base)
-			if err != nil {
-				return nil, err
-			}
-			baselines[r] = res
-		}
-		for _, gv := range gvs {
+	for si, sd := range stdevs {
+		for gi, gv := range gvs {
 			var sum float64
 			for r := 0; r < runs; r++ {
-				cfg := Scenario(servers, policy, gv)
-				cfg.InletStdevC = sd
-				cfg.Seed = uint64(r + 1)
-				res, err := Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				red, err := cooling.PeakReductionPct(baselines[r].CoolingLoadW, res.CoolingLoadW)
+				i := (si*len(gvs)+gi)*runs + r
+				red, err := cooling.PeakReductionPct(sr.BaselineFor(i).CoolingLoadW, sr.Results[i].CoolingLoadW)
 				if err != nil {
 					return nil, err
 				}
@@ -197,7 +177,7 @@ func GVMapping(servers int, gvs []float64) ([]GVMappingRow, error) {
 	// sequential loop produced (and shares the decoded trace and
 	// material tables across points).
 	cfgs := make([]Config, 0, len(gvs)+1)
-	cfgs = append(cfgs, Scenario(servers, PolicyRoundRobin, 0))
+	cfgs = append(cfgs, BaselineScenario(servers))
 	for _, gv := range gvs {
 		cfgs = append(cfgs, Scenario(servers, PolicyVMTTA, gv))
 	}
@@ -341,14 +321,12 @@ type CoolingLoadStudy struct {
 // and the policy at each GV, plus peak reductions relative to round
 // robin.
 func RunCoolingLoadStudy(servers int, policy Policy, gvs []float64) (*CoolingLoadStudy, error) {
-	rr, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	sr, err := RunSpecResults(CoolingLoadSpec(servers, policy, gvs), BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
-	cf, err := Run(Scenario(servers, PolicyCoolestFirst, 0))
-	if err != nil {
-		return nil, err
-	}
+	rr := sr.Baselines[0]
+	cf := sr.Results[0] // case "cf" leads the variant axis
 	study := &CoolingLoadStudy{
 		Servers:    servers,
 		Policy:     policy,
@@ -363,11 +341,8 @@ func RunCoolingLoadStudy(servers int, policy Policy, gvs []float64) (*CoolingLoa
 	}
 	study.Reductions["Round Robin"] = 0
 	study.Reductions["Coolest First"] = redCF
-	for _, gv := range gvs {
-		res, err := Run(Scenario(servers, policy, gv))
-		if err != nil {
-			return nil, err
-		}
+	for i, gv := range gvs {
+		res := sr.Results[i+1]
 		study.ByGV[gv] = res.CoolingLoadW
 		red, err := cooling.PeakReductionPct(rr.CoolingLoadW, res.CoolingLoadW)
 		if err != nil {
@@ -457,7 +432,7 @@ func GVMappingFusion(servers int, deltas, gvGrid []float64) ([]FusionMappingRow,
 			if frac > 1 {
 				frac = 1
 			}
-			cfg := Scenario(servers, PolicyRoundRobin, 0)
+			cfg := BaselineScenario(servers)
 			cfg.Material = mat.WithMeltTemp(pmt).
 				WithLatentHeat(mat.LatentHeatJPerKg * frac)
 			res, err := Run(cfg)
@@ -500,34 +475,7 @@ func PMTSweep(servers int, meltTempsC, gvGrid []float64) ([]MaterialSweepPoint, 
 	if len(meltTempsC) == 0 || len(gvGrid) == 0 {
 		return nil, fmt.Errorf("vmt: need melting temperatures and a GV grid")
 	}
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
-	if err != nil {
-		return nil, err
-	}
-	budget := baseline.PeakCoolingW()
-	if budget <= 0 {
-		return nil, fmt.Errorf("vmt: non-positive baseline peak")
-	}
-	out := make([]MaterialSweepPoint, 0, len(meltTempsC))
-	for _, pmt := range meltTempsC {
-		mat := pcm.CommercialParaffin().WithMeltTemp(pmt)
-		pt := MaterialSweepPoint{Value: pmt, ReductionPct: -1e18}
-		for _, gv := range gvGrid {
-			cfg := Scenario(servers, PolicyVMTTA, gv)
-			cfg.Material = mat
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			red := (budget - res.PeakCoolingW()) / budget * 100
-			if red > pt.ReductionPct {
-				pt.ReductionPct = red
-				pt.BestGV = gv
-			}
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return materialSweep(PMTSweepSpec(servers, meltTempsC, gvGrid), meltTempsC, gvGrid)
 }
 
 // VolumeSweep sweeps the deployed wax volume per server. The paper's
@@ -539,26 +487,27 @@ func VolumeSweep(servers int, volumesL, gvGrid []float64) ([]MaterialSweepPoint,
 	if len(volumesL) == 0 || len(gvGrid) == 0 {
 		return nil, fmt.Errorf("vmt: need volumes and a GV grid")
 	}
-	baseline, err := Run(Scenario(servers, PolicyRoundRobin, 0))
+	return materialSweep(VolumeSweepSpec(servers, volumesL, gvGrid), volumesL, gvGrid)
+}
+
+// materialSweep executes a two-axis (value × GV) design-space spec and
+// reduces it with the sweeps' shared argmax: the best reduction over
+// the GV grid per swept value, computed against the baseline's peak
+// cooling budget exactly as the pre-engine loops did.
+func materialSweep(spec experiment.Spec, values, gvGrid []float64) ([]MaterialSweepPoint, error) {
+	sr, err := RunSpecResults(spec, BatchOptions{})
 	if err != nil {
 		return nil, err
 	}
-	budget := baseline.PeakCoolingW()
+	budget := sr.Baselines[0].PeakCoolingW()
 	if budget <= 0 {
 		return nil, fmt.Errorf("vmt: non-positive baseline peak")
 	}
-	out := make([]MaterialSweepPoint, 0, len(volumesL))
-	for _, vol := range volumesL {
-		spec := thermal.PaperServer()
-		spec.WaxVolumeL = vol
-		pt := MaterialSweepPoint{Value: vol, ReductionPct: -1e18}
-		for _, gv := range gvGrid {
-			cfg := Scenario(servers, PolicyVMTTA, gv)
-			cfg.Server = spec
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
+	out := make([]MaterialSweepPoint, 0, len(values))
+	for vi, val := range values {
+		pt := MaterialSweepPoint{Value: val, ReductionPct: -1e18}
+		for gi, gv := range gvGrid {
+			res := sr.Results[vi*len(gvGrid)+gi]
 			red := (budget - res.PeakCoolingW()) / budget * 100
 			if red > pt.ReductionPct {
 				pt.ReductionPct = red

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Key canonicalizes v into a content address: the sha256 of its JSON
+// encoding. encoding/json sorts map keys, so maps with identical
+// contents hash identically regardless of insertion order. Callers
+// hash a fully-resolved value (defaults applied, observational fields
+// stripped) so that configurations that simulate identically address
+// the same cache slot.
+func Key(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("experiment: hashing: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache is a content-addressed store of completed run results keyed
+// by canonical config hash. It is safe for concurrent use. A session
+// cache lets studies that share runs (notably round-robin baselines)
+// simulate each distinct configuration exactly once.
+type Cache struct {
+	mu      sync.Mutex
+	store   map[string]any
+	enabled bool
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty, enabled cache.
+func NewCache() *Cache {
+	return &Cache{store: make(map[string]any), enabled: true}
+}
+
+// SetEnabled toggles the cache. While disabled, Plan dedups nothing
+// and Commit stores nothing, so every requested run executes — the
+// behavior studies had before the cache existed.
+func (c *Cache) SetEnabled(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = on
+}
+
+// Enabled reports whether the cache is active.
+func (c *Cache) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enabled
+}
+
+// Reset drops all stored results and zeroes the hit/miss counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = make(map[string]any)
+	c.hits, c.misses = 0, 0
+}
+
+// Len returns the number of stored results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.store)
+}
+
+// Stats returns the cumulative hit and miss counts since the last
+// Reset. A hit is a requested run that did not need to execute —
+// answered from the store or deduplicated against an identical run in
+// the same batch; a miss is a run that actually executed.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Plan describes how to satisfy one batch of keyed requests: Run
+// lists the request indices that must actually execute (first
+// occurrence of each missing key, in request order), and source maps
+// every request index to either -1 (answered from cache; cached[i]
+// holds the result) or a position in Run.
+type Plan struct {
+	Run    []int
+	source []int
+	cached []any
+	keys   []string
+}
+
+// Misses returns how many of the batch's requests must execute.
+func (p *Plan) Misses() int { return len(p.Run) }
+
+// Plan computes the dedup plan for the given keys. With the cache
+// disabled the plan is the identity: every request runs, nothing is
+// deduplicated, so disabled-cache executions match the pre-cache
+// code paths run for run.
+func (c *Cache) Plan(keys []string) *Plan {
+	p := &Plan{
+		source: make([]int, len(keys)),
+		cached: make([]any, len(keys)),
+		keys:   keys,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		p.Run = make([]int, len(keys))
+		for i := range keys {
+			p.Run[i] = i
+			p.source[i] = i
+			c.misses++
+		}
+		return p
+	}
+	firstRun := make(map[string]int, len(keys))
+	for i, k := range keys {
+		if v, ok := c.store[k]; ok {
+			p.source[i] = -1
+			p.cached[i] = v
+			c.hits++
+			continue
+		}
+		if at, ok := firstRun[k]; ok {
+			p.source[i] = at
+			c.hits++
+			continue
+		}
+		c.misses++
+		firstRun[k] = len(p.Run)
+		p.source[i] = len(p.Run)
+		p.Run = append(p.Run, i)
+	}
+	return p
+}
+
+// Commit merges freshly-executed results back into the batch and, if
+// the cache is enabled, stores them for future sessions of the same
+// process. fresh must align with plan.Run; nil entries (failed runs)
+// are passed through but never cached. The returned slice aligns with
+// the original request keys.
+func (c *Cache) Commit(p *Plan, fresh []any) []any {
+	if len(fresh) != len(p.Run) {
+		panic(fmt.Sprintf("experiment: Commit got %d results for %d planned runs", len(fresh), len(p.Run)))
+	}
+	out := make([]any, len(p.source))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, src := range p.source {
+		if src < 0 {
+			out[i] = p.cached[i]
+			continue
+		}
+		out[i] = fresh[src]
+		if c.enabled && fresh[src] != nil {
+			c.store[p.keys[i]] = fresh[src]
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name: "gv-sweep",
+		Base: Settings{"servers": 8, "policy": "vmt-ta"},
+		Axes: []Axis{
+			{Name: "gv", Values: []any{16.0, 20.0, 24.0}},
+			{Name: "seed", Values: []any{1.0, 2.0}},
+		},
+		Baseline: &Baseline{
+			Set:  Settings{"policy": "rr", "gv": 0.0},
+			Vary: []string{"seed"},
+		},
+		Reducer: ReducePeakReduction,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"bad reducer", func(s *Spec) { s.Reducer = "nope" }, "unknown reducer"},
+		{"empty axis", func(s *Spec) { s.Axes[0].Values = nil }, "has no values"},
+		{"mixed axis", func(s *Spec) {
+			s.Axes[0].Cases = []Case{{Name: "a", Set: Settings{}}}
+		}, "mixes scalar values and cases"},
+		{"dup axis", func(s *Spec) { s.Axes[1].Name = "gv" }, "duplicate axis"},
+		{"no baseline", func(s *Spec) { s.Baseline = nil }, "needs a baseline"},
+		{"bad vary", func(s *Spec) { s.Baseline.Vary = []string{"ghost"} }, "unknown axis"},
+		{"mean without axes", func(s *Spec) { s.Reducer = ReducePeakReductionMean }, "needs mean_over"},
+		{"best without axis", func(s *Spec) { s.Reducer = ReducePeakReductionBest }, "needs a best_over"},
+		{"bad best_over", func(s *Spec) {
+			s.Reducer = ReducePeakReductionBest
+			s.BestOver = "ghost"
+		}, "unknown axis"},
+		{"dup case", func(s *Spec) {
+			s.Axes[0].Values = nil
+			s.Axes[0].Cases = []Case{{Name: "x"}, {Name: "x"}}
+		}, "duplicates case"},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecPointsGridOrder(t *testing.T) {
+	s := validSpec()
+	pts := s.Points()
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	// Last axis (seed) varies fastest.
+	wantLabels := []map[string]any{
+		{"gv": 16.0, "seed": 1.0},
+		{"gv": 16.0, "seed": 2.0},
+		{"gv": 20.0, "seed": 1.0},
+		{"gv": 20.0, "seed": 2.0},
+		{"gv": 24.0, "seed": 1.0},
+		{"gv": 24.0, "seed": 2.0},
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Errorf("point %d has Index %d", i, p.Index)
+		}
+		if !reflect.DeepEqual(p.Labels, wantLabels[i]) {
+			t.Errorf("point %d labels = %v, want %v", i, p.Labels, wantLabels[i])
+		}
+		if p.Settings["servers"] != 8 || p.Settings["policy"] != "vmt-ta" {
+			t.Errorf("point %d lost base settings: %v", i, p.Settings)
+		}
+		if p.Settings["gv"] != p.Labels["gv"] {
+			t.Errorf("point %d setting gv = %v, label %v", i, p.Settings["gv"], p.Labels["gv"])
+		}
+	}
+}
+
+func TestSpecCaseAxis(t *testing.T) {
+	s := Spec{
+		Name: "ablation",
+		Base: Settings{"servers": 8.0},
+		Axes: []Axis{{Name: "variant", Cases: []Case{
+			{Name: "ta", Set: Settings{"policy": "vmt-ta", "gv": 22.0}},
+			{Name: "wa", Set: Settings{"policy": "vmt-wa", "gv": 22.0, "wax_threshold": 0.9}},
+		}}},
+		Baseline: &Baseline{Set: Settings{"policy": "rr", "gv": 0.0}},
+		Reducer:  ReducePeakReduction,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].Labels["variant"] != "ta" || pts[1].Labels["variant"] != "wa" {
+		t.Errorf("case labels wrong: %v %v", pts[0].Labels, pts[1].Labels)
+	}
+	if pts[1].Settings["wax_threshold"] != 0.9 || pts[1].Settings["policy"] != "vmt-wa" {
+		t.Errorf("case overlay not applied: %v", pts[1].Settings)
+	}
+	if _, ok := pts[0].Settings["wax_threshold"]; ok {
+		t.Errorf("case ta leaked wax_threshold: %v", pts[0].Settings)
+	}
+}
+
+func TestBaselinePointsAndIndex(t *testing.T) {
+	s := validSpec()
+	pts := s.Points()
+	bases := s.BaselinePoints()
+	// Baseline varies only over seed: two baselines.
+	if len(bases) != 2 {
+		t.Fatalf("got %d baselines, want 2", len(bases))
+	}
+	for i, b := range bases {
+		if b.Settings["policy"] != "rr" || b.Settings["gv"] != 0.0 {
+			t.Errorf("baseline %d missing Set overlay: %v", i, b.Settings)
+		}
+		if _, ok := b.Labels["gv"]; ok {
+			t.Errorf("baseline %d carries dropped axis label: %v", i, b.Labels)
+		}
+	}
+	idx, err := s.BaselineIndex(pts, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if bases[idx[i]].Labels["seed"] != p.Labels["seed"] {
+			t.Errorf("point %d (seed %v) matched baseline seed %v",
+				i, p.Labels["seed"], bases[idx[i]].Labels["seed"])
+		}
+	}
+}
+
+func TestBaselineNoVary(t *testing.T) {
+	s := validSpec()
+	s.Baseline.Vary = nil
+	bases := s.BaselinePoints()
+	if len(bases) != 1 {
+		t.Fatalf("got %d baselines, want 1", len(bases))
+	}
+	idx, err := s.BaselineIndex(s.Points(), bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range idx {
+		if b != 0 {
+			t.Errorf("point %d matched baseline %d, want 0", i, b)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON turns ints into float64; compare the expansions, which is
+	// what execution consumes.
+	a, b := s.Points(), got.Points()
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed point count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Labels, b[i].Labels) {
+			t.Errorf("point %d labels changed: %v vs %v", i, a[i].Labels, b[i].Labels)
+		}
+	}
+	if got.Reducer != s.Reducer || got.Name != s.Name {
+		t.Errorf("round trip changed identity: %+v", got)
+	}
+}
+
+func TestDecodeSpecRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeSpec(strings.NewReader(`{"name":"x","reducer":"peak_reduction","basline":{}}`))
+	if err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a, err := Key(map[string]any{"x": 1.0, "y": "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key(map[string]any{"y": "s", "x": 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("map key order changed hash: %s vs %s", a, b)
+	}
+	c, _ := Key(map[string]any{"x": 2.0, "y": "s"})
+	if a == c {
+		t.Error("distinct values collided")
+	}
+	if len(a) != 64 {
+		t.Errorf("key is not sha256 hex: %q", a)
+	}
+}
