@@ -11,6 +11,8 @@
 //	                          # fig16, fig17, fig18, fig19, fig20, tco
 //	vmtreport -servers 100    # cluster size for the scale-out figures
 //	vmtreport -csv dir        # also dump CSV series into dir
+//	vmtreport -spec f.json    # execute one declarative spec file
+//	vmtreport -emit-specs dir # write the built-in studies as spec files
 //
 // Beyond the paper's artifacts, the report appends the reproduction's
 // extension studies: ext-adapt (ambient/drift adaptability),
@@ -44,7 +46,24 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	svgDir := flag.String("svg", "", "directory to write SVG figures into (optional)")
 	runs := flag.Int("runs", 5, "runs to average for the inlet-variation figures")
+	specPath := flag.String("spec", "", "execute one declarative spec file and print its reduced rows")
+	emitSpecs := flag.String("emit-specs", "", "write the built-in parameter studies as spec files into this directory")
 	flag.Parse()
+
+	if *specPath != "" {
+		if err := runSpecFile(os.Stdout, *specPath); err != nil {
+			fmt.Fprintf(os.Stderr, "vmtreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *emitSpecs != "" {
+		if err := emitSpecFiles(*emitSpecs, *sweepServers); err != nil {
+			fmt.Fprintf(os.Stderr, "vmtreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := &reporter{
 		out:          os.Stdout,
@@ -355,7 +374,7 @@ func (r *reporter) hotGroupTemps(name string, policy vmt.Policy, gvs []float64) 
 		names = append(names, fmt.Sprintf("GV=%g", gv))
 		series = append(series, res.HotGroupTempC)
 	}
-	rr, err := vmt.Run(vmt.Scenario(r.servers, vmt.PolicyRoundRobin, 0))
+	rr, err := vmt.Run(vmt.BaselineScenario(r.servers))
 	if err != nil {
 		return err
 	}
@@ -614,7 +633,7 @@ func (r *reporter) extJobStream() error {
 		Title:   "Extension: query-level load model (Poisson arrivals, sampled durations)",
 		Headers: []string{"Policy", "Peak reduction (%)", "Arrivals", "Drops", "Drop rate (%)"},
 	}
-	rrCfg := vmt.Scenario(r.sweepServers, vmt.PolicyRoundRobin, 0)
+	rrCfg := vmt.BaselineScenario(r.sweepServers)
 	rrCfg.JobStream = true
 	base, err := vmt.Run(rrCfg)
 	if err != nil {

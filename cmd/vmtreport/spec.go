@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vmt"
+	"vmt/internal/experiment"
+	"vmt/internal/report"
+)
+
+// runSpecFile decodes one declarative spec file, executes it through
+// the experiment engine, and tabulates the reduced rows.
+func runSpecFile(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := experiment.DecodeSpec(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	rep, err := vmt.RunSpec(spec, vmt.BatchOptions{})
+	if err != nil {
+		return err
+	}
+	title := rep.Spec.Name
+	if rep.Spec.Description != "" {
+		title += ": " + rep.Spec.Description
+	}
+	var headers []string
+	if len(rep.Rows) > 0 {
+		for _, ax := range rep.Spec.Axes {
+			if _, ok := rep.Rows[0].Labels[ax.Name]; ok {
+				headers = append(headers, ax.Name)
+			}
+		}
+		var extras []string
+		for name := range rep.Rows[0].Labels {
+			seen := false
+			for _, h := range headers {
+				seen = seen || h == name
+			}
+			if !seen {
+				extras = append(extras, name)
+			}
+		}
+		sort.Strings(extras)
+		headers = append(headers, extras...)
+		var values []string
+		for name := range rep.Rows[0].Values {
+			values = append(values, name)
+		}
+		sort.Strings(values)
+		headers = append(headers, values...)
+	}
+	tb := report.Table{Title: title, Headers: headers}
+	for _, row := range rep.Rows {
+		cells := make([]any, 0, len(headers))
+		for _, h := range headers {
+			if v, ok := row.Values[h]; ok {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				cells = append(cells, fmt.Sprintf("%v", row.Labels[h]))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.Render(out)
+}
+
+// emitSpecFiles writes the built-in parameter studies in their
+// declarative form — the same specs the studies execute internally —
+// so they can be edited and re-run with -spec (or vmtsweep -spec).
+func emitSpecFiles(dir string, servers int) error {
+	grid := vmt.DefaultGVGrid()
+	specs := []experiment.Spec{
+		vmt.GVSweepSpec(servers, vmt.PolicyVMTTA, []float64{10, 12, 14, 16, 18, 20, 21, 22, 23, 24, 26, 28, 30}),
+		vmt.WaxThresholdSweepSpec(servers, 22, []float64{0.85, 0.90, 0.95, 0.98, 0.99, 1.00}),
+		vmt.InletVariationSpec(servers, vmt.PolicyVMTTA, []float64{16, 18, 20, 22, 24, 26, 28}, []float64{0, 1, 2}, 5),
+		vmt.AblationSpec(servers, 20),
+		vmt.AmbientSweepSpec(servers, []float64{18, 20, 22, 24, 26}, grid),
+		vmt.DriftSweepSpec(servers, []float64{1.2, 1.35, 1.5, 1.65, 1.8}, grid),
+		vmt.PMTSweepSpec(servers, []float64{33.7, 34.7, 35.7, 37, 38.5, 40, 42}, []float64{18, 20, 22, 24, 26}),
+		vmt.VolumeSweepSpec(servers, []float64{1, 2, 3, 4, 5, 6, 8}, []float64{18, 20, 22, 24, 26}),
+		vmt.CoolingLoadSpec(servers, vmt.PolicyVMTTA, []float64{20, 22, 24}),
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		path := filepath.Join(dir, spec.Name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := spec.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

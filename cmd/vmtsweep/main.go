@@ -8,6 +8,13 @@
 //	vmtsweep -kind threshold -gv 22
 //	vmtsweep -kind inlet -policy vmt-wa -runs 5
 //	vmtsweep -kind gv -sweep-workers 2 -progress
+//	vmtsweep -spec results/specs/gv_sweep.json
+//
+// With -spec, the sweep is read from a declarative spec file (see
+// internal/experiment and EXPERIMENTS.md): the grid, the baseline, and
+// the reducer all come from the file, and the rows it reduces to are
+// printed as a table. The -from/-to/-step range is validated before
+// any simulation starts.
 //
 // Observability (see internal/cliobs): the -trace, -metrics,
 // -cpuprofile and -debug-addr flags observe every run of the sweep —
@@ -18,51 +25,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"vmt"
 	"vmt/internal/cliobs"
+	"vmt/internal/experiment"
 	"vmt/internal/report"
 )
 
 func main() {
-	kind := flag.String("kind", "gv", "sweep kind: gv, threshold, inlet, pmt, volume")
-	policy := flag.String("policy", "vmt-ta", "policy for gv/inlet sweeps: vmt-ta or vmt-wa")
-	servers := flag.Int("servers", 100, "cluster size")
-	gv := flag.Float64("gv", 22, "grouping value (threshold sweep)")
-	from := flag.Float64("from", 10, "sweep start (gv sweep)")
-	to := flag.Float64("to", 30, "sweep end (gv sweep)")
-	step := flag.Float64("step", 2, "sweep step (gv sweep)")
-	runs := flag.Int("runs", 5, "runs per point (inlet sweep)")
-	sweepWorkers := flag.Int("sweep-workers", 0,
-		"concurrent sweep points for gv/threshold sweeps (0 = GOMAXPROCS); results are identical for any value")
-	progress := flag.Bool("progress", false, "print per-run progress to stderr (gv/threshold sweeps)")
+	build := registerSweepFlags(flag.CommandLine)
 	obs := cliobs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	args, err := build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmtsweep: %v\n", err)
+		os.Exit(1)
+	}
 	if err := obs.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "vmtsweep: %v\n", err)
 		os.Exit(1)
 	}
 
-	batch := vmt.BatchOptions{Workers: *sweepWorkers}
-	if *progress {
+	batch := vmt.BatchOptions{Workers: args.Workers}
+	if args.Progress {
 		batch.Progress = os.Stderr
 	}
 
-	var err error
-	switch *kind {
-	case "gv":
-		err = sweepGV(vmt.Policy(*policy), *servers, *from, *to, *step, batch)
-	case "threshold":
-		err = sweepThreshold(*servers, *gv, batch)
-	case "inlet":
-		err = sweepInlet(vmt.Policy(*policy), *servers, *runs)
-	case "pmt":
-		err = sweepMaterial(*servers, "pmt")
-	case "volume":
-		err = sweepMaterial(*servers, "volume")
-	default:
-		err = fmt.Errorf("unknown sweep kind %q", *kind)
+	switch {
+	case args.SpecPath != "":
+		err = runSpecFile(args.SpecPath, batch)
+	case args.Kind == "gv":
+		err = sweepGV(vmt.Policy(args.Policy), args.Servers, args.Grid, batch)
+	case args.Kind == "threshold":
+		err = sweepThreshold(args.Servers, args.GV, batch)
+	case args.Kind == "inlet":
+		err = sweepInlet(vmt.Policy(args.Policy), args.Servers, args.Runs)
+	default: // pmt, volume — buildSweep rejected everything else
+		err = sweepMaterial(args.Servers, args.Kind)
 	}
 	// Flush trace/metrics/profile artifacts before any exit: os.Exit
 	// would skip deferred closes.
@@ -75,14 +76,75 @@ func main() {
 	}
 }
 
-func sweepGV(policy vmt.Policy, servers int, from, to, step float64, batch vmt.BatchOptions) error {
-	if step <= 0 || to < from {
-		return fmt.Errorf("bad sweep range %v..%v step %v", from, to, step)
+// runSpecFile decodes a spec file, executes it through the experiment
+// engine (named reducer included), and prints the reduced rows.
+func runSpecFile(path string, batch vmt.BatchOptions) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
-	var gvs []float64
-	for gv := from; gv <= to+1e-9; gv += step {
-		gvs = append(gvs, gv)
+	spec, err := experiment.DecodeSpec(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
+	rep, err := vmt.RunSpec(spec, batch)
+	if err != nil {
+		return err
+	}
+	return renderSpecReport(rep)
+}
+
+// renderSpecReport tabulates a reduced spec: one column per surviving
+// axis label (spec axis order), then the value columns sorted by name.
+func renderSpecReport(rep *vmt.SpecReport) error {
+	var labels []string
+	if len(rep.Rows) > 0 {
+		for _, ax := range rep.Spec.Axes {
+			if _, ok := rep.Rows[0].Labels[ax.Name]; ok {
+				labels = append(labels, ax.Name)
+			}
+		}
+		// Derived labels (e.g. best_variant) after the axis columns.
+		var extras []string
+		for name := range rep.Rows[0].Labels {
+			known := false
+			for _, l := range labels {
+				known = known || l == name
+			}
+			if !known {
+				extras = append(extras, name)
+			}
+		}
+		sort.Strings(extras)
+		labels = append(labels, extras...)
+		var values []string
+		for name := range rep.Rows[0].Values {
+			values = append(values, name)
+		}
+		sort.Strings(values)
+		labels = append(labels, values...)
+	}
+	title := rep.Spec.Name
+	if rep.Spec.Description != "" {
+		title += ": " + rep.Spec.Description
+	}
+	tb := report.Table{Title: title, Headers: labels}
+	for _, row := range rep.Rows {
+		cells := make([]any, 0, len(labels))
+		for _, name := range labels {
+			if v, ok := row.Values[name]; ok {
+				cells = append(cells, fmt.Sprintf("%.4f", v))
+			} else {
+				cells = append(cells, fmt.Sprintf("%v", row.Labels[name]))
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepGV(policy vmt.Policy, servers int, gvs []float64, batch vmt.BatchOptions) error {
 	pts, err := vmt.GVSweepOpts(servers, policy, gvs, batch)
 	if err != nil {
 		return err
