@@ -11,8 +11,113 @@ func TestAdaptiveGVValidation(t *testing.T) {
 	}
 }
 
+func TestTuneGVOnTraceEdges(t *testing.T) {
+	day := make([]float64, 24*60)
+	for i := range day {
+		day[i] = 0.5
+	}
+	if _, err := tuneGVOnTrace(5, day, nil); err == nil {
+		t.Fatal("empty GV grid should fail")
+	}
+	// A single-day forecast trace tunes fine and picks from the grid.
+	gv, err := tuneGVOnTrace(5, day, []float64{20, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv != 20 && gv != 24 {
+		t.Fatalf("tuned GV %v not on the grid", gv)
+	}
+	// Tuning is a pure argmax over deterministic runs: repeatable.
+	gv2, err := tuneGVOnTrace(5, day, []float64{20, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv2 != gv {
+		t.Fatalf("tuning not deterministic: %v then %v", gv, gv2)
+	}
+}
+
+// The run cache is purely an execution shortcut: the whole closed-loop
+// study is bit-identical with the cache on and off.
+func TestAdaptiveGVStudyCacheBitIdentical(t *testing.T) {
+	days := []float64{0.7, 0.9}
+	grid := []float64{20, 24}
+	defer runCache.SetEnabled(true)
+
+	runCache.SetEnabled(true)
+	runCache.Reset()
+	on, err := RunAdaptiveGVStudy(6, 4, days, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := runCache.Stats(); misses == 0 {
+		t.Fatal("enabled cache recorded no executions")
+	}
+
+	runCache.SetEnabled(false)
+	runCache.Reset()
+	off, err := RunAdaptiveGVStudy(6, 4, days, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if on.StaticGV != off.StaticGV {
+		t.Errorf("StaticGV diverged: %v vs %v", on.StaticGV, off.StaticGV)
+	}
+	for d := range on.ChosenGVs {
+		if on.ChosenGVs[d] != off.ChosenGVs[d] {
+			t.Errorf("day %d ChosenGV diverged: %v vs %v", d, on.ChosenGVs[d], off.ChosenGVs[d])
+		}
+	}
+	for d := range on.AdaptiveDaily {
+		if on.AdaptiveDaily[d] != off.AdaptiveDaily[d] {
+			t.Errorf("day %d adaptive reduction diverged: %v vs %v",
+				d, on.AdaptiveDaily[d], off.AdaptiveDaily[d])
+		}
+		if on.StaticDaily[d] != off.StaticDaily[d] {
+			t.Errorf("day %d static reduction diverged: %v vs %v",
+				d, on.StaticDaily[d], off.StaticDaily[d])
+		}
+	}
+	if on.MeanAdaptivePct != off.MeanAdaptivePct || on.MeanStaticPct != off.MeanStaticPct ||
+		on.ForecastMAE != off.ForecastMAE {
+		t.Errorf("aggregates diverged: %+v vs %+v", on, off)
+	}
+}
+
+// The final adaptive batch reuses the baseline and static-winner runs
+// bestStaticGV already simulated: spec-built configs hash identically
+// to directly built ones, so those two are cache hits.
+func TestAdaptiveGVStudyFinalBatchHits(t *testing.T) {
+	defer runCache.SetEnabled(true)
+	runCache.SetEnabled(true)
+	runCache.Reset()
+	if _, err := RunAdaptiveGVStudy(6, 4, []float64{0.7, 0.9}, []float64{20, 24}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := runCache.Stats()
+	// At minimum: the shared tuning baseline (day-ahead loop), plus the
+	// round-robin base and the static winner in the final batch.
+	if hits < 2 {
+		t.Fatalf("study recorded %d cache hits, want ≥2 (final batch should reuse bestStaticGV runs)", hits)
+	}
+	// And the cross-check that matters: the full-trace static config
+	// built directly is already cached from the spec path.
+	spec := weekSpec([]float64{0.7, 0.9})
+	static := Scenario(6, PolicyVMTWA, 20)
+	static.Trace = spec
+	key, err := configKey(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := runCache.Plan([]string{key})
+	if plan.Misses() != 0 {
+		t.Fatal("directly built static config missed the cache: spec-built configs hash differently")
+	}
+}
+
 func TestGVScheduleValidation(t *testing.T) {
-	cfg := Scenario(5, PolicyRoundRobin, 0)
+	cfg := BaselineScenario(5)
 	cfg.Trace = smallTrace()
 	cfg.GVSchedule = []GVChange{{At: 0, GV: 20}}
 	if _, err := Run(cfg); err == nil {
