@@ -23,6 +23,17 @@ import (
 // size; the 1,000-server headline runs in TestShape* and vmtreport.
 const benchServers = 100
 
+// benchNoCache disables the session run cache for one benchmark, so
+// study benchmarks keep measuring from-scratch regeneration (their
+// meaning in earlier BENCH records) instead of cache-hit time after
+// the first iteration. The explicit Cached/Uncached pair below is the
+// one place the cache itself is measured.
+func benchNoCache(b *testing.B) {
+	b.Helper()
+	RunCache().SetEnabled(false)
+	b.Cleanup(func() { RunCache().SetEnabled(true) })
+}
+
 func BenchmarkTable01WorkloadCatalog(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := TableIRows()
@@ -194,6 +205,7 @@ func BenchmarkFig15HotGroupTempWA(b *testing.B) { hotGroupTempBench(b, PolicyVMT
 // coolingLoadBench reports the GV=22 peak reduction (Figures 13/16).
 func coolingLoadBench(b *testing.B, policy Policy) {
 	b.Helper()
+	benchNoCache(b)
 	var best float64
 	for i := 0; i < b.N; i++ {
 		study, err := RunCoolingLoadStudy(benchServers, policy, []float64{20, 22, 24})
@@ -209,6 +221,7 @@ func BenchmarkFig13CoolingLoadTA(b *testing.B) { coolingLoadBench(b, PolicyVMTTA
 func BenchmarkFig16CoolingLoadWA(b *testing.B) { coolingLoadBench(b, PolicyVMTWA) }
 
 func BenchmarkFig17WaxThreshold(b *testing.B) {
+	benchNoCache(b)
 	var plateau float64
 	for i := 0; i < b.N; i++ {
 		pts, err := WaxThresholdSweep(benchServers, 22, []float64{0.85, 0.95, 0.98})
@@ -221,6 +234,7 @@ func BenchmarkFig17WaxThreshold(b *testing.B) {
 }
 
 func BenchmarkFig18GVSweep(b *testing.B) {
+	benchNoCache(b)
 	var best float64
 	for i := 0; i < b.N; i++ {
 		pts, err := GVSweep(benchServers, PolicyVMTTA, []float64{18, 20, 22, 24, 26})
@@ -241,6 +255,7 @@ func BenchmarkFig18GVSweep(b *testing.B) {
 // run in cmd/vmtreport).
 func inletVariationBench(b *testing.B, policy Policy) {
 	b.Helper()
+	benchNoCache(b)
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		pts, err := InletVariationStudy(benchServers, policy, []float64{22}, []float64{0, 2}, 2)
@@ -291,6 +306,7 @@ func BenchmarkClusterStep(b *testing.B) {
 // BenchmarkAblationWaxFeedback quantifies the wax-state feedback loop:
 // VMT-WA vs VMT-TA at a GV where only feedback preserves benefit.
 func BenchmarkAblationWaxFeedback(b *testing.B) {
+	benchNoCache(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		pts, err := AblationStudy(benchServers, 20)
@@ -395,6 +411,7 @@ func BenchmarkOversubscription(b *testing.B) {
 // BenchmarkAdaptabilityAmbient quantifies the Section I motivation:
 // VMT's advantage over fixed wax at a cool ambient where TTS strands.
 func BenchmarkAdaptabilityAmbient(b *testing.B) {
+	benchNoCache(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		pts, err := AmbientSweep(benchServers, []float64{20}, []float64{18, 20, 22})
@@ -409,6 +426,7 @@ func BenchmarkAdaptabilityAmbient(b *testing.B) {
 // BenchmarkAdaptabilityDrift quantifies the lifetime-drift motivation
 // at a reduced workload power level.
 func BenchmarkAdaptabilityDrift(b *testing.B) {
+	benchNoCache(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		pts, err := DriftSweep(benchServers, []float64{1.3}, []float64{18, 20, 22})
@@ -440,7 +458,7 @@ func BenchmarkRunMany(b *testing.B) {
 func BenchmarkJobStream(b *testing.B) {
 	var red float64
 	for i := 0; i < b.N; i++ {
-		rr := Scenario(benchServers, PolicyRoundRobin, 0)
+		rr := BaselineScenario(benchServers)
 		rr.JobStream = true
 		base, err := Run(rr)
 		if err != nil {
@@ -461,6 +479,7 @@ func BenchmarkJobStream(b *testing.B) {
 // → retune) on a regime-shift week and reports the adaptive-vs-static
 // margin.
 func BenchmarkAdaptiveGV(b *testing.B) {
+	benchNoCache(b)
 	var margin float64
 	for i := 0; i < b.N; i++ {
 		st, err := RunAdaptiveGVStudy(benchServers, 50,
@@ -505,6 +524,7 @@ func BenchmarkZonePlacement(b *testing.B) {
 
 // BenchmarkPMTSweep quantifies the melting-point purchasing cliff.
 func BenchmarkPMTSweep(b *testing.B) {
+	benchNoCache(b)
 	var cliff float64
 	for i := 0; i < b.N; i++ {
 		pts, err := PMTSweep(60, []float64{35.7, 40}, []float64{20, 22, 24})
@@ -519,6 +539,7 @@ func BenchmarkPMTSweep(b *testing.B) {
 // BenchmarkVolumeSweep quantifies what doubling the 4 L deployment
 // would buy.
 func BenchmarkVolumeSweep(b *testing.B) {
+	benchNoCache(b)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		pts, err := VolumeSweep(60, []float64{4, 8}, []float64{20, 22, 24})
@@ -556,5 +577,73 @@ func BenchmarkRunTraced(b *testing.B) {
 		if _, err := Run(c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ===== Experiment-engine run cache =====
+
+// BenchmarkAblationStudyUncached regenerates the ablation from scratch
+// every iteration (session cache disabled) — the pre-engine cost of
+// the study.
+func BenchmarkAblationStudyUncached(b *testing.B) {
+	benchNoCache(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationStudy(benchServers, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStudyCached regenerates the ablation with the
+// session cache warm — what a repeated artifact pass (vmtreport
+// regenerating figures that share configurations) pays per study.
+func BenchmarkAblationStudyCached(b *testing.B) {
+	c := RunCache()
+	c.SetEnabled(true)
+	c.Reset()
+	b.Cleanup(c.Reset)
+	if _, err := AblationStudy(benchServers, 20); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationStudy(benchServers, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// adaptiveGVBenchArgs keeps both adaptive cache benchmarks on the same
+// downsized closed loop.
+func runAdaptiveGVBench(b *testing.B) {
+	b.Helper()
+	if _, err := RunAdaptiveGVStudy(50, 25,
+		[]float64{0.75, 0.95}, []float64{18, 20, 22}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAdaptiveGVStudyUncached runs the closed loop with the cache
+// disabled: every tuning run, the static sweep, and the final
+// three-way comparison all simulate.
+func BenchmarkAdaptiveGVStudyUncached(b *testing.B) {
+	benchNoCache(b)
+	for i := 0; i < b.N; i++ {
+		runAdaptiveGVBench(b)
+	}
+}
+
+// BenchmarkAdaptiveGVStudyCached resets the cache every iteration, so
+// only the study's own internal reuse counts: the final comparison's
+// round-robin base and static winner are exact hits from the static
+// sweep, leaving one fresh full-trace simulation instead of three.
+func BenchmarkAdaptiveGVStudyCached(b *testing.B) {
+	c := RunCache()
+	c.SetEnabled(true)
+	b.Cleanup(c.Reset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		runAdaptiveGVBench(b)
 	}
 }

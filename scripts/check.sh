@@ -28,8 +28,12 @@ go test -short -count=1 \
     -run 'TestGolden|Property|BitIdentical' \
     . ./internal/pcm/ ./internal/thermal/ ./internal/cluster/
 
+echo "== spec round-trip (encode -> decode -> execute)"
+go test -count=1 -run 'TestSpecRoundTripExecute|TestSpecJSONRoundTrip' \
+    . ./internal/experiment/
+
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/telemetry/ ./internal/cliobs/ \
+go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
     -run 'Test' -count=1
 go test -race ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
