@@ -1,13 +1,16 @@
 # Convenience targets; `make check` is the repo's full verification
-# (gofmt, vet, build, tests, race pass) — see scripts/check.sh.
+# (gofmt, vet, lint, build, tests, race pass) — see scripts/check.sh.
 
-.PHONY: check test bench build
+.PHONY: check test lint bench build
 
 check:
 	sh scripts/check.sh
 
 test:
 	go test ./...
+
+lint:
+	go run ./cmd/vmtlint ./...
 
 build:
 	go build ./...

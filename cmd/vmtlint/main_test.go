@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk so the tests can
+// exercise the real loader end to end.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunCleanTree is the acceptance criterion in-process: the repo's
+// own tree lints clean, exit 0, no output.
+func TestRunCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run(cwd, []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean tree printed diagnostics:\n%s", out.String())
+	}
+}
+
+// TestRunReportsViolation reintroduces a violation in a scratch module
+// and checks the exit code and diagnostic format.
+func TestRunReportsViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmt\n\ngo 1.24\n",
+		"internal/sim/clock.go": `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	// Diagnostic contract: file:line: [analyzer] message, path relative
+	// to the working directory.
+	re := regexp.MustCompile(`(?m)^internal[/\\]sim[/\\]clock\.go:5: \[detrand\] `)
+	if !re.MatchString(out.String()) {
+		t.Errorf("output does not match %q:\n%s", re, out.String())
+	}
+	if strings.Contains(out.String(), dir) {
+		t.Errorf("diagnostic paths should be relative to the working directory:\n%s", out.String())
+	}
+}
+
+// TestRunSuppressedViolation checks the allow comment flips the same
+// tree back to exit 0.
+func TestRunSuppressedViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmt\n\ngo 1.24\n",
+		"internal/sim/clock.go": `package sim
+
+import "time" //vmtlint:allow detrand scratch module: exercising suppression
+
+//vmtlint:allow detrand scratch module: exercising suppression
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module vmt\n\ngo 1.24\n",
+		"main.go": "package vmt\n",
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./nonexistent/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "matched no packages") {
+		t.Errorf("stderr should explain the unmatched pattern, got:\n%s", errOut.String())
+	}
+}
+
+func TestRunOutsideModule(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run(dir, nil, &out, &errOut); code != 2 {
+		t.Fatalf("run outside a module = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+}

@@ -438,7 +438,7 @@ func (r *reporter) coolingLoads(name string, policy vmt.Policy) error {
 		Headers: []string{"Configuration", "Reduction (%)"},
 	}
 	keys := make([]string, 0, len(study.Reductions))
-	for k := range study.Reductions {
+	for k := range study.Reductions { //vmtlint:allow maporder keys are sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

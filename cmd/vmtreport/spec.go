@@ -40,7 +40,7 @@ func runSpecFile(out io.Writer, path string) error {
 			}
 		}
 		var extras []string
-		for name := range rep.Rows[0].Labels {
+		for name := range rep.Rows[0].Labels { //vmtlint:allow maporder extras are sorted immediately below
 			seen := false
 			for _, h := range headers {
 				seen = seen || h == name
@@ -52,7 +52,7 @@ func runSpecFile(out io.Writer, path string) error {
 		sort.Strings(extras)
 		headers = append(headers, extras...)
 		var values []string
-		for name := range rep.Rows[0].Values {
+		for name := range rep.Rows[0].Values { //vmtlint:allow maporder values are sorted immediately below
 			values = append(values, name)
 		}
 		sort.Strings(values)

@@ -107,7 +107,7 @@ func renderSpecReport(rep *vmt.SpecReport) error {
 		}
 		// Derived labels (e.g. best_variant) after the axis columns.
 		var extras []string
-		for name := range rep.Rows[0].Labels {
+		for name := range rep.Rows[0].Labels { //vmtlint:allow maporder extras are sorted immediately below
 			known := false
 			for _, l := range labels {
 				known = known || l == name
@@ -119,7 +119,7 @@ func renderSpecReport(rep *vmt.SpecReport) error {
 		sort.Strings(extras)
 		labels = append(labels, extras...)
 		var values []string
-		for name := range rep.Rows[0].Values {
+		for name := range rep.Rows[0].Values { //vmtlint:allow maporder values are sorted immediately below
 			values = append(values, name)
 		}
 		sort.Strings(values)

@@ -55,6 +55,21 @@ type hashableConfig struct {
 	TaskDurations       map[string]time.Duration
 }
 
+// cacheKeyExclusions is the documented observational-exclusion set:
+// every exported Config field deliberately absent (by name) from
+// hashableConfig, with the reason it is safe to leave out of the run
+// cache's key. vmtlint's cachekey analyzer checks Config against
+// hashableConfig and this table, so a new Config field that is neither
+// hashed nor listed here fails `make lint` instead of silently
+// poisoning the cache; TestCacheKeyExclusionsConsistent is the runtime
+// backstop for the same contract.
+var cacheKeyExclusions = map[string]string{
+	"Metrics":        "observational: metrics never alter results",
+	"Tracer":         "observational: tracing never alters results",
+	"PhysicsWorkers": "observational: results are bit-identical for every worker count",
+	"CustomTrace":    "hashed via the derived CustomTraceStep/CustomTraceSamples fields",
+}
+
 // configKey returns cfg's content address: the canonical hash of its
 // resolved simulation-relevant fields. Two configurations share a key
 // exactly when Run would produce bit-identical Results for both.
@@ -346,7 +361,7 @@ func settingInt(key string, v any) (int, error) {
 	case int:
 		return n, nil
 	case float64:
-		if n != math.Trunc(n) {
+		if n != math.Trunc(n) { //vmtlint:allow floateq exact integrality test on a decoded JSON number
 			return 0, fmt.Errorf("vmt: setting %s: want integer, got %v", key, n)
 		}
 		return int(n), nil

@@ -2,6 +2,7 @@ package vmt
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -341,6 +342,43 @@ func TestRunManyCachedConcurrentStudies(t *testing.T) {
 	for g := 0; g < 4; g++ {
 		if err := <-errc; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheKeyExclusionsConsistent is the runtime mirror of vmtlint's
+// cachekey analyzer: every exported Config field must be either a
+// hashableConfig field or a documented cacheKeyExclusions entry — never
+// both, never neither — and every exclusion key must name a live field.
+func TestCacheKeyExclusionsConsistent(t *testing.T) {
+	hashed := map[string]bool{}
+	ht := reflect.TypeOf(hashableConfig{})
+	for i := 0; i < ht.NumField(); i++ {
+		hashed[ht.Field(i).Name] = true
+	}
+
+	ct := reflect.TypeOf(Config{})
+	fields := map[string]bool{}
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fields[f.Name] = true
+		_, excluded := cacheKeyExclusions[f.Name]
+		switch {
+		case hashed[f.Name] && excluded:
+			t.Errorf("Config.%s is both hashed and excluded; pick one", f.Name)
+		case !hashed[f.Name] && !excluded:
+			t.Errorf("Config.%s is neither hashed in hashableConfig nor excluded in cacheKeyExclusions", f.Name)
+		}
+	}
+	for name, reason := range cacheKeyExclusions {
+		if !fields[name] {
+			t.Errorf("cacheKeyExclusions lists %q, which is not an exported Config field", name)
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("cacheKeyExclusions[%q] has an empty reason", name)
 		}
 	}
 }

@@ -64,7 +64,7 @@ func (p Plant) COPAt(q float64) float64 {
 	if x >= 1 {
 		return p.NominalCOP
 	}
-	if p.PartLoadPenalty == 0 {
+	if p.PartLoadPenalty == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		return p.NominalCOP
 	}
 	return p.NominalCOP * x / (x + p.PartLoadPenalty*(1-x))

@@ -43,10 +43,10 @@ func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.WaxThreshold == 0 {
+	if cfg.WaxThreshold == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		cfg.WaxThreshold = DefaultWaxThreshold
 	}
-	if cfg.MigrationBudgetFrac == 0 {
+	if cfg.MigrationBudgetFrac == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		cfg.MigrationBudgetFrac = 0.25
 	}
 	pmt := c.Config().Material.MeltTempC

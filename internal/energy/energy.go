@@ -48,14 +48,26 @@ func (t Tariff) Validate() error {
 	return nil
 }
 
+// InPeakWindow reports whether simulation time d falls inside the
+// daily [PeakStartHour, PeakEndHour) window.
+func (t Tariff) InPeakWindow(d time.Duration) bool {
+	h := math.Mod(d.Hours(), 24)
+	return h >= t.PeakStartHour && h < t.PeakEndHour
+}
+
 // RateAt returns the $/kWh price at simulation time d.
 func (t Tariff) RateAt(d time.Duration) float64 {
-	h := math.Mod(d.Hours(), 24)
-	if h >= t.PeakStartHour && h < t.PeakEndHour {
+	if t.InPeakWindow(d) {
 		return t.PeakUSDPerKWh
 	}
 	return t.OffPeakUSDPerKWh
 }
+
+// Flat reports whether the tariff prices peak and off-peak kWh
+// identically, which makes peak-window accounting meaningless.
+//
+//vmtlint:allow floateq exact comparison of two configured rate constants, not computed values
+func (t Tariff) Flat() bool { return t.PeakUSDPerKWh == t.OffPeakUSDPerKWh }
 
 // Bill summarizes the cooling electricity cost of one load series.
 type Bill struct {
@@ -91,8 +103,7 @@ func CoolingBill(load *stats.Series, plant chiller.Plant, tariff Tariff) (Bill, 
 		at := load.TimeAt(i)
 		cost := kwh * tariff.RateAt(at)
 		bill.TotalUSD += cost
-		if tariff.RateAt(at) == tariff.PeakUSDPerKWh &&
-			tariff.PeakUSDPerKWh != tariff.OffPeakUSDPerKWh {
+		if tariff.InPeakWindow(at) && !tariff.Flat() {
 			bill.PeakWindowUSD += cost
 			bill.PeakWindowShare += kwh
 		} else {

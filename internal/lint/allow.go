@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//vmtlint:allow <analyzer> <reason>
+//
+// The comment suppresses <analyzer>'s diagnostics on its own line and
+// on the line directly below it — so it works both as a trailing
+// comment on the offending line and as a whole-line comment above it.
+// The reason is mandatory: an allow is a reviewed exception, and the
+// justification must live next to the code it excuses. Malformed
+// directives (wrong verb, unknown analyzer, missing reason, a stray
+// space before "vmtlint:", a block comment) are themselves diagnostics
+// from the always-on "allow" pseudo-analyzer, so a typo can never
+// silently disable a check.
+
+// ErrNotDirective reports that a comment is not a vmtlint directive at
+// all (an ordinary comment). It is the only non-diagnostic outcome of
+// ParseAllowComment.
+var ErrNotDirective = errors.New("not a vmtlint directive")
+
+const directiveMarker = "vmtlint:"
+
+// ParseAllowComment parses one raw comment ("//..." or "/*...*/"). On
+// success it returns the suppressed analyzer's name and the non-empty
+// reason. Any malformed directive returns a descriptive error;
+// comments that are not directives return ErrNotDirective.
+func ParseAllowComment(raw string) (name, reason string, err error) {
+	var body string
+	var block bool
+	switch {
+	case strings.HasPrefix(raw, "//"):
+		body = raw[2:]
+	case strings.HasPrefix(raw, "/*"):
+		body = strings.TrimSuffix(raw[2:], "*/")
+		block = true
+	default:
+		return "", "", ErrNotDirective
+	}
+	trimmed := strings.TrimSpace(body)
+	if !strings.HasPrefix(trimmed, directiveMarker) {
+		return "", "", ErrNotDirective
+	}
+	if block {
+		return "", "", fmt.Errorf("vmtlint directive must be a line comment (//%s...), not a block comment", directiveMarker)
+	}
+	if !strings.HasPrefix(body, directiveMarker) {
+		return "", "", fmt.Errorf("malformed vmtlint directive: no space allowed between // and %q", directiveMarker)
+	}
+	rest := strings.TrimPrefix(body, directiveMarker)
+	verb := rest
+	if i := strings.IndexFunc(rest, isSpace); i >= 0 {
+		verb, rest = rest[:i], rest[i:]
+	} else {
+		rest = ""
+	}
+	if verb != "allow" {
+		return "", "", fmt.Errorf("unknown vmtlint directive %q (only \"allow\" exists)", verb)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", fmt.Errorf("vmtlint:allow needs an analyzer name (one of %s)", analyzerNames())
+	}
+	name = fields[0]
+	if !knownAnalyzer(name) {
+		return "", "", fmt.Errorf("vmtlint:allow names unknown analyzer %q (want one of %s)", name, analyzerNames())
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+	if reason == "" {
+		return "", "", fmt.Errorf("vmtlint:allow %s needs a reason — suppressions must carry their justification", name)
+	}
+	return name, reason, nil
+}
+
+func isSpace(r rune) bool { return r == ' ' || r == '\t' }
+
+func knownAnalyzer(name string) bool {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func analyzerNames() string {
+	names := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// allowIndex records, per file and line, which analyzers are
+// suppressed there.
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) add(file string, line int, analyzer string) {
+	byLine, ok := ai[file]
+	if !ok {
+		byLine = map[int]map[string]bool{}
+		ai[file] = byLine
+	}
+	set, ok := byLine[line]
+	if !ok {
+		set = map[string]bool{}
+		byLine[line] = set
+	}
+	set[analyzer] = true
+}
+
+// covers reports whether d is suppressed: an allow for its analyzer on
+// the same line or the line directly above.
+func (ai allowIndex) covers(d Diagnostic) bool {
+	byLine, ok := ai[d.Position.Filename]
+	if !ok {
+		return false
+	}
+	return byLine[d.Position.Line][d.Analyzer] || byLine[d.Position.Line-1][d.Analyzer]
+}
+
+// collectAllows scans a package's comments for vmtlint directives,
+// returning the suppression index and a diagnostic for every malformed
+// directive.
+func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
+	ai := allowIndex{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				name, _, err := ParseAllowComment(c.Text)
+				if errors.Is(err, ErrNotDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						Position: pos,
+						Analyzer: AllowAnalyzerName,
+						Message:  err.Error(),
+					})
+					continue
+				}
+				ai.add(pos.Filename, pos.Line, name)
+			}
+		}
+	}
+	return ai, diags
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseAllowComment(t *testing.T) {
+	cases := []struct {
+		name   string
+		raw    string
+		want   string // analyzer name on success, "" on error
+		reason string
+		errSub string // substring of the error message, "" for success
+		notDir bool   // expect ErrNotDirective
+	}{
+		{name: "trailing reason", raw: "//vmtlint:allow floateq zero sentinel", want: "floateq", reason: "zero sentinel"},
+		{name: "multi-word reason", raw: "//vmtlint:allow detrand observational: tracer timing only", want: "detrand", reason: "observational: tracer timing only"},
+		{name: "tabs between fields", raw: "//vmtlint:allow\tmaporder\tsorted below", want: "maporder", reason: "sorted below"},
+		{name: "ordinary comment", raw: "// just prose", notDir: true},
+		{name: "doc comment", raw: "// vmtlintish but not a directive", notDir: true},
+		{name: "empty line comment", raw: "//", notDir: true},
+		{name: "block non-directive", raw: "/* prose */", notDir: true},
+		{name: "missing reason", raw: "//vmtlint:allow floateq", errSub: "needs a reason"},
+		{name: "reason all spaces", raw: "//vmtlint:allow floateq    ", errSub: "needs a reason"},
+		{name: "missing analyzer", raw: "//vmtlint:allow", errSub: "needs an analyzer name"},
+		{name: "unknown analyzer", raw: "//vmtlint:allow speling because", errSub: "unknown analyzer"},
+		{name: "allow pseudo-analyzer", raw: "//vmtlint:allow allow hiding the hider", errSub: "unknown analyzer"},
+		{name: "unknown verb", raw: "//vmtlint:ignore floateq reason", errSub: "unknown vmtlint directive"},
+		{name: "space before marker", raw: "// vmtlint:allow floateq reason", errSub: "no space allowed"},
+		{name: "block directive", raw: "/* vmtlint:allow floateq reason */", errSub: "must be a line comment"},
+		{name: "block directive tight", raw: "/*vmtlint:allow floateq reason*/", errSub: "must be a line comment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			name, reason, err := ParseAllowComment(c.raw)
+			if c.notDir {
+				if !errors.Is(err, ErrNotDirective) {
+					t.Fatalf("ParseAllowComment(%q) err = %v, want ErrNotDirective", c.raw, err)
+				}
+				return
+			}
+			if c.errSub != "" {
+				if err == nil || errors.Is(err, ErrNotDirective) {
+					t.Fatalf("ParseAllowComment(%q) err = %v, want message containing %q", c.raw, err, c.errSub)
+				}
+				if !strings.Contains(err.Error(), c.errSub) {
+					t.Fatalf("ParseAllowComment(%q) err = %q, want substring %q", c.raw, err, c.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseAllowComment(%q) unexpected error: %v", c.raw, err)
+			}
+			if name != c.want || reason != c.reason {
+				t.Fatalf("ParseAllowComment(%q) = (%q, %q), want (%q, %q)", c.raw, name, reason, c.want, c.reason)
+			}
+		})
+	}
+}
+
+// FuzzParseAllowComment holds the parser to its contract on arbitrary
+// input: never panic, never accept a directive without a known
+// analyzer and a non-empty reason, classify non-comments as
+// not-a-directive, and stay deterministic.
+func FuzzParseAllowComment(f *testing.F) {
+	f.Add("//vmtlint:allow floateq zero sentinel")
+	f.Add("//vmtlint:allow detrand observational: tracer timing only")
+	f.Add("//vmtlint:allow")
+	f.Add("//vmtlint:allow floateq")
+	f.Add("//vmtlint:allow nosuch reason")
+	f.Add("//vmtlint:ignore floateq reason")
+	f.Add("// vmtlint:allow floateq reason")
+	f.Add("/* vmtlint:allow floateq reason */")
+	f.Add("// plain comment")
+	f.Add("//")
+	f.Add("")
+	f.Add("//vmtlint:allow\tmaporder\tsorted below")
+	f.Fuzz(func(t *testing.T, raw string) {
+		name, reason, err := ParseAllowComment(raw)
+		name2, reason2, err2 := ParseAllowComment(raw)
+		if name != name2 || reason != reason2 || (err == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic: (%q,%q,%v) vs (%q,%q,%v)", name, reason, err, name2, reason2, err2)
+		}
+		if !strings.HasPrefix(raw, "//") && !strings.HasPrefix(raw, "/*") && !errors.Is(err, ErrNotDirective) {
+			t.Fatalf("non-comment %q classified as directive material: (%q, %q, %v)", raw, name, reason, err)
+		}
+		if err == nil {
+			if !knownAnalyzer(name) {
+				t.Fatalf("accepted unknown analyzer %q from %q", name, raw)
+			}
+			if strings.TrimSpace(reason) == "" {
+				t.Fatalf("accepted empty reason from %q", raw)
+			}
+		} else if name != "" || reason != "" {
+			t.Fatalf("error path leaked values (%q, %q) from %q", name, reason, raw)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// CacheKey structurally verifies the contract behind the
+// content-addressed run cache: every exported field of the run Config
+// must be either hashed (present by name in hashableConfig, the shadow
+// struct configKey feeds to experiment.Key) or deliberately excluded
+// (a key of the cacheKeyExclusions table, with its reason). Without
+// this check, adding a Config field and forgetting the cache key is a
+// silent cache-poisoning incident: two configs that differ only in the
+// new field hash identically, and the second "run" returns the first
+// run's results. The check is reflect-free and purely syntactic, so it
+// fails at lint time, not at the first cache collision in production.
+//
+// It also polices the table itself: a stale exclusion naming a field
+// Config no longer has, or a field that is simultaneously hashed and
+// excluded, is a diagnostic.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc: "checks that every exported Config field is hashed in " +
+		"hashableConfig or listed in cacheKeyExclusions, so new fields " +
+		"cannot silently escape the run-cache key",
+	Scope: func(path string) bool { return path == "vmt" },
+	Run:   runCacheKey,
+}
+
+// The three declarations the analyzer pattern-matches, by name.
+const (
+	cachekeyConfigName     = "Config"
+	cachekeyHashableName   = "hashableConfig"
+	cachekeyExclusionsName = "cacheKeyExclusions"
+)
+
+func runCacheKey(pass *Pass) {
+	config := findStruct(pass.Pkg, cachekeyConfigName)
+	if config == nil {
+		// Nothing to check: the package has no run Config (the scope
+		// rule normally guarantees one, but fixtures may not).
+		return
+	}
+	hashable := findStruct(pass.Pkg, cachekeyHashableName)
+	if hashable == nil {
+		pass.Reportf(config.Pos(),
+			"%s exists but %s does not; the run cache has no canonical key struct to check against",
+			cachekeyConfigName, cachekeyHashableName)
+		return
+	}
+	exclusions, exclPos := findStringKeyedMapLit(pass.Pkg, cachekeyExclusionsName)
+	if exclusions == nil {
+		pass.Reportf(config.Pos(),
+			"%s exists but %s (the documented observational-exclusion set) does not",
+			cachekeyConfigName, cachekeyExclusionsName)
+		return
+	}
+
+	hashed := map[string]bool{}
+	for _, f := range hashable.Fields.List {
+		for _, name := range f.Names {
+			hashed[name.Name] = true
+		}
+	}
+
+	configFields := map[string]bool{}
+	for _, f := range config.Fields.List {
+		for _, name := range f.Names {
+			configFields[name.Name] = true
+			if !name.IsExported() {
+				continue
+			}
+			inHash, inExcl := hashed[name.Name], exclusions[name.Name]
+			switch {
+			case inHash && inExcl:
+				pass.Reportf(name.Pos(),
+					"%s.%s is both hashed in %s and excluded in %s; pick one",
+					cachekeyConfigName, name.Name, cachekeyHashableName, cachekeyExclusionsName)
+			case !inHash && !inExcl:
+				pass.Reportf(name.Pos(),
+					"%s.%s is neither hashed in %s nor excluded in %s; the run cache would silently ignore it (cache-poisoning hazard)",
+					cachekeyConfigName, name.Name, cachekeyHashableName, cachekeyExclusionsName)
+			}
+		}
+	}
+
+	for name, pos := range exclPos {
+		if !configFields[name] {
+			pass.Reportf(pos,
+				"%s lists %q, which is not a field of %s; stale exclusions hide future coverage gaps",
+				cachekeyExclusionsName, name, cachekeyConfigName)
+		}
+	}
+}
+
+// findStruct returns the struct type declared under the given name in
+// the package, or nil.
+func findStruct(pkg *Package, name string) *ast.StructType {
+	var found *ast.StructType
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != name {
+				return found == nil
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				found = st
+			}
+			return false
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// findStringKeyedMapLit returns the string keys (and their positions)
+// of the map composite literal bound to the named package-level var,
+// or nil if the declaration is missing or not a keyed map literal.
+func findStringKeyedMapLit(pkg *Package, name string) (map[string]bool, map[string]token.Pos) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if ident.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys := map[string]bool{}
+					poss := map[string]token.Pos{}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						bl, ok := kv.Key.(*ast.BasicLit)
+						if !ok || bl.Kind != token.STRING {
+							continue
+						}
+						k, err := strconv.Unquote(bl.Value)
+						if err != nil {
+							continue
+						}
+						keys[k] = true
+						poss[k] = bl.Pos()
+					}
+					return keys, poss
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCacheKeyOKFixture(t *testing.T) { lintFixture(t, "cachekey/ok", CacheKey) }
+
+// TestCacheKeyExtraFieldFixture is the forgot-to-update-the-cache-key
+// scenario: one new exported Config field and nothing else changed must
+// yield exactly one diagnostic, naming that field.
+func TestCacheKeyExtraFieldFixture(t *testing.T) {
+	pkg := loadFixture(t, "cachekey/extra")
+	diags := RunUnscoped(pkg, []*Analyzer{CacheKey})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics (%v), want exactly 1", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "NewKnob") {
+		t.Errorf("diagnostic %q does not name the uncovered field NewKnob", diags[0].Message)
+	}
+	lintFixture(t, "cachekey/extra", CacheKey)
+}
+
+// mutateOK loads the clean cachekey fixture with one in-memory edit
+// applied, returning the resulting diagnostics.
+func mutateOK(t *testing.T, old, new string) []Diagnostic {
+	t.Helper()
+	src := fixtureSource(t, "cachekey/ok", "config.go")
+	mutated := strings.Replace(src, old, new, 1)
+	if mutated == src {
+		t.Fatalf("mutation %q not found in fixture source", old)
+	}
+	pkg, err := testLoader(t).LoadFiles("fixture/cachekeymut", map[string]string{"config.go": mutated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("mutated fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return RunUnscoped(pkg, []*Analyzer{CacheKey})
+}
+
+// TestCacheKeyFlips proves the analyzer is live in both directions:
+// the clean fixture is silent, and each single-edit regression flips
+// exactly the matching diagnostic on.
+func TestCacheKeyFlips(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		pkg := loadFixture(t, "cachekey/ok")
+		if diags := RunUnscoped(pkg, []*Analyzer{CacheKey}); len(diags) != 0 {
+			t.Fatalf("clean fixture produced diagnostics: %v", diags)
+		}
+	})
+
+	t.Run("dropped exclusion uncovers a field", func(t *testing.T) {
+		diags := mutateOK(t,
+			"\t\"Workers\": \"observational: results identical for any worker count\",\n", "")
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics (%v), want 1", len(diags), diags)
+		}
+		if !strings.Contains(diags[0].Message, "Workers") || !strings.Contains(diags[0].Message, "neither hashed") {
+			t.Errorf("diagnostic %q should report Workers as neither hashed nor excluded", diags[0].Message)
+		}
+	})
+
+	t.Run("excluding a hashed field is a contradiction", func(t *testing.T) {
+		diags := mutateOK(t,
+			"\t\"Workers\":",
+			"\t\"Servers\": \"bogus: this field is hashed\",\n\t\"Workers\":")
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics (%v), want 1", len(diags), diags)
+		}
+		if !strings.Contains(diags[0].Message, "Servers") || !strings.Contains(diags[0].Message, "both hashed") {
+			t.Errorf("diagnostic %q should report Servers as both hashed and excluded", diags[0].Message)
+		}
+	})
+
+	t.Run("stale exclusion key", func(t *testing.T) {
+		diags := mutateOK(t,
+			"\t\"Workers\":",
+			"\t\"Ghost\": \"no such field anymore\",\n\t\"Workers\":")
+		if len(diags) != 1 {
+			t.Fatalf("got %d diagnostics (%v), want 1", len(diags), diags)
+		}
+		if !strings.Contains(diags[0].Message, "Ghost") || !strings.Contains(diags[0].Message, "stale") {
+			t.Errorf("diagnostic %q should report Ghost as a stale exclusion", diags[0].Message)
+		}
+	})
+
+	t.Run("missing exclusions map", func(t *testing.T) {
+		src := fixtureSource(t, "cachekey/ok", "config.go")
+		mutated := strings.ReplaceAll(src, "cacheKeyExclusions", "renamedExclusions")
+		pkg, err := testLoader(t).LoadFiles("fixture/cachekeymut", map[string]string{"config.go": mutated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("mutated fixture has type errors: %v", pkg.TypeErrors)
+		}
+		if diags := RunUnscoped(pkg, []*Analyzer{CacheKey}); len(diags) == 0 {
+			t.Fatal("removing cacheKeyExclusions produced no diagnostics")
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detrand forbids wall-clock and ambient-entropy sources inside the
+// simulation-critical packages. A Config must bit-identically determine
+// a Run; `time.Now` in the sim clock or global `math/rand` in a policy
+// breaks that silently — results drift between invocations without a
+// single test failing until a golden fixture happens to notice.
+// Randomness must come from the seeded, deterministic
+// internal/stats.RNG; wall-clock readings are legitimate only in
+// observational code (telemetry tracers, progress lines), which earns
+// an explicit //vmtlint:allow with its justification.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbids time.Now/Since/Until and math|crypto/rand imports in " +
+		"simulation-critical packages (root study code, internal/{sim,cluster,pcm,thermal,sched}); " +
+		"use the seeded internal/stats RNG and simulation time instead",
+	Scope: scopeSet("vmt",
+		"vmt/internal/sim",
+		"vmt/internal/cluster",
+		"vmt/internal/pcm",
+		"vmt/internal/thermal",
+		"vmt/internal/sched",
+	),
+	Run: runDetrand,
+}
+
+// detrandImports are entropy sources that have no place in
+// deterministic simulation code, even transitively.
+var detrandImports = map[string]string{
+	"math/rand":    "global, unseeded-by-default PRNG",
+	"math/rand/v2": "global, unseeded-by-default PRNG",
+	"crypto/rand":  "ambient entropy",
+}
+
+// detrandTimeFuncs are the package-level time functions that read the
+// wall clock.
+var detrandTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetrand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, ok := detrandImports[path]; ok {
+				pass.Reportf(imp.Pos(),
+					"import %q (%s) in deterministic simulation code; use the seeded internal/stats RNG",
+					path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !detrandTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in deterministic simulation code; derive timing from simulation time",
+				sel.Sel.Name)
+			return true
+		})
+	}
+}

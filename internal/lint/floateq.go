@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != with a floating-point operand, plus switch
+// statements whose tag is a float. Sweeps and reducers must bucket and
+// compare via epsilon or integer/string keys: exact float comparison
+// on computed values is where "the same sweep point" silently becomes
+// "two different rows" after an innocent refactor reorders an
+// arithmetic expression. The one legitimate exact comparison — the
+// zero-value "field unset" sentinel resolved in withDefaults-style
+// code — is annotated with //vmtlint:allow floateq at each site, which
+// doubles as an inventory of every such sentinel in the tree.
+// _test.go files are outside the loader's scope and unaffected.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= with a float operand and switches on float tags; " +
+		"compare via epsilon or integer keys, or justify zero-value " +
+		"sentinels with //vmtlint:allow floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isFloat(info.TypeOf(n.X)) || isFloat(info.TypeOf(n.Y)) {
+					pass.Reportf(n.OpPos,
+						"%s on float operands (%s %s %s); compare via epsilon or integer keys",
+						n.Op, types.ExprString(n.X), n.Op, types.ExprString(n.Y))
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(info.TypeOf(n.Tag)) {
+					pass.Reportf(n.Switch,
+						"switch on float tag %s compares floats exactly; compare via epsilon or integer keys",
+						types.ExprString(n.Tag))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,140 @@
+package lint
+
+// The annotated-fixture harness: a testdata package declares its
+// expected diagnostics inline with `// want "regexp"` comments (or
+// `/* want "regexp" */` where the line's trailing position is taken by
+// a directive under test), and lintFixture diffs the analyzer's actual
+// output against them. Every diagnostic must match a want on its line
+// and every want must be consumed — so a fixture pins both the
+// positives and the negatives of an analyzer.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testLoader returns a loader rooted at this repo's module, shared per
+// test via t.Cleanup-free memoization (loaders are cheap; a fresh one
+// per call keeps tests independent).
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+// loadFixture type-checks testdata/src/<name> as a standalone package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loader := testLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// lintFixture runs the analyzers over a fixture and diffs diagnostics
+// against its want comments.
+func lintFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diffWants(t, pkg, RunUnscoped(pkg, analyzers))
+}
+
+type wantExpectation struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// diffWants checks diagnostics against the package's want comments.
+func diffWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Position.Filename] {
+			if !w.matched && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// parseWants extracts `want "regexp"...` comments, keyed by file.
+func parseWants(t *testing.T, pkg *Package) map[string][]*wantExpectation {
+	t.Helper()
+	wants := map[string][]*wantExpectation{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				body := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(c.Text, "/*") {
+					body = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				}
+				body = strings.TrimSpace(body)
+				rest, ok := strings.CutPrefix(body, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					rest = rest[len(q):]
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants[pos.Filename] = append(wants[pos.Filename], &wantExpectation{
+						re:   regexp.MustCompile(pattern),
+						line: pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureSource reads one file of a fixture for mutation-based tests.
+func fixtureSource(t *testing.T, name, file string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "src", name, file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("[detrand]") and in
+	// //vmtlint:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description for `vmtlint -list`.
+	Doc string
+	// Scope reports whether the analyzer applies to the package with
+	// the given import path. nil means every package.
+	Scope func(pkgPath string) bool
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Analyzers is the registry the driver and the //vmtlint:allow
+// validator share. Order is presentation order for `vmtlint -list`.
+var Analyzers = []*Analyzer{Detrand, MapOrder, FloatEq, CacheKey}
+
+// AllowAnalyzerName is the pseudo-analyzer that owns diagnostics about
+// the suppression comments themselves (malformed directive, unknown
+// analyzer, missing reason). It is always on and cannot be suppressed.
+const AllowAnalyzerName = "allow"
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, formatted as "file:line: [analyzer] message".
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Position.Filename, d.Position.Line, d.Analyzer, d.Message)
+}
+
+// Run applies the analyzers to every package, honoring Scope rules and
+// //vmtlint:allow suppressions, and returns the surviving diagnostics
+// sorted by file, line, analyzer, and message. Diagnostics about the
+// suppression comments themselves are always included.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, runPackage(pkg, analyzers, true)...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// RunUnscoped is Run for a single package with Scope rules ignored —
+// the fixture-test entry point, where a testdata package stands in for
+// a real one.
+func RunUnscoped(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags := runPackage(pkg, analyzers, false)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, useScope bool) []Diagnostic {
+	allows, diags := collectAllows(pkg)
+	for _, a := range analyzers {
+		if useScope && a.Scope != nil && !a.Scope(pkg.Path) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != AllowAnalyzerName && allows.covers(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// scopeSet builds a Scope function matching the module root package
+// exactly and each other entry as itself or any subpackage. The root
+// must match exactly — a prefix match on "vmt" would swallow the whole
+// module.
+func scopeSet(root string, prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		if path == root {
+			return true
+		}
+		for _, p := range prefixes {
+			if path == p || len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/' {
+				return true
+			}
+		}
+		return false
+	}
+}

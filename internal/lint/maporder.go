@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose loop body has
+// order-dependent effects: appending to a slice, folding into a float
+// (or concatenating onto a string) accumulator, or writing telemetry.
+// Go randomizes map iteration order per run, so any such loop produces
+// results that differ between two executions of the same Config — the
+// exact bug class that breaks bit-identity across PhysicsWorkers and
+// replay order. Order-independent bodies (validation, map-to-map
+// copies, integer counting) pass; loops that collect keys and sort
+// before use carry a //vmtlint:allow with that justification.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration whose body appends to a slice, folds into a " +
+		"float/string accumulator, or writes telemetry — order-dependent " +
+		"effects under Go's randomized map order; iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if reason := orderDependentEffect(info, rs.Body); reason != "" {
+				pass.Reportf(rs.Pos(),
+					"map iteration with an order-dependent body (%s); iterate a sorted key slice instead",
+					reason)
+			}
+			return true
+		})
+	}
+}
+
+// orderDependentEffect scans a map-range body for the first effect
+// whose outcome depends on iteration order, returning a description or
+// "".
+func orderDependentEffect(info *types.Info, body *ast.BlockStmt) string {
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			reason = assignEffect(info, n)
+		case *ast.CallExpr:
+			if fn := calledObject(info, n); fn != nil && fn.Pkg() != nil &&
+				strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") {
+				reason = "writes telemetry via " + fn.Name()
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}
+
+// assignEffect classifies one assignment inside the body.
+func assignEffect(info *types.Info, as *ast.AssignStmt) string {
+	for _, rhs := range as.Rhs {
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin && id.Name == "append" {
+					return "appends to a slice"
+				}
+			}
+		}
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if kind := accumulatorKind(info.TypeOf(as.Lhs[0])); kind != "" {
+			return "folds into a " + kind + " accumulator"
+		}
+	case token.ASSIGN:
+		// x = x + y is the spelled-out fold.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					if kind := accumulatorKind(info.TypeOf(as.Lhs[0])); kind != "" &&
+						(types.ExprString(bin.X) == types.ExprString(as.Lhs[0]) ||
+							types.ExprString(bin.Y) == types.ExprString(as.Lhs[0])) {
+						return "folds into a " + kind + " accumulator"
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// accumulatorKind reports whether t is a type whose repeated folding is
+// order-sensitive: floats (rounding is not associative) and strings
+// (concatenation is not commutative). Integer folds commute exactly and
+// pass.
+func accumulatorKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&(types.IsFloat|types.IsComplex) != 0:
+		return "float"
+	case b.Info()&types.IsString != 0:
+		return "string"
+	}
+	return ""
+}
+
+// calledObject resolves the function or method object a call invokes
+// through a selector, or nil.
+func calledObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return info.Uses[sel.Sel]
+}

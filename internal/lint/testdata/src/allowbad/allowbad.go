@@ -1,0 +1,29 @@
+// Package allowbad is a vmtlint fixture: malformed suppression
+// directives are diagnostics themselves, so a typo can never silently
+// disable an analyzer. The want expectations ride in block comments
+// because the directive under test owns the line's trailing comment.
+package allowbad
+
+/* want "needs a reason" */ //vmtlint:allow detrand
+var a = 1
+
+/* want "unknown analyzer" */ //vmtlint:allow nosuchanalyzer because I said so
+var b = 2
+
+/* want "unknown vmtlint directive" */ //vmtlint:ignore detrand some reason
+var c = 3
+
+/* want "no space allowed" */ // vmtlint:allow detrand some reason
+var d = 4
+
+/* want "must be a line comment" */ /* vmtlint:allow detrand some reason */
+var e = 5
+
+/* want "needs an analyzer name" */ //vmtlint:allow
+var f = 6
+
+// A well-formed directive is not a diagnostic, even with nothing to
+// suppress.
+//
+//vmtlint:allow floateq fixture: well-formed directive with nothing to suppress
+var g = 7

@@ -1,0 +1,38 @@
+// Package cachekeyextra is a vmtlint fixture: the ok fixture's clone
+// with exactly one extra exported Config field that neither
+// hashableConfig nor cacheKeyExclusions knows about — the
+// forgot-to-update-the-cache-key mistake, which must produce exactly
+// one diagnostic.
+package cachekeyextra
+
+type material struct{ MeltC float64 }
+
+// Config is the fixture's run configuration.
+type Config struct {
+	Servers  int
+	GV       float64
+	Material material
+	Workers  int
+	Metrics  *int
+	// NewKnob was added without updating the cache key.
+	NewKnob float64 // want "neither hashed in hashableConfig nor excluded in cacheKeyExclusions"
+}
+
+// hashableConfig shadows Config with the fields that determine a run.
+type hashableConfig struct {
+	Servers  int
+	GV       float64
+	Material material
+}
+
+// cacheKeyExclusions documents the deliberate omissions.
+var cacheKeyExclusions = map[string]string{
+	"Workers": "observational: results identical for any worker count",
+	"Metrics": "observational: telemetry never alters results",
+}
+
+func configKey(c Config) hashableConfig {
+	_ = cacheKeyExclusions
+	_ = c.NewKnob
+	return hashableConfig{Servers: c.Servers, GV: c.GV, Material: c.Material}
+}

@@ -1,0 +1,40 @@
+// Package cachekeyok is a vmtlint fixture: a miniature clone of the
+// root package's Config / hashableConfig / cacheKeyExclusions triple in
+// which every exported Config field is either hashed or documented as
+// excluded — the clean state the cachekey analyzer accepts silently.
+// TestCacheKeyFlips mutates this source in memory to prove the two
+// failure modes fire.
+package cachekeyok
+
+type material struct{ MeltC float64 }
+
+// Config is the fixture's run configuration.
+type Config struct {
+	Servers  int
+	GV       float64
+	Material material
+	// Workers and Metrics are observational knobs.
+	Workers int
+	Metrics *int
+	// unexported state is invisible to the cache-key contract.
+	session string
+}
+
+// hashableConfig shadows Config with the fields that determine a run.
+type hashableConfig struct {
+	Servers  int
+	GV       float64
+	Material material
+}
+
+// cacheKeyExclusions documents the deliberate omissions.
+var cacheKeyExclusions = map[string]string{
+	"Workers": "observational: results identical for any worker count",
+	"Metrics": "observational: telemetry never alters results",
+}
+
+func configKey(c Config) hashableConfig {
+	_ = cacheKeyExclusions
+	_ = c.session
+	return hashableConfig{Servers: c.Servers, GV: c.GV, Material: c.Material}
+}

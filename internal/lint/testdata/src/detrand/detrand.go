@@ -1,0 +1,58 @@
+// Package detrand is a vmtlint fixture: wall-clock and ambient-entropy
+// sources that must not appear in deterministic simulation code, plus
+// the negatives that must pass and a justified suppression.
+package detrand
+
+import (
+	cryptorand "crypto/rand" // want "ambient entropy"
+	"math/rand"              // want "global, unseeded-by-default PRNG"
+	randv2 "math/rand/v2"    // want "global, unseeded-by-default PRNG"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() + randv2.Float64()
+}
+
+func entropy(b []byte) {
+	_, _ = cryptorand.Read(b)
+}
+
+func stamp() time.Duration {
+	t0 := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until reads the wall clock"
+}
+
+// Referencing the function without calling it is still a wall-clock
+// dependency.
+func alias() time.Time {
+	clock := time.Now // want "time.Now reads the wall clock"
+	return clock()
+}
+
+// Negatives: simulation-time arithmetic and look-alike methods on
+// local types are fine.
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Duration                  { return 0 }
+func (fakeClock) Since(time.Duration)                 {}
+func (fakeClock) Until(d time.Duration) time.Duration { return d }
+
+func simTime(c fakeClock, step time.Duration) time.Duration {
+	c.Since(c.Now())
+	return c.Now() + 3*step
+}
+
+// The sanctioned escape hatch: a justified allow is honored.
+func spanTiming() time.Time {
+	//vmtlint:allow detrand fixture: observational span timing only
+	return time.Now()
+}
+
+func trailingAllow() time.Time {
+	return time.Now() //vmtlint:allow detrand fixture: trailing-comment form
+}

@@ -1,0 +1,51 @@
+// Package floateq is a vmtlint fixture: exact float comparisons that
+// must be flagged, the integer/string negatives, and the zero-value
+// sentinel idiom behind a justified allow.
+package floateq
+
+func eq(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+func ne(a, b float32) bool {
+	return a != b // want "!= on float operands"
+}
+
+// Named types with a float underlying are still floats.
+type celsius float64
+
+func named(c celsius) bool {
+	return c == 36.6 // want "== on float operands"
+}
+
+// A float on either side taints the comparison.
+func mixed(a float64) bool {
+	return 0.98 == a // want "== on float operands"
+}
+
+func switchTag(x float64) int {
+	switch x { // want "switch on float tag"
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Negatives: exact comparison is fine on non-floats, and float
+// ordering (<, <=) is not equality.
+func intEq(a, b int) bool       { return a == b }
+func strEq(a, b string) bool    { return a == b }
+func ordered(a, b float64) bool { return a < b }
+
+type pair struct{ x, y int }
+
+func structEq(a, b pair) bool { return a == b }
+
+// The zero-value "unset" sentinel is the one sanctioned exact
+// comparison, and it carries its justification.
+func withDefault(v float64) float64 {
+	if v == 0 { //vmtlint:allow floateq zero-value "unset" sentinel fixture
+		return 22
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+// Package maporder is a vmtlint fixture: map iterations whose bodies
+// are order-dependent (append, float/string folds, telemetry writes),
+// the order-independent negatives, and the sanctioned sorted-after
+// pattern behind a justified allow.
+package maporder
+
+import (
+	"sort"
+
+	"vmt/internal/telemetry"
+)
+
+func collectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to a slice"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func foldFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "folds into a float accumulator"
+		sum += v
+	}
+	return sum
+}
+
+// The spelled-out fold is the same bug.
+func foldSpelled(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "folds into a float accumulator"
+		total = total + v
+	}
+	return total
+}
+
+func buildLabel(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "folds into a string accumulator"
+		s += v
+	}
+	return s
+}
+
+func emitGauges(m map[string]float64, reg *telemetry.Registry) {
+	for name, v := range m { // want "writes telemetry"
+		reg.Gauge(name).Set(v)
+	}
+}
+
+// Negatives: order-independent bodies pass.
+
+// Integer folds commute exactly.
+func countCores(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Map-to-map copies land identically in any order.
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Validation that ranges without accumulating is fine.
+func allPositive(m map[string]float64) bool {
+	ok := true
+	for _, v := range m {
+		if v <= 0 {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Ranging a slice is never flagged, whatever the body does.
+func fromSlice(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// The sanctioned collect-then-sort pattern carries its justification.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //vmtlint:allow maporder keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

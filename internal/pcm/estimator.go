@@ -107,6 +107,7 @@ func (e *Estimator) Update(airTempC float64, dt time.Duration) {
 	// difference sits inside the zero-flow bucket (or the tabulated
 	// flow is below h's rounding granularity) even as the sensed air
 	// temperature jitters by ulps tick to tick.
+	//vmtlint:allow floateq bit-exact fixed-point test: the fast path may fire only when the loop would be the identity
 	if cv.tempAt(h) == t && h+e.lookup(airTempC-t)*subSec == h {
 		e.updates++
 		return

@@ -62,7 +62,7 @@ func (c LineChart) Render(w io.Writer) error {
 	plotH := float64(height - marginT - marginB)
 
 	yMin, yMax := c.YMin, c.YMax
-	if yMin == 0 && yMax == 0 {
+	if yMin == 0 && yMax == 0 { //vmtlint:allow floateq zero-value "auto-scale" sentinel, exact by construction
 		yMin, yMax = math.Inf(1), math.Inf(-1)
 		for _, s := range c.Series {
 			for _, v := range s.Values {
@@ -75,7 +75,7 @@ func (c LineChart) Render(w io.Writer) error {
 			yMax = math.Max(yMax, v)
 		}
 		pad := (yMax - yMin) * 0.06
-		if pad == 0 {
+		if pad == 0 { //vmtlint:allow floateq exact guard for a perfectly flat series (yMax-yMin is exactly 0)
 			pad = 1
 		}
 		yMin -= pad

@@ -233,13 +233,13 @@ func (e *Engine) RunUntil(end time.Duration) error {
 		e.fired++
 		if m := e.metrics; m != nil {
 			m.dispatched.Inc()
-			start := time.Now()
+			start := time.Now() //vmtlint:allow detrand observational: per-band wall-time metric only
 			next.fn(e.now)
 			band, ok := m.bandNanos[next.priority]
 			if !ok {
 				band = m.otherNanos
 			}
-			band.Add(uint64(time.Since(start)))
+			band.Add(uint64(time.Since(start))) //vmtlint:allow detrand observational: per-band wall-time metric only
 		} else {
 			next.fn(e.now)
 		}

@@ -54,7 +54,7 @@ func (r *RNG) Normal(mean, stdev float64) float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
-		if s >= 1 || s == 0 {
+		if s >= 1 || s == 0 { //vmtlint:allow floateq Marsaglia rejection of the exact degenerate draw
 			continue
 		}
 		m := math.Sqrt(-2 * math.Log(s) / s)

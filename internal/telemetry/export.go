@@ -61,7 +61,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		names[key{ev.Run, ev.Name}] = true
 	}
 	keys := make([]key, 0, len(names))
-	for k := range names {
+	for k := range names { //vmtlint:allow maporder keys are sorted immediately below
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

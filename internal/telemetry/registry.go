@@ -272,13 +272,13 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counters {
+	for name, c := range r.counters { //vmtlint:allow maporder sections are sorted by name below
 		snap.Counters = append(snap.Counters, CounterPoint{Name: name, Value: c.Value()})
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.gauges { //vmtlint:allow maporder sections are sorted by name below
 		snap.Gauges = append(snap.Gauges, GaugePoint{Name: name, Value: g.Value()})
 	}
-	for name, h := range r.histograms {
+	for name, h := range r.histograms { //vmtlint:allow maporder sections are sorted by name below
 		hp := HistogramPoint{Name: name, Count: h.Count(), Sum: h.Sum()}
 		for i := range h.counts {
 			bp := BucketPoint{Count: h.counts[i].Load()}

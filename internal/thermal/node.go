@@ -136,8 +136,9 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	airC0, waxH0 := n.airC, waxH
 	for i := range n.memo {
 		m := &n.memo[i]
+		//vmtlint:allow floateq bit-exact memo key: a hit must mean the loop would recompute exactly this state
 		if m.valid && m.airC == airC0 && m.waxHJ == waxH0 &&
-			m.powerW == powerW && m.dt == dt {
+			m.powerW == powerW && m.dt == dt { //vmtlint:allow floateq bit-exact memo key (continued)
 			// Exact pre-state and inputs: the full loop would recompute
 			// exactly the memoized outcome.
 			n.airC = m.postAirC
@@ -203,7 +204,7 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	// recur, so recording those steps would pay the copy for no future
 	// hit. A stationary wax covers both the true fixed point and the
 	// last-ulp air limit cycles.
-	if waxH == waxH0 {
+	if waxH == waxH0 { //vmtlint:allow floateq exact stationary-wax test gates what the memo may record
 		m := &n.memo[n.memoNext]
 		m.valid = true
 		m.airC = airC0

@@ -77,6 +77,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("trace: trough hour must lie in [0,24)")
 	case s.NoiseAmp < 0:
 		return fmt.Errorf("trace: negative noise amplitude")
+	//vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 	case s.PeakSharpness != 0 && s.PeakSharpness < 1:
 		return fmt.Errorf("trace: peak sharpness must be >= 1, got %v", s.PeakSharpness)
 	}
@@ -132,7 +133,7 @@ func (s Spec) utilAt(d time.Duration) float64 {
 	// trough→peak span of the day that owns the current segment.
 	rel := math.Mod(h-s.TroughHour+24, 24)
 	sharp := s.PeakSharpness
-	if sharp == 0 {
+	if sharp == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		sharp = 1
 	}
 	if h < s.TroughHour {

@@ -76,7 +76,7 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 
-	start := time.Now()
+	start := time.Now() //vmtlint:allow detrand observational: progress-line timing only
 	var progressMu sync.Mutex
 	done := 0
 	report := func(i int, d time.Duration) {
@@ -86,7 +86,7 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 		progressMu.Lock()
 		defer progressMu.Unlock()
 		done++
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //vmtlint:allow detrand observational: progress-line timing only
 		fmt.Fprintf(opts.Progress,
 			"vmt: run %d/%d done (%s, %d servers) in %v — %.2f runs/s\n",
 			done, len(cfgs), cfgs[i].Policy, cfgs[i].Servers,
@@ -123,9 +123,9 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 					}
 					cfg.Tracer = telemetry.WithRun(shared, i)
 				}
-				runStart := time.Now()
+				runStart := time.Now() //vmtlint:allow detrand observational: progress-line timing only
 				results[i], errs[i] = Run(cfg)
-				report(i, time.Since(runStart))
+				report(i, time.Since(runStart)) //vmtlint:allow detrand observational: progress-line timing only
 			}
 		}()
 	}

@@ -17,6 +17,9 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== vmtlint"
+go run ./cmd/vmtlint ./...
+
 echo "== go build"
 go build ./...
 
@@ -34,6 +37,7 @@ go test -count=1 -run 'TestSpecRoundTripExecute|TestSpecJSONRoundTrip' \
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
+    ./internal/sched/ \
     -run 'Test' -count=1
 go test -race ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
