@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vmtlint [-list] [pattern ...]
+//	vmtlint [-list] [-strict] [pattern ...]
 //
 // Patterns are package directories relative to the working directory:
 // "./..." (or no arguments) lints every package in the module,
@@ -21,7 +21,10 @@
 //	//vmtlint:allow <analyzer> <reason>
 //
 // The reason is mandatory; malformed suppressions are diagnostics
-// themselves.
+// themselves. With -strict, an allow that suppresses nothing — stale
+// after the code it excused drifted away — is also a diagnostic, so
+// the inventory of sanctioned exceptions can never quietly outgrow
+// the code.
 package main
 
 import (
@@ -37,8 +40,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	strict := flag.Bool("strict", false, "also report //vmtlint:allow directives that suppress nothing")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [pattern ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [-strict] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,13 +59,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vmtlint:", err)
 		os.Exit(2)
 	}
-	os.Exit(run(cwd, flag.Args(), os.Stdout, os.Stderr))
+	os.Exit(run(cwd, flag.Args(), *strict, os.Stdout, os.Stderr))
 }
 
 // run is the testable driver body: lint the packages of the module
 // containing dir that match the patterns, print diagnostics to out,
 // and return the process exit code.
-func run(dir string, patterns []string, out, errOut io.Writer) int {
+func run(dir string, patterns []string, strict bool, out, errOut io.Writer) int {
 	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(errOut, "vmtlint:", err)
@@ -100,7 +104,11 @@ func run(dir string, patterns []string, out, errOut io.Writer) int {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := lint.Run(pkgs, lint.Analyzers)
+	runner := lint.Run
+	if strict {
+		runner = lint.RunStrict
+	}
+	diags := runner(pkgs, lint.Analyzers)
 	for _, d := range diags {
 		file := d.Position.Filename
 		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {

@@ -27,7 +27,7 @@ func writeModule(t *testing.T, files map[string]string) string {
 }
 
 // TestRunCleanTree is the acceptance criterion in-process: the repo's
-// own tree lints clean, exit 0, no output.
+// own tree lints clean under -strict, exit 0, no output.
 func TestRunCleanTree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -37,7 +37,7 @@ func TestRunCleanTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if code := run(cwd, []string{"./..."}, &out, &errOut); code != 0 {
+	if code := run(cwd, []string{"./..."}, true, &out, &errOut); code != 0 {
 		t.Fatalf("run(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
@@ -58,7 +58,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./..."}, &out, &errOut); code != 1 {
+	if code := run(dir, []string{"./..."}, false, &out, &errOut); code != 1 {
 		t.Fatalf("run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	// Diagnostic contract: file:line: [analyzer] message, path relative
@@ -86,8 +86,34 @@ func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./..."}, &out, &errOut); code != 0 {
+	if code := run(dir, []string{"./..."}, false, &out, &errOut); code != 0 {
 		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestRunStrictUnusedAllow: a stale allow is invisible to the default
+// run but flips -strict to exit 1 with the allow's own position.
+func TestRunStrictUnusedAllow(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmt\n\ngo 1.24\n",
+		"internal/sim/clean.go": `package sim
+
+//vmtlint:allow detrand the code this excused is long gone
+func Stamp() int64 { return 42 }
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./..."}, false, &out, &errOut); code != 0 {
+		t.Fatalf("default run = %d, want 0 (stale allows only matter under -strict)\nstdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(dir, []string{"./..."}, true, &out, &errOut); code != 1 {
+		t.Fatalf("strict run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	re := regexp.MustCompile(`(?m)^internal[/\\]sim[/\\]clean\.go:3: \[allow\] unused vmtlint:allow detrand`)
+	if !re.MatchString(out.String()) {
+		t.Errorf("output does not match %q:\n%s", re, out.String())
 	}
 }
 
@@ -97,7 +123,7 @@ func TestRunBadPattern(t *testing.T) {
 		"main.go": "package vmt\n",
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./nonexistent/..."}, &out, &errOut); code != 2 {
+	if code := run(dir, []string{"./nonexistent/..."}, false, &out, &errOut); code != 2 {
 		t.Fatalf("run(bad pattern) = %d, want 2", code)
 	}
 	if !strings.Contains(errOut.String(), "matched no packages") {
@@ -108,7 +134,7 @@ func TestRunBadPattern(t *testing.T) {
 func TestRunOutsideModule(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut bytes.Buffer
-	if code := run(dir, nil, &out, &errOut); code != 2 {
+	if code := run(dir, nil, false, &out, &errOut); code != 2 {
 		t.Fatalf("run outside a module = %d, want 2\nstderr:\n%s", code, errOut.String())
 	}
 }

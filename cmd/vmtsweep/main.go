@@ -7,6 +7,7 @@
 //	vmtsweep -kind gv -servers 100 -from 10 -to 30 -step 2
 //	vmtsweep -kind threshold -gv 22
 //	vmtsweep -kind inlet -policy vmt-wa -runs 5
+//	vmtsweep -kind fault -servers 100 -gv 22
 //	vmtsweep -kind gv -sweep-workers 2 -progress
 //	vmtsweep -spec results/specs/gv_sweep.json
 //
@@ -62,6 +63,8 @@ func main() {
 		err = sweepThreshold(args.Servers, args.GV, batch)
 	case args.Kind == "inlet":
 		err = sweepInlet(vmt.Policy(args.Policy), args.Servers, args.Runs)
+	case args.Kind == "fault":
+		err = sweepFault(args.Servers, args.GV)
 	default: // pmt, volume — buildSweep rejected everything else
 		err = sweepMaterial(args.Servers, args.Kind)
 	}
@@ -187,6 +190,26 @@ func sweepInlet(policy vmt.Policy, servers, runs int) error {
 	}
 	for _, p := range pts {
 		tb.AddRow(fmt.Sprintf("%g", p.GV), fmt.Sprintf("%g", p.StdevC), fmt.Sprintf("%.2f", p.ReductionPct))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepFault(servers int, gv float64) error {
+	rates := []float64{0, 0.002, 0.01, 0.05}
+	rows, err := vmt.RunFaultStudy(servers, rates, gv, 1)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Graceful degradation under injected crashes (GV=%g, %d servers, 2h repairs)",
+			gv, servers),
+		Headers: []string{"Failures/h", "Policy", "Reduction (%)", "Drops (%)", "Crashes", "Evacuated", "Lost"},
+	}
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("%g", r.RatePerHour), string(r.Policy),
+			fmt.Sprintf("%.2f", r.ReductionPct), fmt.Sprintf("%.3f", r.DropPct),
+			fmt.Sprintf("%d", r.Crashes), fmt.Sprintf("%d", r.EvacuatedJobs),
+			fmt.Sprintf("%d", r.LostJobs))
 	}
 	return tb.Render(os.Stdout)
 }

@@ -65,7 +65,7 @@ func RunFacility(f Facility, plant chiller.Plant) (*FacilityResult, error) {
 			pw.Values[i] += v
 		}
 	}
-	if plant == (chiller.Plant{}) {
+	if plant == (chiller.Plant{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		plant, err = chiller.SizeForPeak(sum, f.PlantMarginFrac)
 		if err != nil {
 			return nil, err

@@ -1,13 +1,17 @@
 package vmt
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 
 	"vmt/internal/experiment"
+	"vmt/internal/fault"
 	"vmt/internal/pcm"
+	"vmt/internal/stats"
 	"vmt/internal/thermal"
 	"vmt/internal/trace"
 	"vmt/internal/workload"
@@ -53,6 +57,7 @@ type hashableConfig struct {
 	RecordGrids         bool
 	JobStream           bool
 	TaskDurations       map[string]time.Duration
+	Faults              *fault.Plan
 }
 
 // cacheKeyExclusions is the documented observational-exclusion set:
@@ -96,6 +101,7 @@ func configKey(cfg Config) (string, error) {
 		RecordGrids:         r.RecordGrids,
 		JobStream:           r.JobStream,
 		TaskDurations:       r.TaskDurations,
+		Faults:              r.Faults,
 	}
 	if r.CustomTrace != nil {
 		h.Trace = trace.Spec{}
@@ -112,8 +118,60 @@ func configKey(cfg Config) (string, error) {
 // process: identical configurations (notably the shared round-robin
 // baselines) simulate exactly once per session. Results handed out of
 // the cache are shared — treat them as read-only, which every study
-// already does.
-var runCache = experiment.NewCache()
+// already does; resultFingerprint is the backstop when one does not.
+var runCache = func() *experiment.Cache {
+	c := experiment.NewCache()
+	c.SetVerifier(resultFingerprint)
+	return c
+}()
+
+// resultFingerprint folds a cached *Result into a 64-bit integrity
+// fingerprint: an FNV-1a-style fold over the exact float bits of every
+// sampled series plus the scalar outcome fields. The cache re-checks
+// it on every read, so a stored result mutated after Commit (an
+// aliasing caller scribbling on a shared result) is quarantined and
+// recomputed as a miss instead of silently poisoning later studies.
+func resultFingerprint(v any) uint64 {
+	r, ok := v.(*Result)
+	if !ok || r == nil {
+		return 0
+	}
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	mix := func(u uint64) {
+		h ^= u
+		h *= prime
+	}
+	series := func(s *stats.Series) {
+		if s == nil {
+			mix(0)
+			return
+		}
+		mix(uint64(len(s.Values)))
+		for _, x := range s.Values {
+			mix(math.Float64bits(x))
+		}
+	}
+	series(r.CoolingLoadW)
+	series(r.TotalPowerW)
+	series(r.MeanAirTempC)
+	series(r.HotGroupTempC)
+	series(r.HotGroupSize)
+	series(r.MeanMeltFrac)
+	series(r.WaxEnergyJ)
+	series(r.MaxCPUTempC)
+	mix(uint64(r.ThrottleMinutes))
+	mix(r.TaskArrivals)
+	mix(r.TaskDrops)
+	mix(r.FaultCrashes)
+	mix(r.FaultRepairs)
+	mix(r.EvacuatedJobs)
+	mix(r.LostJobs)
+	return h
+}
 
 // RunCache exposes the process-wide run cache, mainly so callers can
 // disable it (benchmarking the dedup win), Reset it between
@@ -147,6 +205,9 @@ func RunManyCached(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 	}
 	metrics.Counter("experiment_cache_hits").Add(uint64(len(cfgs) - plan.Misses()))
 	metrics.Counter("experiment_cache_misses").Add(uint64(plan.Misses()))
+	if n := plan.Corrupt(); n > 0 {
+		metrics.Counter("experiment_cache_corruptions").Add(uint64(n))
+	}
 
 	toRun := make([]Config, len(plan.Run))
 	for j, i := range plan.Run {
@@ -186,7 +247,7 @@ var settingKeys = []string{
 	"servers", "policy", "gv", "wax_threshold", "oracle_wax_state",
 	"migration_budget_frac", "inlet_c", "inlet_stdev_c", "seed",
 	"material", "pmt_c", "volume_l", "power_scale",
-	"trace", "custom_trace", "record_grids",
+	"trace", "custom_trace", "record_grids", "job_stream", "faults",
 }
 
 // configFromSettings builds a Config from a spec's merged settings.
@@ -276,7 +337,7 @@ func applySetting(cfg *Config, key string, v any) error {
 			return err
 		}
 		mat := cfg.Material
-		if mat == (pcm.Material{}) {
+		if mat == (pcm.Material{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 			mat = pcm.CommercialParaffin()
 		}
 		cfg.Material = mat.WithMeltTemp(pmt)
@@ -286,7 +347,7 @@ func applySetting(cfg *Config, key string, v any) error {
 			return err
 		}
 		spec := cfg.Server
-		if spec == (thermal.ServerSpec{}) {
+		if spec == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 			spec = thermal.PaperServer()
 		}
 		spec.WaxVolumeL = vol
@@ -297,7 +358,7 @@ func applySetting(cfg *Config, key string, v any) error {
 			return err
 		}
 		spec := cfg.Server
-		if spec == (thermal.ServerSpec{}) {
+		if spec == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 			spec = thermal.PaperServer()
 		}
 		spec.PowerScale = scale
@@ -320,6 +381,18 @@ func applySetting(cfg *Config, key string, v any) error {
 			return fmt.Errorf("vmt: setting %s: want bool, got %T", key, v)
 		}
 		cfg.RecordGrids = b
+	case "job_stream":
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("vmt: setting %s: want bool, got %T", key, v)
+		}
+		cfg.JobStream = b
+	case "faults":
+		p, err := faultPlanFromSetting(v)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = p
 	default:
 		return fmt.Errorf("vmt: unknown setting %q", key)
 	}
@@ -422,6 +495,46 @@ func traceSpecFromSetting(v any) (trace.Spec, error) {
 		}
 	}
 	return s, nil
+}
+
+// faultSetting converts a fault.Plan into its nested settings value:
+// the plan's own JSON object form, widened to map[string]any, so specs
+// built in Go expand (and hash) identically to specs decoded from JSON
+// files.
+func faultSetting(p fault.Plan) map[string]any {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("vmt: encoding fault plan: %v", err))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		panic(fmt.Sprintf("vmt: round-tripping fault plan: %v", err))
+	}
+	return m
+}
+
+// faultPlanFromSetting decodes a faults setting back into a validated
+// plan. Unknown keys are rejected so spec-file typos fail loudly, like
+// every other setting.
+func faultPlanFromSetting(v any) (*fault.Plan, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("vmt: setting faults: want object, got %T", v)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("vmt: setting faults: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var p fault.Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("vmt: setting faults: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }
 
 // customTraceSetting converts an externally supplied trace into its

@@ -452,6 +452,64 @@ func GVMappingFusion(servers int, deltas, gvGrid []float64) ([]FusionMappingRow,
 	return rows, nil
 }
 
+// FaultStudyRow is one (failure rate, policy) sample of the fault
+// study.
+type FaultStudyRow struct {
+	RatePerHour float64
+	Policy      Policy
+	// ReductionPct is the peak cooling reduction against a round-robin
+	// baseline experiencing the same injected fault plan.
+	ReductionPct float64
+	// DropPct is the share of task arrivals dropped — the QoS
+	// degradation the paper warns undersized groups cause, here
+	// aggravated by evacuations racing a shrunken fleet.
+	DropPct       float64
+	Crashes       uint64
+	EvacuatedJobs uint64
+	LostJobs      uint64
+}
+
+// RunFaultStudy measures how gracefully each VMT policy degrades under
+// injected stochastic server crashes: peak cooling reduction against a
+// round-robin baseline suffering the same fault plan, plus the
+// query-level QoS cost (dropped arrivals) and the injected-fault
+// totals. rates are failures per server-hour; rate 0 is the fault-free
+// reference row.
+func RunFaultStudy(servers int, rates []float64, gv float64, seed uint64) ([]FaultStudyRow, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("vmt: need failure rates")
+	}
+	sr, err := RunSpecResults(FaultStudySpec(servers, rates, gv, seed), BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	policies := []Policy{PolicyVMTTA, PolicyVMTWA}
+	rows := make([]FaultStudyRow, 0, len(rates)*len(policies))
+	for ri, rate := range rates {
+		for pi, pol := range policies {
+			i := ri*len(policies) + pi
+			res := sr.Results[i]
+			red, err := cooling.PeakReductionPct(sr.BaselineFor(i).CoolingLoadW, res.CoolingLoadW)
+			if err != nil {
+				return nil, err
+			}
+			row := FaultStudyRow{
+				RatePerHour:   rate,
+				Policy:        pol,
+				ReductionPct:  red,
+				Crashes:       res.FaultCrashes,
+				EvacuatedJobs: res.EvacuatedJobs,
+				LostJobs:      res.LostJobs,
+			}
+			if res.TaskArrivals > 0 {
+				row.DropPct = float64(res.TaskDrops) / float64(res.TaskArrivals) * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // MaterialSweepPoint is one sample of a wax design-space sweep.
 type MaterialSweepPoint struct {
 	// Value is the swept quantity: melting temperature (°C) or volume

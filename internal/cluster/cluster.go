@@ -82,6 +82,9 @@ type Cluster struct {
 	stepErr []error
 	airBuf  []float64
 	meltBuf []float64
+	// failedCount tracks crashed servers (fault injection) so the
+	// schedulers' alive-prefix sizing can skip the scan when zero.
+	failedCount int
 }
 
 // Automatic physics parallelism: below the threshold a goroutine
@@ -179,6 +182,28 @@ func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 
 // Servers returns the server slice (shared; do not reorder).
 func (c *Cluster) Servers() []*Server { return c.servers }
+
+// MarkFailed crashes server i: it stops drawing power and offering
+// capacity until MarkRepaired. Idempotent.
+func (c *Cluster) MarkFailed(i int) {
+	s := c.servers[i]
+	if !s.failed {
+		s.failed = true
+		c.failedCount++
+	}
+}
+
+// MarkRepaired brings server i back. Idempotent.
+func (c *Cluster) MarkRepaired(i int) {
+	s := c.servers[i]
+	if s.failed {
+		s.failed = false
+		c.failedCount--
+	}
+}
+
+// FailedServers returns how many servers are currently crashed.
+func (c *Cluster) FailedServers() int { return c.failedCount }
 
 // TotalCores returns the cluster-wide core count.
 func (c *Cluster) TotalCores() int {

@@ -37,7 +37,7 @@ func newRegistry() *registry {
 
 // intern returns the workload's index, assigning one on first use.
 func (r *registry) intern(w workload.Workload) int {
-	if r.hasMemo && r.memoW == w {
+	if r.hasMemo && r.memoW == w { //vmtlint:allow floateq interning memo; must match map-key equality bit-for-bit
 		return r.memoI
 	}
 	i, ok := r.index[w]
@@ -56,7 +56,7 @@ func (r *registry) intern(w workload.Workload) int {
 
 // lookup returns the index without assigning.
 func (r *registry) lookup(w workload.Workload) (int, bool) {
-	if r.hasMemo && r.memoW == w {
+	if r.hasMemo && r.memoW == w { //vmtlint:allow floateq interning memo; must match map-key equality bit-for-bit
 		return r.memoI, true
 	}
 	i, ok := r.index[w]

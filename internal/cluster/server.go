@@ -39,6 +39,11 @@ type Server struct {
 	// scheduler's scan loops, and map-based summation would add floats
 	// in randomized iteration order, breaking determinism.
 	dynamicPowerW float64
+
+	// failed marks a crashed server (fault injection): it draws no
+	// power and offers no capacity until repaired, but its physics
+	// keeps stepping so the wax refreezes realistically.
+	failed bool
 }
 
 func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64, reg *registry) (*Server, error) {
@@ -69,8 +74,22 @@ func (s *Server) Cores() int { return s.cores }
 // BusyCores returns the number of occupied cores.
 func (s *Server) BusyCores() int { return s.busyCores }
 
-// FreeCores returns the number of unoccupied cores.
-func (s *Server) FreeCores() int { return s.cores - s.busyCores }
+// FreeCores returns the number of unoccupied cores. A failed server
+// has none, which keeps every scheduler scan loop from placing onto
+// it without any policy-side special-casing.
+func (s *Server) FreeCores() int {
+	if s.failed {
+		return 0
+	}
+	return s.cores - s.busyCores
+}
+
+// Failed reports whether the server is currently crashed.
+func (s *Server) Failed() bool { return s.failed }
+
+// Estimator exposes the server's melt-fraction estimator so fault
+// injection can interpose a sensor and reset it on repair.
+func (s *Server) Estimator() *pcm.Estimator { return s.est }
 
 // Jobs returns the job count for workload w.
 func (s *Server) Jobs(w workload.Workload) int {
@@ -171,6 +190,9 @@ func (s *Server) Remove(w workload.Workload) error {
 // model: idle power plus each occupied core's workload-specific
 // dynamic power, capped at the nameplate peak.
 func (s *Server) PowerW() float64 {
+	if s.failed {
+		return 0
+	}
 	p := s.spec.IdlePowerW + s.dynamicPowerW
 	if p > s.spec.PeakPowerW {
 		p = s.spec.PeakPowerW

@@ -55,6 +55,35 @@ type groups struct {
 
 func (g *groups) isHot(s *cluster.Server) bool { return s.ID() < g.hotSize }
 
+// sizeForAlive maps a target of alive hot servers to an ID-prefix
+// length: the smallest prefix containing target alive (non-failed)
+// servers. With no failures this is the identity (clamped to the
+// cluster size), so fault-free runs never pay the scan; with failures
+// the hot group stretches past crashed IDs so the policy keeps its
+// intended count of working hot servers.
+func (g *groups) sizeForAlive(target int) int {
+	n := g.c.Len()
+	if target <= 0 {
+		return 0
+	}
+	if target > n {
+		target = n
+	}
+	if g.c.FailedServers() == 0 {
+		return target
+	}
+	alive := 0
+	for i := 0; i < n; i++ {
+		if !g.c.Server(i).Failed() {
+			alive++
+			if alive == target {
+				return i + 1
+			}
+		}
+	}
+	return n
+}
+
 // leastBusy returns the best placement target with a free core among
 // servers [lo,hi) that satisfy keep (nil = all): fewest jobs of w
 // first (even per-workload spread keeps server thermal compositions

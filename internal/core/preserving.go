@@ -70,8 +70,11 @@ func (p *Preserving) Tick(now time.Duration) {
 	if p.preserving() {
 		// Keep the Equation-1 grouping but skip extension and
 		// rebalancing: preservation wants heat bottled up in the
-		// sacrificial servers, not spread to fresh wax.
-		p.wa.g.hotSize = p.wa.baseHot
+		// sacrificial servers, not spread to fresh wax. The degraded
+		// set still refreshes (and the prefix stretches over crashed
+		// servers) so fault injection degrades gracefully here too.
+		p.wa.refreshHealth()
+		p.wa.g.hotSize = p.wa.g.sizeForAlive(p.wa.baseHot)
 		return
 	}
 	p.wa.Tick(now)

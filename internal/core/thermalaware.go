@@ -20,6 +20,10 @@ type ThermalAware struct {
 	g    groups
 	cfg  Config
 	pmtC float64
+	// target is the Equation-1 hot-group size in alive servers; the
+	// actual prefix (g.hotSize) stretches past crashed IDs so the
+	// policy keeps target working hot servers under fault injection.
+	target int
 	// resizes counts SetGV-driven hot-group size changes (nil-safe).
 	resizes *telemetry.Counter
 }
@@ -36,6 +40,7 @@ func NewThermalAware(c *cluster.Cluster, cfg Config) (*ThermalAware, error) {
 		g:       groups{c: c, hotSize: hot},
 		cfg:     cfg,
 		pmtC:    pmt,
+		target:  hot,
 		resizes: cfg.Metrics.Counter("sched_hot_group_resizes"),
 	}, nil
 }
@@ -44,7 +49,8 @@ func NewThermalAware(c *cluster.Cluster, cfg Config) (*ThermalAware, error) {
 // the operator action behind day-to-day VMT adjustment.
 func (t *ThermalAware) SetGV(gv float64) {
 	t.cfg.GV = gv
-	if size := HotGroupSize(gv, t.pmtC, t.g.c.Len()); size != t.g.hotSize {
+	t.target = HotGroupSize(gv, t.pmtC, t.g.c.Len())
+	if size := t.g.sizeForAlive(t.target); size != t.g.hotSize {
 		t.g.hotSize = size
 		t.resizes.Inc()
 	}
@@ -59,8 +65,16 @@ func (t *ThermalAware) HotGroupSize() int { return t.g.hotSize }
 // IsHot reports whether server s belongs to the hot group.
 func (t *ThermalAware) IsHot(s *cluster.Server) bool { return t.g.isHot(s) }
 
-// Tick implements sched.Scheduler; VMT-TA has no periodic state.
-func (t *ThermalAware) Tick(time.Duration) {}
+// Tick implements sched.Scheduler. VMT-TA has no periodic state of
+// its own, but under fault injection it re-stretches the hot-group
+// prefix over crashed servers so the Equation-1 count of working hot
+// servers is preserved. Fault-free this is the identity.
+func (t *ThermalAware) Tick(time.Duration) {
+	if size := t.g.sizeForAlive(t.target); size != t.g.hotSize {
+		t.g.hotSize = size
+		t.resizes.Inc()
+	}
+}
 
 // Place implements sched.Scheduler: even distribution within the
 // job's class group, spilling to the other group when full.

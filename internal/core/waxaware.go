@@ -35,8 +35,22 @@ type WaxAware struct {
 	resizes    *telemetry.Counter
 	trips      *telemetry.Counter
 	migrations *telemetry.Counter
+	fallbacks  *telemetry.Counter
 	prevMelted int
+
+	// degraded[i] marks servers whose melt estimate cannot be trusted
+	// this tick: the server is crashed, its estimate has gone stale
+	// (sensor dropout past DefaultMaxEstimateAge), or the reported
+	// fraction is garbage. Degraded servers read as "not melted" so
+	// VMT-WA falls back to VMT-TA-style even placement for them
+	// instead of acting on bad data. Refreshed by refreshHealth.
+	degraded []bool
 }
+
+// DefaultMaxEstimateAge is how old a melt estimate may grow (no
+// successful sensor reading) before VMT-WA stops trusting it and
+// degrades that server to thermal-aware placement.
+const DefaultMaxEstimateAge = 5 * time.Minute
 
 // NewWaxAware builds a VMT-WA scheduler over c.
 func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
@@ -61,6 +75,8 @@ func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
 		resizes:    cfg.Metrics.Counter("sched_hot_group_resizes"),
 		trips:      cfg.Metrics.Counter("sched_threshold_trips"),
 		migrations: cfg.Metrics.Counter("sched_migrations"),
+		fallbacks:  cfg.Metrics.Counter("sched_estimate_fallbacks"),
+		degraded:   make([]bool, c.Len()),
 	}, nil
 }
 
@@ -87,13 +103,41 @@ func (wa *WaxAware) SetGV(gv float64) {
 func (wa *WaxAware) IsHot(s *cluster.Server) bool { return wa.g.isHot(s) }
 
 // melted reports whether the scheduler considers s fully melted: its
-// reported melt fraction exceeds the wax threshold.
+// reported melt fraction exceeds the wax threshold. A degraded server
+// (crashed, stale, or garbage estimate) always reads as not melted —
+// the graceful-degradation rule that turns VMT-WA into VMT-TA for the
+// affected servers.
 func (wa *WaxAware) melted(s *cluster.Server) bool {
+	if id := s.ID(); id < len(wa.degraded) && wa.degraded[id] {
+		return false
+	}
 	frac := s.ReportedMeltFrac()
 	if wa.cfg.OracleWaxState {
 		frac = s.MeltFrac()
 	}
 	return frac >= wa.cfg.WaxThreshold
+}
+
+// refreshHealth recomputes the degraded set. A healthy-to-degraded
+// transition increments sched_estimate_fallbacks. With the oracle
+// ablation only crashes degrade a server (ground truth cannot go
+// stale).
+func (wa *WaxAware) refreshHealth() {
+	servers := wa.g.c.Servers()
+	for i, s := range servers {
+		d := s.Failed()
+		if !d && !wa.cfg.OracleWaxState {
+			if s.Estimator().StaleFor() > DefaultMaxEstimateAge {
+				d = true
+			} else if frac := s.ReportedMeltFrac(); frac < -0.01 || frac > 1.01 {
+				d = true
+			}
+		}
+		if d && !wa.degraded[i] {
+			wa.fallbacks.Inc()
+		}
+		wa.degraded[i] = d
+	}
 }
 
 // canMeltMore reports whether placing hot load on s can melt more wax
@@ -112,6 +156,7 @@ func (wa *WaxAware) canMeltMore(s *cluster.Server) bool {
 // servers that can still store heat, which is what lets VMT-WA keep
 // melting after the initial hot group saturates (Figure 14).
 func (wa *WaxAware) Tick(time.Duration) {
+	wa.refreshHealth()
 	meltedCount := 0
 	for _, s := range wa.g.c.Servers() {
 		if wa.melted(s) {
@@ -126,6 +171,10 @@ func (wa *WaxAware) Tick(time.Duration) {
 	if size > wa.g.c.Len() {
 		size = wa.g.c.Len()
 	}
+	// Under fault injection the prefix stretches past crashed servers
+	// so the group keeps its intended count of working machines;
+	// fault-free this is the identity.
+	size = wa.g.sizeForAlive(size)
 	if size != wa.g.hotSize {
 		wa.resizes.Inc()
 	}

@@ -29,15 +29,46 @@ func Key(v any) (string, error) {
 // simulate each distinct configuration exactly once.
 type Cache struct {
 	mu      sync.Mutex
-	store   map[string]any
+	store   map[string]entry
 	enabled bool
 	hits    uint64
 	misses  uint64
+	// verify, when non-nil, fingerprints values at Commit and
+	// re-checks the fingerprint on every read: an entry mutated since
+	// it was stored (a torn write, an aliasing caller scribbling on a
+	// shared result) is quarantined — deleted and recomputed as a
+	// miss — never silently returned.
+	verify      func(any) uint64
+	corruptions uint64
 }
 
-// NewCache returns an empty, enabled cache.
+// entry pairs a stored value with the fingerprint it had at Commit.
+type entry struct {
+	value any
+	fp    uint64
+}
+
+// NewCache returns an empty, enabled cache with no verifier.
 func NewCache() *Cache {
-	return &Cache{store: make(map[string]any), enabled: true}
+	return &Cache{store: make(map[string]entry), enabled: true}
+}
+
+// SetVerifier installs an integrity fingerprint: fp is evaluated over
+// each value when stored and again on every cache read; a mismatch
+// quarantines the entry (see Corruptions). A nil fp disables
+// verification. Not safe to change while reads are in flight.
+func (c *Cache) SetVerifier(fp func(any) uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verify = fp
+}
+
+// Corruptions returns how many stored entries failed integrity
+// verification on read since the last Reset.
+func (c *Cache) Corruptions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corruptions
 }
 
 // SetEnabled toggles the cache. While disabled, Plan dedups nothing
@@ -56,12 +87,13 @@ func (c *Cache) Enabled() bool {
 	return c.enabled
 }
 
-// Reset drops all stored results and zeroes the hit/miss counters.
+// Reset drops all stored results and zeroes the hit/miss/corruption
+// counters.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.store = make(map[string]any)
-	c.hits, c.misses = 0, 0
+	c.store = make(map[string]entry)
+	c.hits, c.misses, c.corruptions = 0, 0, 0
 }
 
 // Len returns the number of stored results.
@@ -91,10 +123,16 @@ type Plan struct {
 	source []int
 	cached []any
 	keys   []string
+	// corrupt counts stored entries this plan quarantined (integrity
+	// check failed); each was deleted and re-planned as a miss.
+	corrupt int
 }
 
 // Misses returns how many of the batch's requests must execute.
 func (p *Plan) Misses() int { return len(p.Run) }
+
+// Corrupt returns how many stored entries this plan quarantined.
+func (p *Plan) Corrupt() int { return p.corrupt }
 
 // Plan computes the dedup plan for the given keys. With the cache
 // disabled the plan is the identity: every request runs, nothing is
@@ -119,11 +157,20 @@ func (c *Cache) Plan(keys []string) *Plan {
 	}
 	firstRun := make(map[string]int, len(keys))
 	for i, k := range keys {
-		if v, ok := c.store[k]; ok {
-			p.source[i] = -1
-			p.cached[i] = v
-			c.hits++
-			continue
+		if e, ok := c.store[k]; ok {
+			if c.verify != nil && c.verify(e.value) != e.fp {
+				// Quarantine: the stored value no longer matches its
+				// commit-time fingerprint. Drop it and fall through to
+				// the miss path so it recomputes.
+				delete(c.store, k)
+				c.corruptions++
+				p.corrupt++
+			} else {
+				p.source[i] = -1
+				p.cached[i] = e.value
+				c.hits++
+				continue
+			}
 		}
 		if at, ok := firstRun[k]; ok {
 			p.source[i] = at
@@ -157,7 +204,11 @@ func (c *Cache) Commit(p *Plan, fresh []any) []any {
 		}
 		out[i] = fresh[src]
 		if c.enabled && fresh[src] != nil {
-			c.store[p.keys[i]] = fresh[src]
+			e := entry{value: fresh[src]}
+			if c.verify != nil {
+				e.fp = c.verify(e.value)
+			}
+			c.store[p.keys[i]] = e
 		}
 	}
 	return out

@@ -1,0 +1,61 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanJSON drives the exact decode path spec files take
+// (DisallowUnknownFields into Plan, then Validate): no input may
+// panic, and any plan that validates must survive an
+// encode-decode round trip unchanged — the property the run-cache key
+// and spec files both depend on.
+func FuzzPlanJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed":7}`))
+	f.Add([]byte(`{"crashes":[{"server":0,"at_min":30,"repair_after_min":60}]}`))
+	f.Add([]byte(`{"stochastic":{"rate_per_hour":0.01,"repair_after_min":120}}`))
+	f.Add([]byte(`{"stochastic":{"arrhenius":true,"mtbf_hours":5000}}`))
+	f.Add([]byte(`{"sensors":[{"server":1,"kind":"noise","start_min":0,"stdev_c":0.5}]}`))
+	f.Add([]byte(`{"sensors":[{"server":0,"kind":"dropout","start_min":10},{"server":0,"kind":"stuck","start_min":20,"end_min":30}]}`))
+	f.Add([]byte(`{"crashes":[{"server":0,"at_min":1e999}]}`))
+	f.Add([]byte(`{"stochastic":{"rate_per_hour":-1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var p Plan
+		if err := dec.Decode(&p); err != nil {
+			return // malformed JSON is rejected, never panics
+		}
+		if err := p.Validate(); err != nil {
+			return // invalid plans are rejected, never panic
+		}
+		// Valid plans round-trip bit-identically.
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("valid plan failed to encode: %v", err)
+		}
+		dec2 := json.NewDecoder(bytes.NewReader(b))
+		dec2.DisallowUnknownFields()
+		var q Plan
+		if err := dec2.Decode(&q); err != nil {
+			t.Fatalf("re-decoding a valid plan: %v", err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("round trip invalidated the plan: %v", err)
+		}
+		// Canonical-form fixpoint: the re-encoded plan must match the
+		// first encoding byte for byte — the property the run-cache key
+		// depends on. (DeepEqual is too strict here: an explicit empty
+		// JSON array decodes to an empty slice that omitempty then
+		// drops, a semantic no-op.)
+		b2, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("canonical form unstable:\n first: %s\nsecond: %s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"vmt/internal/cluster"
+	"vmt/internal/pcm"
+	"vmt/internal/reliability"
+	"vmt/internal/stats"
+	"vmt/internal/telemetry"
+)
+
+// Host is the scheduler-side contract the injector needs on a crash:
+// move the failed server's jobs elsewhere through the normal placement
+// logic. moved counts re-placed jobs, lost counts jobs dropped because
+// no capacity remained. Both managers in internal/sched implement it.
+type Host interface {
+	Evacuate(s *cluster.Server) (moved, lost int, err error)
+}
+
+// Injector applies a validated Plan to a cluster, one Tick per
+// scheduler step. It runs on the engine's sequential fault band
+// (between physics and scheduling), so all cluster mutation and all
+// stochastic crash draws happen in server-ID order on one goroutine;
+// per-server sensor RNGs keep the parallel physics phase
+// deterministic for any PhysicsWorkers setting.
+type Injector struct {
+	plan Plan
+	c    *cluster.Cluster
+	host Host
+
+	crashes   []Crash // sorted by (AtMin, Server)
+	nextCrash int
+
+	rng   *stats.RNG // stochastic crash draws only
+	model reliability.Model
+
+	down     []bool
+	repairAt []time.Duration // 0 = no repair pending
+	sensors  []*sensorState
+
+	injected, repaired, evacJobs, lostJobs                         uint64
+	crashCount, repairCount, evacCount, lostCount, migrationsCount *telemetry.Counter
+}
+
+// NewInjector wires a plan onto a cluster. The plan must already be
+// validated for the cluster size. Sensor interposers are installed on
+// every server (a crashed server's estimator reads nothing while it
+// is down, whether or not it has explicit sensor faults).
+func NewInjector(p *Plan, c *cluster.Cluster, host Host, reg *telemetry.Registry) *Injector {
+	n := c.Len()
+	inj := &Injector{
+		plan:            *p,
+		c:               c,
+		host:            host,
+		crashes:         append([]Crash(nil), p.Crashes...),
+		rng:             stats.NewRNG(p.Seed ^ 0x8f1bbcdcbfa53e0b),
+		model:           reliability.PaperModel(),
+		down:            make([]bool, n),
+		repairAt:        make([]time.Duration, n),
+		sensors:         make([]*sensorState, n),
+		crashCount:      reg.Counter("fault_injected_crashes"),
+		repairCount:     reg.Counter("fault_injected_repairs"),
+		evacCount:       reg.Counter("fault_evacuated_jobs"),
+		lostCount:       reg.Counter("fault_lost_jobs"),
+		migrationsCount: reg.Counter("sched_migrations"),
+	}
+	if st := p.Stochastic; st != nil && st.MTBFHours > 0 {
+		inj.model.MTBFHours = st.MTBFHours
+	}
+	sort.Slice(inj.crashes, func(i, j int) bool {
+		a, b := inj.crashes[i], inj.crashes[j]
+		if a.AtMin != b.AtMin { //vmtlint:allow floateq exact schedule times tie-break on server ID; equal-bit times sort identically on every run
+			return a.AtMin < b.AtMin
+		}
+		return a.Server < b.Server
+	})
+	for i := 0; i < n; i++ {
+		ss := &sensorState{rng: stats.NewRNG(sensorSeed(p.Seed, i))}
+		for _, f := range p.Sensors {
+			if f.Server == i {
+				ss.faults = append(ss.faults, f)
+			}
+		}
+		sort.Slice(ss.faults, func(a, b int) bool { return ss.faults[a].StartMin < ss.faults[b].StartMin })
+		inj.sensors[i] = ss
+		c.Server(i).Estimator().SetSensor(ss)
+	}
+	return inj
+}
+
+// Tick processes faults due at sim time now, covering the step
+// interval (now-dt, now]: repairs first, then scheduled crashes, then
+// stochastic draws over the alive servers in ID order.
+func (inj *Injector) Tick(now, dt time.Duration) error {
+	for id := range inj.repairAt {
+		if inj.down[id] && inj.repairAt[id] > 0 && inj.repairAt[id] <= now {
+			inj.repair(id)
+		}
+	}
+	for inj.nextCrash < len(inj.crashes) && durMin(inj.crashes[inj.nextCrash].AtMin) <= now {
+		c := inj.crashes[inj.nextCrash]
+		inj.nextCrash++
+		if inj.down[c.Server] {
+			continue // already down via a stochastic crash; scheduled repair still governed by that crash
+		}
+		if err := inj.crash(c.Server, c.RepairAfterMin, now); err != nil {
+			return err
+		}
+	}
+	if st := inj.plan.Stochastic; st != nil {
+		dtHours := dt.Hours()
+		for id := 0; id < inj.c.Len(); id++ {
+			if inj.down[id] {
+				continue
+			}
+			rate := st.RatePerHour
+			if st.Arrhenius {
+				rate = inj.model.FailureRatePerHour(inj.c.Server(id).AirTempC())
+			}
+			p := -math.Expm1(-rate * dtHours)
+			if inj.rng.Float64() < p {
+				if err := inj.crash(id, st.RepairAfterMin, now); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (inj *Injector) crash(id int, repairAfterMin float64, now time.Duration) error {
+	s := inj.c.Server(id)
+	inj.c.MarkFailed(id)
+	inj.down[id] = true
+	inj.sensors[id].down = true
+	moved, lost, err := inj.host.Evacuate(s)
+	if err != nil {
+		return fmt.Errorf("fault: evacuating server %d: %w", id, err)
+	}
+	inj.injected++
+	inj.evacJobs += uint64(moved)
+	inj.lostJobs += uint64(lost)
+	inj.crashCount.Inc()
+	inj.evacCount.Add(uint64(moved))
+	inj.lostCount.Add(uint64(lost))
+	inj.migrationsCount.Add(uint64(moved))
+	if repairAfterMin > 0 {
+		inj.repairAt[id] = now + durMin(repairAfterMin)
+	} else {
+		inj.repairAt[id] = 0
+	}
+	return nil
+}
+
+func (inj *Injector) repair(id int) {
+	inj.c.MarkRepaired(id)
+	inj.down[id] = false
+	inj.repairAt[id] = 0
+	inj.sensors[id].down = false
+	s := inj.c.Server(id)
+	// A repaired server boots with a cold estimator: re-anchor the
+	// shadow at the current air temperature so the estimate restarts
+	// from a known state instead of the pre-crash trajectory.
+	s.Estimator().Reset(s.AirTempC())
+	inj.repaired++
+	inj.repairCount.Inc()
+}
+
+// Crashes returns the number of injected crashes so far.
+func (inj *Injector) Crashes() uint64 { return inj.injected }
+
+// Repairs returns the number of completed repairs so far.
+func (inj *Injector) Repairs() uint64 { return inj.repaired }
+
+// Evacuated returns the number of jobs successfully re-placed off
+// crashed servers.
+func (inj *Injector) Evacuated() uint64 { return inj.evacJobs }
+
+// Lost returns the number of jobs dropped during evacuation because
+// the surviving servers had no capacity.
+func (inj *Injector) Lost() uint64 { return inj.lostJobs }
+
+// sensorState interposes on one server's melt-estimator input. Sense
+// runs inside the (possibly parallel) physics phase, but only ever
+// for its own server, with its own RNG, so draws are deterministic
+// for any worker count. down is flipped only on the sequential fault
+// band, which never overlaps physics.
+type sensorState struct {
+	faults []SensorFault // this server's, sorted by StartMin
+	rng    *stats.RNG
+	down   bool
+}
+
+var _ pcm.Sensor = (*sensorState)(nil)
+
+// Sense maps the true air temperature to the sensed reading at sim
+// time at. ok=false means no reading (dropout window or crashed
+// server): the estimator skips the update and its estimate ages.
+func (ss *sensorState) Sense(trueC float64, at time.Duration) (float64, bool) {
+	if ss.down {
+		return 0, false
+	}
+	f := ss.active(at)
+	if f == nil {
+		return trueC, true
+	}
+	switch f.Kind {
+	case KindStuck:
+		return f.ValueC, true
+	case KindDrift:
+		hours := (at - durMin(f.StartMin)).Hours()
+		return trueC + f.DriftCPerHour*hours, true
+	case KindNoise:
+		return trueC + ss.rng.Normal(0, f.StdevC), true
+	default: // KindDropout
+		return 0, false
+	}
+}
+
+func (ss *sensorState) active(at time.Duration) *SensorFault {
+	for i := range ss.faults {
+		f := &ss.faults[i]
+		start := durMin(f.StartMin)
+		if at < start {
+			return nil // sorted: later windows start later still
+		}
+		if f.EndMin <= 0 || at < durMin(f.EndMin) {
+			return f
+		}
+	}
+	return nil
+}
+
+func durMin(m float64) time.Duration {
+	return time.Duration(m * float64(time.Minute))
+}
+
+// sensorSeed derives a per-server RNG seed from the plan seed via a
+// splitmix-style finalizer, so adjacent server IDs get uncorrelated
+// streams.
+func sensorSeed(seed uint64, server int) uint64 {
+	z := seed ^ (uint64(server)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,260 @@
+// Package fault injects deterministic failures into a simulation run:
+// server crashes and repairs (scheduled or stochastic, optionally
+// Arrhenius-coupled to per-server temperature) and melt-estimator
+// sensor faults (stuck-at, drift, gaussian noise, dropout windows).
+//
+// A Plan is JSON-round-trippable, like experiment.Spec, so fault
+// scenarios live in spec files next to the sweep axes they perturb.
+// All randomness flows through seeded internal/stats RNGs: the same
+// seed and plan reproduce the same crash times and sensor noise
+// bit-for-bit regardless of Config.PhysicsWorkers.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sensor fault kinds accepted by SensorFault.Kind.
+const (
+	KindStuck   = "stuck"   // estimator reads ValueC, ignoring the true temperature
+	KindDrift   = "drift"   // reading drifts by DriftCPerHour from the window start
+	KindNoise   = "noise"   // gaussian noise with StdevC added to the reading
+	KindDropout = "dropout" // no reading at all; the estimate goes stale
+)
+
+// Plan schedules every fault injected into one run. The zero value
+// injects nothing. Seed drives stochastic crash draws and sensor
+// noise; two runs with the same Config and Plan are bit-identical.
+type Plan struct {
+	// Seed seeds the fault RNG streams. Independent from Config.Seed
+	// so the same fault scenario can be replayed over different
+	// inlet-temperature draws.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Crashes are scheduled at fixed sim times.
+	Crashes []Crash `json:"crashes,omitempty"`
+
+	// Stochastic, when non-nil, draws additional crashes each tick.
+	Stochastic *Stochastic `json:"stochastic,omitempty"`
+
+	// Sensors are melt-estimator sensor faults.
+	Sensors []SensorFault `json:"sensors,omitempty"`
+}
+
+// Crash takes one server down at a fixed sim time.
+type Crash struct {
+	// Server is the target server index.
+	Server int `json:"server"`
+
+	// AtMin is the crash time in minutes from the start of the run.
+	// Faults are processed on scheduler-step boundaries: the crash
+	// lands on the first fault tick at or after AtMin.
+	AtMin float64 `json:"at_min"`
+
+	// RepairAfterMin is the downtime in minutes; 0 means the server
+	// is never repaired.
+	RepairAfterMin float64 `json:"repair_after_min,omitempty"`
+}
+
+// Stochastic draws crashes per alive server per tick from the seeded
+// fault RNG. Exactly one of RatePerHour > 0 or Arrhenius must be set.
+type Stochastic struct {
+	// RatePerHour is a flat per-server failure rate.
+	RatePerHour float64 `json:"rate_per_hour,omitempty"`
+
+	// Arrhenius couples the failure rate to each server's air
+	// temperature via reliability.Model.FailureRatePerHour.
+	Arrhenius bool `json:"arrhenius,omitempty"`
+
+	// MTBFHours overrides the Arrhenius model's reference MTBF
+	// (default reliability.PaperModel, 70 000 h at 30 °C).
+	MTBFHours float64 `json:"mtbf_hours,omitempty"`
+
+	// RepairAfterMin is the downtime for stochastic crashes; 0 means
+	// crashed servers stay down.
+	RepairAfterMin float64 `json:"repair_after_min,omitempty"`
+}
+
+// SensorFault perturbs one server's melt-estimator input over a time
+// window. While a dropout window is active the estimator receives no
+// reading at all and its estimate ages; the scheduler treats estimates
+// older than core.DefaultMaxEstimateAge as stale.
+type SensorFault struct {
+	// Server is the target server index.
+	Server int `json:"server"`
+
+	// Kind is one of "stuck", "drift", "noise", "dropout".
+	Kind string `json:"kind"`
+
+	// StartMin and EndMin bound the window in minutes; EndMin 0 means
+	// the fault persists to the end of the run.
+	StartMin float64 `json:"start_min"`
+	EndMin   float64 `json:"end_min,omitempty"`
+
+	// ValueC is the stuck-at reading for "stuck".
+	ValueC float64 `json:"value_c,omitempty"`
+
+	// DriftCPerHour is the drift slope for "drift".
+	DriftCPerHour float64 `json:"drift_c_per_hour,omitempty"`
+
+	// StdevC is the noise magnitude for "noise".
+	StdevC float64 `json:"stdev_c,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return len(p.Crashes) == 0 && p.Stochastic == nil && len(p.Sensors) == 0
+}
+
+// Validate checks internal consistency: finite non-negative times and
+// rates, known sensor kinds, no overlapping downtime or fault windows
+// on the same server. Server indexes are bounds-checked separately by
+// ValidateFor once the cluster size is known.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, c := range p.Crashes {
+		if c.Server < 0 {
+			return fmt.Errorf("fault: crash %d: negative server %d", i, c.Server)
+		}
+		if !finite(c.AtMin) || c.AtMin < 0 {
+			return fmt.Errorf("fault: crash %d: at_min %v must be finite and >= 0", i, c.AtMin)
+		}
+		if !finite(c.RepairAfterMin) || c.RepairAfterMin < 0 {
+			return fmt.Errorf("fault: crash %d: repair_after_min %v must be finite and >= 0 (repair cannot precede the crash)", i, c.RepairAfterMin)
+		}
+	}
+	if err := p.validateCrashOverlap(); err != nil {
+		return err
+	}
+	if s := p.Stochastic; s != nil {
+		if !finite(s.RatePerHour) || s.RatePerHour < 0 {
+			return fmt.Errorf("fault: stochastic rate_per_hour %v must be finite and >= 0", s.RatePerHour)
+		}
+		if !finite(s.MTBFHours) || s.MTBFHours < 0 {
+			return fmt.Errorf("fault: stochastic mtbf_hours %v must be finite and >= 0", s.MTBFHours)
+		}
+		if !finite(s.RepairAfterMin) || s.RepairAfterMin < 0 {
+			return fmt.Errorf("fault: stochastic repair_after_min %v must be finite and >= 0", s.RepairAfterMin)
+		}
+		hasRate := s.RatePerHour > 0
+		if hasRate == s.Arrhenius {
+			return fmt.Errorf("fault: stochastic needs exactly one of rate_per_hour > 0 or arrhenius")
+		}
+		if s.MTBFHours > 0 && !s.Arrhenius {
+			return fmt.Errorf("fault: stochastic mtbf_hours requires arrhenius")
+		}
+	}
+	for i, f := range p.Sensors {
+		if f.Server < 0 {
+			return fmt.Errorf("fault: sensor %d: negative server %d", i, f.Server)
+		}
+		switch f.Kind {
+		case KindStuck, KindDrift, KindNoise, KindDropout:
+		default:
+			return fmt.Errorf("fault: sensor %d: unknown kind %q", i, f.Kind)
+		}
+		if !finite(f.StartMin) || f.StartMin < 0 {
+			return fmt.Errorf("fault: sensor %d: start_min %v must be finite and >= 0", i, f.StartMin)
+		}
+		if !finite(f.EndMin) || f.EndMin < 0 {
+			return fmt.Errorf("fault: sensor %d: end_min %v must be finite and >= 0", i, f.EndMin)
+		}
+		if f.EndMin > 0 && f.EndMin <= f.StartMin {
+			return fmt.Errorf("fault: sensor %d: end_min %v must exceed start_min %v", i, f.EndMin, f.StartMin)
+		}
+		if !finite(f.ValueC) || !finite(f.DriftCPerHour) {
+			return fmt.Errorf("fault: sensor %d: value_c and drift_c_per_hour must be finite", i)
+		}
+		if !finite(f.StdevC) || f.StdevC < 0 {
+			return fmt.Errorf("fault: sensor %d: stdev_c %v must be finite and >= 0", i, f.StdevC)
+		}
+		if f.Kind == KindNoise && f.StdevC <= 0 {
+			return fmt.Errorf("fault: sensor %d: noise needs stdev_c > 0", i)
+		}
+	}
+	return p.validateSensorOverlap()
+}
+
+// ValidateFor runs Validate and bounds-checks server indexes against
+// the cluster size.
+func (p *Plan) ValidateFor(numServers int) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, c := range p.Crashes {
+		if c.Server >= numServers {
+			return fmt.Errorf("fault: crash %d: server %d out of range (cluster has %d)", i, c.Server, numServers)
+		}
+	}
+	for i, f := range p.Sensors {
+		if f.Server >= numServers {
+			return fmt.Errorf("fault: sensor %d: server %d out of range (cluster has %d)", i, f.Server, numServers)
+		}
+	}
+	return nil
+}
+
+// validateCrashOverlap rejects scheduled downtimes that overlap on
+// the same server: the injector cannot crash a server that is already
+// down, so an overlapping schedule is a spec mistake.
+func (p *Plan) validateCrashOverlap() error {
+	byServer := map[int][]Crash{}
+	for _, c := range p.Crashes {
+		byServer[c.Server] = append(byServer[c.Server], c)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer { //vmtlint:allow maporder keys are sorted immediately below
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	for _, s := range servers {
+		cs := byServer[s]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].AtMin < cs[j].AtMin })
+		for i := 1; i < len(cs); i++ {
+			prev := cs[i-1]
+			if prev.RepairAfterMin <= 0 || cs[i].AtMin < prev.AtMin+prev.RepairAfterMin {
+				return fmt.Errorf("fault: server %d: crash at %v min overlaps downtime of crash at %v min", s, cs[i].AtMin, prev.AtMin)
+			}
+		}
+	}
+	return nil
+}
+
+// validateSensorOverlap rejects overlapping fault windows on the same
+// server so at most one sensor fault is active at any instant.
+func (p *Plan) validateSensorOverlap() error {
+	byServer := map[int][]SensorFault{}
+	for _, f := range p.Sensors {
+		byServer[f.Server] = append(byServer[f.Server], f)
+	}
+	servers := make([]int, 0, len(byServer))
+	for s := range byServer { //vmtlint:allow maporder keys are sorted immediately below
+		servers = append(servers, s)
+	}
+	sort.Ints(servers)
+	for _, s := range servers {
+		fs := byServer[s]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].StartMin < fs[j].StartMin })
+		for i := 1; i < len(fs); i++ {
+			prev := fs[i-1]
+			if prev.EndMin <= 0 || fs[i].StartMin < prev.EndMin {
+				return fmt.Errorf("fault: server %d: sensor fault window starting %v min overlaps window starting %v min", s, fs[i].StartMin, prev.StartMin)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

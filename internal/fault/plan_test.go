@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if !(&Plan{Seed: 7}).Empty() {
+		t.Error("seed-only plan should be empty")
+	}
+	if (&Plan{Crashes: []Crash{{Server: 0, AtMin: 1}}}).Empty() {
+		t.Error("plan with a crash should not be empty")
+	}
+	if (&Plan{Stochastic: &Stochastic{RatePerHour: 0.01}}).Empty() {
+		t.Error("plan with stochastic crashes should not be empty")
+	}
+	if (&Plan{Sensors: []SensorFault{{Kind: KindDropout}}}).Empty() {
+		t.Error("plan with a sensor fault should not be empty")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		plan    Plan
+		wantErr string // substring; "" means valid
+	}{
+		{name: "zero plan", plan: Plan{}},
+		{
+			name: "full valid plan",
+			plan: Plan{
+				Seed:       3,
+				Crashes:    []Crash{{Server: 1, AtMin: 30, RepairAfterMin: 60}, {Server: 1, AtMin: 100}},
+				Stochastic: &Stochastic{RatePerHour: 0.01, RepairAfterMin: 120},
+				Sensors: []SensorFault{
+					{Server: 0, Kind: KindStuck, StartMin: 10, EndMin: 20, ValueC: 35},
+					{Server: 0, Kind: KindDropout, StartMin: 20},
+					{Server: 2, Kind: KindNoise, StartMin: 0, StdevC: 0.5},
+					{Server: 3, Kind: KindDrift, StartMin: 5, EndMin: 50, DriftCPerHour: 2},
+				},
+			},
+		},
+		{
+			name:    "negative crash server",
+			plan:    Plan{Crashes: []Crash{{Server: -1, AtMin: 1}}},
+			wantErr: "negative server",
+		},
+		{
+			name:    "NaN crash time",
+			plan:    Plan{Crashes: []Crash{{Server: 0, AtMin: math.NaN()}}},
+			wantErr: "at_min",
+		},
+		{
+			name:    "negative repair (repair before crash)",
+			plan:    Plan{Crashes: []Crash{{Server: 0, AtMin: 10, RepairAfterMin: -5}}},
+			wantErr: "repair_after_min",
+		},
+		{
+			name: "overlapping downtimes",
+			plan: Plan{Crashes: []Crash{
+				{Server: 0, AtMin: 10, RepairAfterMin: 60},
+				{Server: 0, AtMin: 30, RepairAfterMin: 10},
+			}},
+			wantErr: "overlaps downtime",
+		},
+		{
+			name: "crash after unrepaired crash",
+			plan: Plan{Crashes: []Crash{
+				{Server: 0, AtMin: 10},
+				{Server: 0, AtMin: 500},
+			}},
+			wantErr: "overlaps downtime",
+		},
+		{
+			name:    "stochastic NaN rate",
+			plan:    Plan{Stochastic: &Stochastic{RatePerHour: math.NaN()}},
+			wantErr: "rate_per_hour",
+		},
+		{
+			name:    "stochastic negative rate",
+			plan:    Plan{Stochastic: &Stochastic{RatePerHour: -0.1}},
+			wantErr: "rate_per_hour",
+		},
+		{
+			name:    "stochastic neither rate nor arrhenius",
+			plan:    Plan{Stochastic: &Stochastic{}},
+			wantErr: "exactly one of",
+		},
+		{
+			name:    "stochastic both rate and arrhenius",
+			plan:    Plan{Stochastic: &Stochastic{RatePerHour: 0.1, Arrhenius: true}},
+			wantErr: "exactly one of",
+		},
+		{
+			name:    "mtbf without arrhenius",
+			plan:    Plan{Stochastic: &Stochastic{RatePerHour: 0.1, MTBFHours: 1000}},
+			wantErr: "requires arrhenius",
+		},
+		{
+			name: "arrhenius with mtbf",
+			plan: Plan{Stochastic: &Stochastic{Arrhenius: true, MTBFHours: 1000}},
+		},
+		{
+			name:    "unknown sensor kind",
+			plan:    Plan{Sensors: []SensorFault{{Server: 0, Kind: "flaky"}}},
+			wantErr: "unknown kind",
+		},
+		{
+			name:    "noise without stdev",
+			plan:    Plan{Sensors: []SensorFault{{Server: 0, Kind: KindNoise}}},
+			wantErr: "needs stdev_c",
+		},
+		{
+			name:    "negative stdev",
+			plan:    Plan{Sensors: []SensorFault{{Server: 0, Kind: KindNoise, StdevC: -1}}},
+			wantErr: "stdev_c",
+		},
+		{
+			name:    "window ends before it starts",
+			plan:    Plan{Sensors: []SensorFault{{Server: 0, Kind: KindStuck, StartMin: 50, EndMin: 20}}},
+			wantErr: "must exceed start_min",
+		},
+		{
+			name:    "infinite drift",
+			plan:    Plan{Sensors: []SensorFault{{Server: 0, Kind: KindDrift, DriftCPerHour: math.Inf(1)}}},
+			wantErr: "must be finite",
+		},
+		{
+			name: "overlapping sensor windows",
+			plan: Plan{Sensors: []SensorFault{
+				{Server: 0, Kind: KindStuck, StartMin: 10, EndMin: 30, ValueC: 1},
+				{Server: 0, Kind: KindDropout, StartMin: 20, EndMin: 40},
+			}},
+			wantErr: "overlaps window",
+		},
+		{
+			name: "open window overlaps later window",
+			plan: Plan{Sensors: []SensorFault{
+				{Server: 0, Kind: KindDropout, StartMin: 10},
+				{Server: 0, Kind: KindStuck, StartMin: 20, EndMin: 30, ValueC: 1},
+			}},
+			wantErr: "overlaps window",
+		},
+		{
+			name: "same windows on different servers",
+			plan: Plan{Sensors: []SensorFault{
+				{Server: 0, Kind: KindDropout, StartMin: 10},
+				{Server: 1, Kind: KindDropout, StartMin: 10},
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestPlanValidateFor(t *testing.T) {
+	p := Plan{Crashes: []Crash{{Server: 5, AtMin: 1}}}
+	if err := p.ValidateFor(6); err != nil {
+		t.Fatalf("server 5 of 6: %v", err)
+	}
+	if err := p.ValidateFor(5); err == nil {
+		t.Fatal("server 5 of 5 should be out of range")
+	}
+	s := Plan{Sensors: []SensorFault{{Server: 9, Kind: KindDropout}}}
+	if err := s.ValidateFor(9); err == nil {
+		t.Fatal("sensor server 9 of 9 should be out of range")
+	}
+	var nilPlan *Plan
+	if err := nilPlan.ValidateFor(1); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Seed:       42,
+		Crashes:    []Crash{{Server: 2, AtMin: 90, RepairAfterMin: 120}},
+		Stochastic: &Stochastic{Arrhenius: true, MTBFHours: 5000, RepairAfterMin: 60},
+		Sensors: []SensorFault{
+			{Server: 0, Kind: KindNoise, StartMin: 10, EndMin: 60, StdevC: 0.25},
+		},
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var got Plan
+	if err := dec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed the plan:\n in: %+v\nout: %+v", p, got)
+	}
+}

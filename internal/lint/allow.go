@@ -3,6 +3,7 @@ package lint
 import (
 	"errors"
 	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -97,39 +98,81 @@ func analyzerNames() string {
 	return strings.Join(names, ", ")
 }
 
-// allowIndex records, per file and line, which analyzers are
-// suppressed there.
-type allowIndex map[string]map[int]map[string]bool
+// An allowRecord is one parsed //vmtlint:allow directive. used flips
+// when the record suppresses a diagnostic, so strict mode can report
+// the allows that excuse nothing.
+type allowRecord struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
 
-func (ai allowIndex) add(file string, line int, analyzer string) {
-	byLine, ok := ai[file]
+// allowIndex holds a package's suppression directives: a per-file,
+// per-line lookup for covers, plus the flat collection-ordered list
+// strict mode iterates (never the maps — their order is random).
+type allowIndex struct {
+	lookup map[string]map[int][]*allowRecord
+	all    []*allowRecord
+}
+
+func (ai *allowIndex) add(pos token.Position, analyzer string) {
+	rec := &allowRecord{pos: pos, analyzer: analyzer}
+	byLine, ok := ai.lookup[pos.Filename]
 	if !ok {
-		byLine = map[int]map[string]bool{}
-		ai[file] = byLine
+		byLine = map[int][]*allowRecord{}
+		ai.lookup[pos.Filename] = byLine
 	}
-	set, ok := byLine[line]
-	if !ok {
-		set = map[string]bool{}
-		byLine[line] = set
-	}
-	set[analyzer] = true
+	byLine[pos.Line] = append(byLine[pos.Line], rec)
+	ai.all = append(ai.all, rec)
 }
 
 // covers reports whether d is suppressed: an allow for its analyzer on
-// the same line or the line directly above.
-func (ai allowIndex) covers(d Diagnostic) bool {
-	byLine, ok := ai[d.Position.Filename]
+// the same line or the line directly above. Every matching record is
+// marked used, not just the first — duplicate allows both "work", and
+// strict mode judges them individually.
+func (ai *allowIndex) covers(d Diagnostic) bool {
+	byLine, ok := ai.lookup[d.Position.Filename]
 	if !ok {
 		return false
 	}
-	return byLine[d.Position.Line][d.Analyzer] || byLine[d.Position.Line-1][d.Analyzer]
+	hit := false
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		for _, rec := range byLine[line] {
+			if rec.analyzer == d.Analyzer {
+				rec.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// unused reports, as always-on "allow" diagnostics, every directive
+// whose analyzer ran over this package without producing a finding the
+// directive suppressed. Allows naming analyzers that were scoped out
+// are left alone: "unused" can only be judged where the analyzer
+// actually looked.
+func (ai *allowIndex) unused(ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, rec := range ai.all {
+		if rec.used || !ran[rec.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Position: rec.pos,
+			Analyzer: AllowAnalyzerName,
+			Message: fmt.Sprintf("unused vmtlint:allow %s — %s reports nothing here; delete the directive or restore the code it excused",
+				rec.analyzer, rec.analyzer),
+		})
+	}
+	return diags
 }
 
 // collectAllows scans a package's comments for vmtlint directives,
 // returning the suppression index and a diagnostic for every malformed
 // directive.
-func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
-	ai := allowIndex{}
+func collectAllows(pkg *Package) (*allowIndex, []Diagnostic) {
+	ai := &allowIndex{lookup: map[string]map[int][]*allowRecord{}}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
@@ -147,7 +190,7 @@ func collectAllows(pkg *Package) (allowIndex, []Diagnostic) {
 					})
 					continue
 				}
-				ai.add(pos.Filename, pos.Line, name)
+				ai.add(pos, name)
 			}
 		}
 	}

@@ -18,7 +18,7 @@ import (
 var Detrand = &Analyzer{
 	Name: "detrand",
 	Doc: "forbids time.Now/Since/Until and math|crypto/rand imports in " +
-		"simulation-critical packages (root study code, internal/{sim,cluster,pcm,thermal,sched}); " +
+		"simulation-critical packages (root study code, internal/{sim,cluster,pcm,thermal,sched,fault}); " +
 		"use the seeded internal/stats RNG and simulation time instead",
 	Scope: scopeSet("vmt",
 		"vmt/internal/sim",
@@ -26,6 +26,7 @@ var Detrand = &Analyzer{
 		"vmt/internal/pcm",
 		"vmt/internal/thermal",
 		"vmt/internal/sched",
+		"vmt/internal/fault",
 	),
 	Run: runDetrand,
 }

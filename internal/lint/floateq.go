@@ -18,9 +18,10 @@ import (
 // _test.go files are outside the loader's scope and unaffected.
 var FloatEq = &Analyzer{
 	Name: "floateq",
-	Doc: "flags ==/!= with a float operand and switches on float tags; " +
-		"compare via epsilon or integer keys, or justify zero-value " +
-		"sentinels with //vmtlint:allow floateq",
+	Doc: "flags ==/!= with a float operand (directly or inside a " +
+		"comparable composite — a struct field or array element) and " +
+		"switches on float tags; compare via epsilon or integer keys, " +
+		"or justify zero-value sentinels with //vmtlint:allow floateq",
 	Run: runFloatEq,
 }
 
@@ -33,9 +34,15 @@ func runFloatEq(pass *Pass) {
 				if n.Op != token.EQL && n.Op != token.NEQ {
 					return true
 				}
-				if isFloat(info.TypeOf(n.X)) || isFloat(info.TypeOf(n.Y)) {
+				tx, ty := info.TypeOf(n.X), info.TypeOf(n.Y)
+				switch {
+				case isFloat(tx) || isFloat(ty):
 					pass.Reportf(n.OpPos,
 						"%s on float operands (%s %s %s); compare via epsilon or integer keys",
+						n.Op, types.ExprString(n.X), n.Op, types.ExprString(n.Y))
+				case containsFloat(tx) || containsFloat(ty):
+					pass.Reportf(n.OpPos,
+						"%s on composite values containing floats (%s %s %s); compare fields via epsilon or justify the zero-value sentinel",
 						n.Op, types.ExprString(n.X), n.Op, types.ExprString(n.Y))
 				}
 			case *ast.SwitchStmt:
@@ -55,5 +62,34 @@ func isFloat(t types.Type) bool {
 		return false
 	}
 	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsFloat != 0
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// containsFloat reports whether comparing values of t with == compares
+// floats bit-for-bit somewhere inside: a struct field or array element
+// that is (or recursively contains) a float. Pointers, interfaces,
+// maps, slices, and channels stop the walk — their == is identity, not
+// a float comparison.
+func containsFloat(t types.Type) bool {
+	return typeHasFloat(t, map[types.Type]bool{})
+}
+
+func typeHasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeHasFloat(u.Elem(), seen)
+	}
+	return false
 }

@@ -55,6 +55,13 @@ func lintFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 	diffWants(t, pkg, RunUnscoped(pkg, analyzers))
 }
 
+// lintFixtureStrict is lintFixture with unused-allow detection on.
+func lintFixtureStrict(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diffWants(t, pkg, RunUnscopedStrict(pkg, analyzers))
+}
+
 type wantExpectation struct {
 	re      *regexp.Regexp
 	line    int

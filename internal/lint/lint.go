@@ -61,9 +61,23 @@ func (d Diagnostic) String() string {
 // sorted by file, line, analyzer, and message. Diagnostics about the
 // suppression comments themselves are always included.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runAll(pkgs, analyzers, false)
+}
+
+// RunStrict is Run plus unused-allow detection: a //vmtlint:allow that
+// suppresses nothing — because the code it excused drifted away — is
+// itself a diagnostic from the always-on "allow" pseudo-analyzer.
+// Detection is scope-aware: an allow naming an analyzer that does not
+// run over its package is never reported, since its unusedness was
+// never actually tested.
+func RunStrict(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runAll(pkgs, analyzers, true)
+}
+
+func runAll(pkgs []*Package, analyzers []*Analyzer, strict bool) []Diagnostic {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, analyzers, true)...)
+		all = append(all, runPackage(pkg, analyzers, true, strict)...)
 	}
 	sortDiagnostics(all)
 	return all
@@ -73,17 +87,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // the fixture-test entry point, where a testdata package stands in for
 // a real one.
 func RunUnscoped(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	diags := runPackage(pkg, analyzers, false)
+	diags := runPackage(pkg, analyzers, false, false)
 	sortDiagnostics(diags)
 	return diags
 }
 
-func runPackage(pkg *Package, analyzers []*Analyzer, useScope bool) []Diagnostic {
+// RunUnscopedStrict is RunUnscoped with unused-allow detection, for
+// fixtures that pin strict mode's diagnostics.
+func RunUnscopedStrict(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags := runPackage(pkg, analyzers, false, true)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, useScope, strict bool) []Diagnostic {
 	allows, diags := collectAllows(pkg)
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		if useScope && a.Scope != nil && !a.Scope(pkg.Path) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 		a.Run(pass)
 	}
@@ -93,6 +117,9 @@ func runPackage(pkg *Package, analyzers []*Analyzer, useScope bool) []Diagnostic
 			continue
 		}
 		kept = append(kept, d)
+	}
+	if strict {
+		kept = append(kept, allows.unused(ran)...)
 	}
 	return kept
 }

@@ -14,6 +14,58 @@ func TestFloatEqFixture(t *testing.T)  { lintFixture(t, "floateq", FloatEq) }
 // diagnostics come from the always-on suppression scanner.
 func TestAllowFixture(t *testing.T) { lintFixture(t, "allowbad") }
 
+// TestStrictAllowFixture pins strict mode: used allows stay silent,
+// dead allows are diagnostics, duplicates covering one finding are
+// both used.
+func TestStrictAllowFixture(t *testing.T) {
+	lintFixtureStrict(t, "strictallow", FloatEq, MapOrder)
+}
+
+// TestStrictIsStrictOnly pins that plain Run never reports unused
+// allows — strict is opt-in, so the default exit-0 contract of a clean
+// tree cannot flip when an allow goes stale.
+func TestStrictIsStrictOnly(t *testing.T) {
+	pkg := loadFixture(t, "strictallow")
+	for _, d := range RunUnscoped(pkg, []*Analyzer{FloatEq, MapOrder}) {
+		t.Errorf("non-strict run reported: %s", d)
+	}
+}
+
+// TestStrictScopeAwareness: an allow naming an analyzer that is scoped
+// out of its package is never reported unused — the analyzer did not
+// look, so unusedness was never tested.
+func TestStrictScopeAwareness(t *testing.T) {
+	loader := testLoader(t)
+	pkg, err := loader.LoadFiles("fixture/scoped", map[string]string{
+		"scoped.go": `package scoped
+
+func f(a, b int) bool {
+	//vmtlint:allow detrand detrand is scoped out here, so this is not judged
+	return a == b
+}
+
+func g(a, b int) bool {
+	//vmtlint:allow floateq floateq does run here, and this excuses nothing
+	return a == b
+}
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	diags := RunStrict([]*Package{pkg}, []*Analyzer{Detrand, FloatEq})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics (%v), want exactly the floateq one", len(diags), diags)
+	}
+	if d := diags[0]; d.Analyzer != AllowAnalyzerName ||
+		!strings.Contains(d.Message, "unused vmtlint:allow floateq") || d.Position.Line != 9 {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
 func TestDiagnosticFormat(t *testing.T) {
 	d := Diagnostic{
 		Position: token.Position{Filename: "internal/sim/engine.go", Line: 42},
@@ -91,8 +143,8 @@ func tooFar(a, b float64) bool {
 }
 
 // TestRepoIsClean is the in-process form of the acceptance criterion
-// `go run ./cmd/vmtlint ./...` exits 0: the tree carries no
-// unsuppressed violations of its own invariants.
+// `go run ./cmd/vmtlint -strict ./...` exits 0: the tree carries no
+// unsuppressed violations of its own invariants and no stale allows.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -109,7 +161,7 @@ func TestRepoIsClean(t *testing.T) {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	for _, d := range Run(pkgs, Analyzers) {
+	for _, d := range RunStrict(pkgs, Analyzers) {
 		t.Errorf("unsuppressed violation: %s", d)
 	}
 }

@@ -41,6 +41,61 @@ type pair struct{ x, y int }
 
 func structEq(a, b pair) bool { return a == b }
 
+// Composites that carry a float anywhere inside compare those floats
+// bit-for-bit under == and are flagged with the composite message.
+type spec struct {
+	Name  string
+	TempC float64
+}
+
+func specEq(a, b spec) bool {
+	return a == b // want "== on composite values containing floats"
+}
+
+func specSentinel(s spec) bool {
+	return s != (spec{}) // want "!= on composite values containing floats"
+}
+
+type grid [4]float32
+
+func gridEq(a, b grid) bool {
+	return a == b // want "== on composite values containing floats"
+}
+
+// The walk is recursive: a float buried one struct down still taints
+// the outer comparison.
+type wrapped struct {
+	id    int
+	inner spec
+}
+
+func wrappedEq(a, b wrapped) bool {
+	return a == b // want "== on composite values containing floats"
+}
+
+// Pointer, map, slice, and interface members stop the walk: == on the
+// outer value compares identity, never the floats behind them.
+type byRef struct {
+	id  int
+	ptr *float64
+	fn  interface{ M() float64 }
+}
+
+func byRefEq(a, b byRef) bool { return a == b }
+
+// An array of ints is still exact-comparable.
+type counts [3]int
+
+func countsEq(a, b counts) bool { return a == b }
+
+// The sentinel allow works on composites exactly as on bare floats.
+func specDefault(s spec) spec {
+	if s == (spec{}) { //vmtlint:allow floateq zero-value "unset" sentinel fixture
+		return spec{Name: "default", TempC: 22}
+	}
+	return s
+}
+
 // The zero-value "unset" sentinel is the one sanctioned exact
 // comparison, and it carries its justification.
 func withDefault(v float64) float64 {

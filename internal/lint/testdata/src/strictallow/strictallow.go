@@ -1,0 +1,31 @@
+// Package strictallow is a vmtlint fixture for -strict mode: allows
+// that suppress a real finding stay silent; allows that excuse nothing
+// are themselves diagnostics from the always-on "allow" analyzer.
+package strictallow
+
+// A used allow is invisible under strict.
+func used(v float64) float64 {
+	if v == 0 { //vmtlint:allow floateq zero-value "unset" sentinel fixture
+		return 22
+	}
+	return v
+}
+
+// An allow on a line that produces no finding is dead weight — the
+// code it excused drifted away — and strict reports it where it sits.
+func unusedTrailing(a, b int) bool {
+	return a == b /* want "unused vmtlint:allow floateq" */ //vmtlint:allow floateq ints never needed this
+}
+
+func unusedAbove(a, b int) bool {
+	/* want "unused vmtlint:allow maporder" */ //vmtlint:allow maporder nothing ranges a map here
+	return a == b
+}
+
+// Duplicate allows covering one finding are both "used": strict judges
+// each record by whether it suppressed something, and both reach the
+// diagnostic below.
+func duplicated(a, b float64) bool {
+	//vmtlint:allow floateq duplicate above, still covering
+	return a == b //vmtlint:allow floateq duplicate trailing, still covering
+}

@@ -30,6 +30,22 @@ type Estimator struct {
 	// simulator.
 	invBucketWidthC float64
 	updates         uint64
+
+	// sensor, when non-nil, interposes on the sensed air temperature
+	// (fault injection). at accumulates sim time across Updates so the
+	// sensor can evaluate time-windowed faults; stale accumulates time
+	// since the last successful reading.
+	sensor Sensor
+	at     time.Duration
+	stale  time.Duration
+}
+
+// Sensor models the physical temperature sensor feeding the estimator.
+// Sense maps the true air temperature at the wax to the sensed reading
+// at sim time at; ok=false means no reading was produced (dropout or
+// dead sensor) and the estimate ages unchanged.
+type Sensor interface {
+	Sense(trueC float64, at time.Duration) (sensedC float64, ok bool)
 }
 
 // NewEstimator builds an estimator for a pack of volumeL liters of m
@@ -86,6 +102,19 @@ func (e *Estimator) lookup(deltaC float64) float64 {
 // even though the wax time constant is shorter than the period.
 func (e *Estimator) Update(airTempC float64, dt time.Duration) {
 	const subStep = 10 * time.Second
+	if e.sensor != nil {
+		e.at += dt
+		sensed, ok := e.sensor.Sense(airTempC, e.at)
+		if !ok {
+			// No reading: the estimate ages in place. updates still
+			// counts so overhead accounting stays comparable.
+			e.stale += dt
+			e.updates++
+			return
+		}
+		e.stale = 0
+		airTempC = sensed
+	}
 	// This is the hottest loop in a whole-cluster run (every server,
 	// every substep, every tick), so the shadow state is advanced on
 	// locals: the enthalpy integrates directly and only the
@@ -135,6 +164,19 @@ func (e *Estimator) TempC() float64 { return e.shadow.TempC() }
 // accounting in tests).
 func (e *Estimator) Updates() uint64 { return e.updates }
 
+// SetSensor interposes s on the estimator's temperature input. A nil
+// sensor restores direct (faultless) readings.
+func (e *Estimator) SetSensor(s Sensor) { e.sensor = s }
+
+// StaleFor returns how long the estimator has gone without a
+// successful sensor reading. Always zero without a sensor installed.
+func (e *Estimator) StaleFor() time.Duration { return e.stale }
+
 // Reset re-initializes the estimate, e.g. after a server rotates
-// between groups and its wax is known to have refrozen.
-func (e *Estimator) Reset(tempC float64) { e.shadow.Reset(tempC) }
+// between groups and its wax is known to have refrozen, or a repaired
+// server boots with a cold estimator. The reading history is
+// considered fresh again.
+func (e *Estimator) Reset(tempC float64) {
+	e.shadow.Reset(tempC)
+	e.stale = 0
+}

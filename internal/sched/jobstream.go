@@ -41,6 +41,11 @@ type StreamManager struct {
 	fluidCounts map[workload.Workload]int
 	taskCounts  map[workload.Workload]int
 	completions completionHeap
+	// lostCredits[w] counts tasks of w dropped during an evacuation
+	// whose completion entries are still in the heap. Task jobs are
+	// fungible, so when a completion eventually fires with no job of w
+	// left anywhere, a credit absorbs it instead of erroring.
+	lostCredits map[workload.Workload]int
 	dropped     uint64
 	arrived     uint64
 	lastNow     time.Duration
@@ -96,6 +101,7 @@ func NewStreamManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace,
 		durations:   durations,
 		fluidCounts: make(map[workload.Workload]int),
 		taskCounts:  make(map[workload.Workload]int),
+		lostCredits: make(map[workload.Workload]int),
 	}, nil
 }
 
@@ -180,6 +186,12 @@ func (m *StreamManager) finishTask(c completion) error {
 		var err error
 		s, err = m.sched.SelectRemoval(c.w)
 		if err != nil {
+			if m.lostCredits[c.w] > 0 {
+				// The task this completion belonged to was dropped
+				// during an evacuation; its count was deducted then.
+				m.lostCredits[c.w]--
+				return nil
+			}
 			return fmt.Errorf("sched: completing %s task: %w", c.w.Name, err)
 		}
 	}
@@ -281,6 +293,43 @@ func (m *StreamManager) poisson(lambda float64) int {
 		}
 		k++
 	}
+}
+
+// Evacuate moves every job off a crashed server through the normal
+// placement logic. s must already be marked failed. Fluid jobs that
+// find no capacity are deducted from the service footprint (the next
+// Reconcile re-grows it when capacity returns); lost task jobs are
+// counted as drops and leave a completion credit behind so their
+// still-scheduled departures don't error.
+func (m *StreamManager) Evacuate(s *cluster.Server) (moved, lost int, err error) {
+	for _, e := range m.mix.Entries() {
+		w := e.Workload
+		task := m.isTask(w)
+		for s.Jobs(w) > 0 {
+			if rerr := s.Remove(w); rerr != nil {
+				return moved, lost, fmt.Errorf("sched: evacuating %s from server %d: %w", w.Name, s.ID(), rerr)
+			}
+			dst, perr := m.sched.Place(w)
+			if perr != nil {
+				lost++
+				if task {
+					m.taskCounts[w]--
+					m.lostCredits[w]++
+					m.dropped++
+					m.taskDrops.Inc()
+				} else {
+					m.fluidCounts[w]--
+				}
+				continue
+			}
+			if perr := dst.Place(w); perr != nil {
+				return moved, lost, fmt.Errorf("sched: %s chose full server %d during evacuation: %w",
+					m.sched.Name(), dst.ID(), perr)
+			}
+			moved++
+		}
+	}
+	return moved, lost, nil
 }
 
 // expDuration samples an exponential task duration with the given

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -86,6 +87,13 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 		for cur < target {
 			s, err := m.sched.Place(e.Workload)
 			if err != nil {
+				if errors.Is(err, ErrNoCapacity) {
+					// The cluster genuinely has no free core — possible
+					// once fault injection takes servers down. The
+					// shortfall is not an error: capacity returns with
+					// the repairs, and the run must survive the gap.
+					break
+				}
 				return fmt.Errorf("sched: placing %s at %v: %w", e.Workload.Name, now, err)
 			}
 			if err := s.Place(e.Workload); err != nil {
@@ -110,4 +118,34 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 		m.counts[k] = cur
 	}
 	return nil
+}
+
+// Evacuate moves every job off a crashed server through the normal
+// placement logic. s must already be marked failed (so the scheduler
+// cannot choose it as a destination). Jobs that find no capacity on
+// the survivors are dropped and deducted from the manager's
+// bookkeeping; the next Reconcile re-places them if capacity returns.
+func (m *LoadManager) Evacuate(s *cluster.Server) (moved, lost int, err error) {
+	for k, e := range m.entries {
+		for s.Jobs(e.Workload) > 0 {
+			if rerr := s.Remove(e.Workload); rerr != nil {
+				return moved, lost, fmt.Errorf("sched: evacuating %s from server %d: %w", e.Workload.Name, s.ID(), rerr)
+			}
+			dst, perr := m.sched.Place(e.Workload)
+			if perr != nil {
+				if errors.Is(perr, ErrNoCapacity) {
+					m.counts[k]--
+					lost++
+					continue
+				}
+				return moved, lost, perr
+			}
+			if perr := dst.Place(e.Workload); perr != nil {
+				return moved, lost, fmt.Errorf("sched: %s chose full server %d during evacuation: %w",
+					m.sched.Name(), dst.ID(), perr)
+			}
+			moved++
+		}
+	}
+	return moved, lost, nil
 }

@@ -33,6 +33,10 @@ type Priority int
 const (
 	// PriorityModel is for physical-model updates (thermal, wax).
 	PriorityModel Priority = 100
+	// PriorityFault is for fault injection: crashes and repairs land
+	// after the physics settles but before the scheduler reacts, so a
+	// crash at tick t is visible to the same tick's rebalancing.
+	PriorityFault Priority = 150
 	// PriorityScheduler is for load placement and rebalancing.
 	PriorityScheduler Priority = 200
 	// PriorityMetrics is for observers sampling the settled state.

@@ -1,9 +1,11 @@
 package vmt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -42,6 +44,15 @@ type BatchOptions struct {
 	// Metrics, when non-nil, is applied to every run whose Config has
 	// no registry of its own; counters aggregate across the batch.
 	Metrics *telemetry.Registry
+	// Context, when non-nil, cancels the batch: queued runs are marked
+	// with ctx.Err() without starting, in-flight runs stop at their
+	// next tick, and completed indices keep their results — clean
+	// partial progress, never a torn batch.
+	Context context.Context
+	// Timeout, when positive, bounds each run's wall time. A run that
+	// exceeds it fails with context.DeadlineExceeded at its index
+	// while its siblings complete normally.
+	Timeout time.Duration
 }
 
 // RunMany executes the given configurations concurrently (each run is
@@ -64,7 +75,9 @@ func RunManyN(cfgs []Config, workers int) ([]*Result, error) {
 // to completion even if another fails; the error for the
 // lowest-indexed failure is returned as a *RunError carrying that
 // index, and results at all successful indices are still populated —
-// callers that can use partial sweeps may inspect both.
+// callers that can use partial sweeps may inspect both. A run that
+// panics is isolated: the panic is recovered into that run's error
+// (with the stack) and its siblings are unaffected.
 func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -73,8 +86,31 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+
+	// runOne isolates a single run: a panic anywhere inside Run is
+	// recovered into an indexed error instead of tearing down the
+	// whole batch, and the optional per-run timeout is layered onto
+	// the batch context.
+	runOne := func(cfg Config) (res *Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("vmt: run panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		rctx := ctx
+		if opts.Timeout > 0 {
+			var cancel context.CancelFunc
+			rctx, cancel = context.WithTimeout(rctx, opts.Timeout)
+			defer cancel()
+		}
+		return RunCtx(rctx, cfg)
+	}
 
 	start := time.Now() //vmtlint:allow detrand observational: progress-line timing only
 	var progressMu sync.Mutex
@@ -124,13 +160,23 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 					cfg.Tracer = telemetry.WithRun(shared, i)
 				}
 				runStart := time.Now() //vmtlint:allow detrand observational: progress-line timing only
-				results[i], errs[i] = Run(cfg)
+				results[i], errs[i] = runOne(cfg)
 				report(i, time.Since(runStart)) //vmtlint:allow detrand observational: progress-line timing only
 			}
 		}()
 	}
+feed:
 	for i := range cfgs {
-		jobs <- i
+		select {
+		case <-ctx.Done():
+			// Mark every not-yet-dispatched run cancelled; in-flight
+			// runs observe the same context at their next tick.
+			for j := i; j < len(cfgs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()

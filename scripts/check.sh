@@ -17,8 +17,8 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== vmtlint"
-go run ./cmd/vmtlint ./...
+echo "== vmtlint (strict: stale allows are failures)"
+go run ./cmd/vmtlint -strict ./...
 
 echo "== go build"
 go build ./...
@@ -37,10 +37,10 @@ go test -count=1 -run 'TestSpecRoundTripExecute|TestSpecJSONRoundTrip' \
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
-    ./internal/sched/ \
+    ./internal/sched/ ./internal/fault/ \
     -run 'Test' -count=1
 go test -race ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
-go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability|TestPhysicsWorkers' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine' -count=1
 
 echo "ok"

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vmt/internal/experiment"
+	"vmt/internal/fault"
 	"vmt/internal/trace"
 )
 
@@ -227,6 +228,54 @@ func CoolingLoadSpec(servers int, policy Policy, gvs []float64) experiment.Spec 
 		Axes:        []experiment.Axis{{Name: "variant", Cases: cases}},
 		Baseline:    &experiment.Baseline{Set: baselineRR()},
 		Reducer:     experiment.ReducePeakReduction,
+	}
+}
+
+// faultRateCases builds the failure-rate case axis of the fault study:
+// a clean 0/h case plus a stochastic crash plan per rate, all seeded
+// identically so every policy at a given rate faces the same injected
+// fault history.
+func faultRateCases(rates []float64, repairAfterMin float64, seed uint64) []experiment.Case {
+	cases := make([]experiment.Case, 0, len(rates))
+	for _, rate := range rates {
+		c := experiment.Case{Name: fmt.Sprintf("%g", rate)}
+		if rate > 0 {
+			c.Set = experiment.Settings{"faults": faultSetting(fault.Plan{
+				Seed: seed,
+				Stochastic: &fault.Stochastic{
+					RatePerHour:    rate,
+					RepairAfterMin: repairAfterMin,
+				},
+			})}
+		}
+		cases = append(cases, c)
+	}
+	return cases
+}
+
+// FaultStudySpec is the declarative form of RunFaultStudy: VMT-TA and
+// VMT-WA under injected stochastic server crashes on the query-level
+// load model, each measured against a round-robin baseline suffering
+// the same fault plan at the same rate.
+func FaultStudySpec(servers int, rates []float64, gv float64, seed uint64) experiment.Spec {
+	return experiment.Spec{
+		Name:        "fault-study",
+		Description: "Cooling reduction and QoS degradation under injected server crashes",
+		Base: experiment.Settings{
+			"servers": servers, "gv": gv, "job_stream": true, "seed": float64(seed),
+		},
+		Axes: []experiment.Axis{
+			{Name: "fault_rate", Cases: faultRateCases(rates, 120, seed)},
+			{Name: "variant", Cases: []experiment.Case{
+				{Name: "ta", Set: experiment.Settings{"policy": string(PolicyVMTTA)}},
+				{Name: "wa", Set: experiment.Settings{"policy": string(PolicyVMTWA)}},
+			}},
+		},
+		Baseline: &experiment.Baseline{
+			Set:  baselineRR(),
+			Vary: []string{"fault_rate"},
+		},
+		Reducer: experiment.ReducePeakReduction,
 	}
 }
 

@@ -19,12 +19,14 @@
 package vmt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"vmt/internal/cluster"
 	"vmt/internal/cooling"
 	"vmt/internal/core"
+	"vmt/internal/fault"
 	"vmt/internal/pcm"
 	"vmt/internal/sched"
 	"vmt/internal/sim"
@@ -126,6 +128,13 @@ type Config struct {
 	// (nil selects sched.DefaultTaskDurations).
 	JobStream     bool
 	TaskDurations map[string]time.Duration
+	// Faults, when non-nil, injects deterministic failures: server
+	// crashes/repairs (scheduled or stochastic) and melt-estimator
+	// sensor faults. Part of the run's identity — the same seed and
+	// plan reproduce the same Result bit for bit — so it participates
+	// in the run-cache key. Nil injects nothing and leaves the hot
+	// path untouched.
+	Faults *fault.Plan
 	// Metrics, when non-nil, receives run instrumentation: engine
 	// dispatch counts and per-band wall time, scheduler placements and
 	// hot-group resizes, the fleet melt-fraction histogram, and
@@ -159,10 +168,10 @@ func BaselineScenario(servers int) Config {
 
 // withDefaults resolves zero values to the paper's configuration.
 func (c Config) withDefaults() Config {
-	if c.Server == (thermal.ServerSpec{}) {
+	if c.Server == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		c.Server = thermal.PaperServer()
 	}
-	if c.Material == (pcm.Material{}) {
+	if c.Material == (pcm.Material{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
 		c.Material = pcm.CommercialParaffin()
 	}
 	if c.InletTempC == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
@@ -210,6 +219,9 @@ func (c Config) Validate() error {
 	if c.PhysicsWorkers < 0 {
 		return fmt.Errorf("vmt: negative physics worker count %d", c.PhysicsWorkers)
 	}
+	if err := c.Faults.ValidateFor(c.Servers); err != nil {
+		return err
+	}
 	if c.CustomTrace != nil {
 		if c.CustomTrace.Len() < 2 {
 			return fmt.Errorf("vmt: custom trace needs at least two samples")
@@ -251,6 +263,12 @@ type Result struct {
 	// totals (JobStream runs only); drops are the QoS failure the
 	// paper attributes to undersized groups.
 	TaskArrivals, TaskDrops uint64
+	// FaultCrashes/FaultRepairs count injected server crashes and
+	// completed repairs; EvacuatedJobs jobs re-placed off crashed
+	// servers and LostJobs jobs dropped for lack of surviving
+	// capacity. All zero without Config.Faults.
+	FaultCrashes, FaultRepairs uint64
+	EvacuatedJobs, LostJobs    uint64
 	// AirTempGrid and MeltFracGrid are [sample][server] snapshots,
 	// recorded only with Config.RecordGrids (Figures 9–11, 14).
 	AirTempGrid  [][]float64
@@ -280,8 +298,29 @@ type hotGrouper interface {
 // the sampled result. Runs are deterministic: identical configurations
 // produce identical results.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// reconciler is the per-tick scheduling surface Run drives: Reconcile
+// advances the job population each period, and Evacuate clears a
+// crashed server (fault injection). Both managers in internal/sched
+// implement it.
+type reconciler interface {
+	Reconcile(time.Duration) error
+	Evacuate(*cluster.Server) (moved, lost int, err error)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the engine
+// stops at the next tick boundary and the run returns ctx.Err(). The
+// result is still deterministic when it completes — cancellation can
+// only abort a run, never change what a completed run returns.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	cfg = cfg.withDefaults().withDefaultObservability()
 
@@ -311,9 +350,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	var reconcile interface {
-		Reconcile(time.Duration) error
-	}
+	var reconcile reconciler
 	var stream *sched.StreamManager
 	if cfg.JobStream {
 		durations := cfg.TaskDurations
@@ -337,6 +374,14 @@ func Run(cfg Config) (*Result, error) {
 			lm.SetMetrics(cfg.Metrics)
 		}
 		reconcile = lm
+	}
+
+	// Fault injection: the injector interposes sensors at construction
+	// and ticks on the engine's fault band (after physics, before the
+	// scheduler). Nil plan → nil injector → zero overhead.
+	var injector *fault.Injector
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		injector = fault.NewInjector(cfg.Faults, cl, reconcile, cfg.Metrics)
 	}
 
 	// One sample lands per step over the trace; preallocating the
@@ -414,6 +459,14 @@ func Run(cfg Config) (*Result, error) {
 		if runErr != nil {
 			return
 		}
+		if done != nil {
+			select {
+			case <-done:
+				fail(ctx.Err())
+				return
+			default:
+			}
+		}
 		s, err := cl.Step(cfg.Step)
 		if err != nil {
 			fail(err)
@@ -428,6 +481,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})); err != nil {
 		return nil, err
+	}
+
+	// Faults: crashes, repairs, and stochastic draws land between the
+	// physics settling and the scheduler's reaction, in server-ID
+	// order on the engine's single goroutine. A crash scheduled at
+	// at_min lands on the first fault tick at or after it.
+	if injector != nil {
+		if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityFault, span("fault", func(now time.Duration) {
+			if runErr != nil {
+				return
+			}
+			if err := injector.Tick(now, cfg.Step); err != nil {
+				fail(err)
+			}
+		}, nil)); err != nil {
+			return nil, err
+		}
 	}
 
 	// Scheduling: reconcile the job population with the trace.
@@ -524,6 +594,12 @@ func Run(cfg Config) (*Result, error) {
 	if stream != nil {
 		res.TaskArrivals = stream.Arrived()
 		res.TaskDrops = stream.Dropped()
+	}
+	if injector != nil {
+		res.FaultCrashes = injector.Crashes()
+		res.FaultRepairs = injector.Repairs()
+		res.EvacuatedJobs = injector.Evacuated()
+		res.LostJobs = injector.Lost()
 	}
 	return res, nil
 }
