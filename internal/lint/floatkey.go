@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatKey flags map types keyed by a floating-point (or complex)
+// type, directly or through a named float type. Float keys are a
+// determinism trap twice over: NaN keys are unequal to themselves
+// (entries become unreachable and count toward len), and keys produced
+// by arithmetic differ by rounding across evaluation orders, so the
+// "same" key inserted by two code paths lands in two buckets. Key maps
+// by an exact representation instead — int64 ticks, math.Float64bits,
+// or a formatted string — or justify verbatim-copied sweep-parameter
+// lookups with //vmtlint:allow floatkey, which doubles as an inventory
+// of every such table in the tree. Struct keys that merely contain a
+// float field are NOT flagged: the tree uses value structs (Workload,
+// curve keys) as identity tokens whose fields are copied, never
+// computed, and struct equality on verbatim copies is exact.
+var FloatKey = &Analyzer{
+	Name: "floatkey",
+	Doc: "flags map types with floating-point keys — NaN self-inequality and " +
+		"rounding-dependent key identity break determinism; key by int64, " +
+		"math.Float64bits, or a formatted string, or justify with " +
+		"//vmtlint:allow floatkey",
+	Run: runFloatKey,
+}
+
+func runFloatKey(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			kt := info.TypeOf(mt.Key)
+			if kt == nil {
+				return true
+			}
+			if isFloat(kt) {
+				pass.Reportf(mt.Pos(),
+					"map keyed by %s — NaN keys are unequal to themselves and rounding makes key identity order-dependent; key by int64 or math.Float64bits instead",
+					types.TypeString(kt, nil))
+			}
+			return true
+		})
+	}
+}

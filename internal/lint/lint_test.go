@@ -9,6 +9,7 @@ import (
 func TestDetrandFixture(t *testing.T)  { lintFixture(t, "detrand", Detrand) }
 func TestMapOrderFixture(t *testing.T) { lintFixture(t, "maporder", MapOrder) }
 func TestFloatEqFixture(t *testing.T)  { lintFixture(t, "floateq", FloatEq) }
+func TestFloatKeyFixture(t *testing.T) { lintFixture(t, "floatkey", FloatKey) }
 
 // TestAllowFixture runs no analyzers at all: malformed-directive
 // diagnostics come from the always-on suppression scanner.
@@ -99,8 +100,8 @@ func TestScopes(t *testing.T) {
 			t.Errorf("%s.Scope(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
 		}
 	}
-	if MapOrder.Scope != nil || FloatEq.Scope != nil {
-		t.Error("maporder and floateq are module-wide; Scope should be nil")
+	if MapOrder.Scope != nil || FloatEq.Scope != nil || FloatKey.Scope != nil {
+		t.Error("maporder, floateq, and floatkey are module-wide; Scope should be nil")
 	}
 }
 

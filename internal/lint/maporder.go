@@ -65,11 +65,85 @@ func orderDependentEffect(info *types.Info, body *ast.BlockStmt) string {
 			if fn := calledObject(info, n); fn != nil && fn.Pkg() != nil &&
 				strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") {
 				reason = "writes telemetry via " + fn.Name()
+				break
+			}
+			// The selector check above misses telemetry writes routed
+			// through caller-defined seams: a local interface whose
+			// method takes a telemetry value, or a function-typed
+			// variable bound to a telemetry method. Catch those by the
+			// callee's signature — any parameter mentioning an
+			// internal/telemetry type means the call feeds telemetry.
+			if sigTakesTelemetry(info.TypeOf(n.Fun)) {
+				reason = "writes telemetry via " + types.ExprString(n.Fun)
 			}
 		}
 		return reason == ""
 	})
 	return reason
+}
+
+// sigTakesTelemetry reports whether t is a function signature with a
+// parameter that is (or contains) an internal/telemetry type.
+func sigTakesTelemetry(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if mentionsTelemetry(params.At(i).Type(), map[types.Type]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsTelemetry walks a type looking for anything defined in
+// internal/telemetry.
+func mentionsTelemetry(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		if obj := t.Obj(); obj != nil && obj.Pkg() != nil &&
+			strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry") {
+			return true
+		}
+		return mentionsTelemetry(t.Underlying(), seen)
+	case *types.Pointer:
+		return mentionsTelemetry(t.Elem(), seen)
+	case *types.Slice:
+		return mentionsTelemetry(t.Elem(), seen)
+	case *types.Array:
+		return mentionsTelemetry(t.Elem(), seen)
+	case *types.Chan:
+		return mentionsTelemetry(t.Elem(), seen)
+	case *types.Map:
+		return mentionsTelemetry(t.Key(), seen) || mentionsTelemetry(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if mentionsTelemetry(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < t.NumMethods(); i++ {
+			if mentionsTelemetry(t.Method(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Signature:
+		for _, tuple := range []*types.Tuple{t.Params(), t.Results()} {
+			for i := 0; i < tuple.Len(); i++ {
+				if mentionsTelemetry(tuple.At(i).Type(), seen) {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // assignEffect classifies one assignment inside the body.

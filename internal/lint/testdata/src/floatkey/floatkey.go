@@ -1,0 +1,53 @@
+// Package floatkey is a vmtlint fixture: map types keyed by floats —
+// directly, through a named type, or through a struct field — and the
+// exact-keyed negatives.
+package floatkey
+
+// The direct form.
+func histogram(vs []float64) map[float64]int { // want "map keyed by float64"
+	counts := map[float64]int{} // want "map keyed by float64"
+	for _, v := range vs {
+		counts[v]++
+	}
+	return counts
+}
+
+// A named float type does not launder the hazard.
+type tempC float64
+
+var byTemp map[tempC][]int // want "map keyed by .*tempC"
+
+// A struct key containing a float field is deliberately NOT flagged:
+// the tree uses value structs as identity tokens whose fields are
+// copied verbatim, and struct equality on exact copies is exact.
+type sweepPoint struct {
+	GV      float64
+	Servers int
+	Policy  string
+}
+
+var results map[sweepPoint]float64
+
+// float32 is the same trap.
+func bucket32() map[float32]string { // want "map keyed by float32"
+	return nil
+}
+
+// Negatives: exact key representations pass.
+
+var byTick map[int64]float64
+
+var byName map[string][]float64
+
+// Float VALUES are fine — only keys participate in hash equality.
+var gauges map[string]float64
+
+// Keying by the bit pattern is the sanctioned exact representation.
+var byBits map[uint64]float64
+
+type exactPoint struct {
+	GVMilli int64
+	Servers int
+}
+
+var exact map[exactPoint]float64

@@ -49,6 +49,28 @@ func emitGauges(m map[string]float64, reg *telemetry.Registry) {
 	}
 }
 
+// Telemetry routed through a caller-defined interface is the same
+// order-dependent write — the selector resolves to a local method, but
+// its signature takes a telemetry value.
+type spanEmitter interface {
+	Emit(telemetry.SpanEvent)
+}
+
+func emitSpans(m map[string]float64, e spanEmitter) {
+	for name, v := range m { // want "writes telemetry via e.Emit"
+		e.Emit(telemetry.SpanEvent{Name: name, Args: map[string]float64{"v": v}})
+	}
+}
+
+// A function value bound to a telemetry method hides the package from
+// the selector check entirely; the signature still gives it away.
+func emitViaFunc(m map[string]float64, tr telemetry.Tracer) {
+	emit := tr.Emit
+	for name := range m { // want "writes telemetry via emit"
+		emit(telemetry.SpanEvent{Name: name})
+	}
+}
+
 // Negatives: order-independent bodies pass.
 
 // Integer folds commute exactly.
@@ -76,6 +98,13 @@ func allPositive(m map[string]float64) bool {
 		}
 	}
 	return ok
+}
+
+// Calling a telemetry-free function value is not a telemetry write.
+func applyAll(m map[string]int, visit func(string, int)) {
+	for k, v := range m {
+		visit(k, v)
+	}
 }
 
 // Ranging a slice is never flagged, whatever the body does.

@@ -102,6 +102,19 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ce.Args[k] = v
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+		// Band profiling attaches an allocation delta; surface it as a
+		// Chrome counter event ("C") so Perfetto draws a per-phase
+		// allocation track alongside the spans.
+		if ev.AllocBytes > 0 {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "alloc_bytes",
+				Cat:  "vmt",
+				Ph:   "C",
+				Ts:   float64(ev.WallStart) / float64(time.Microsecond),
+				Pid:  ev.Run + 1,
+				Args: map[string]any{ev.Name: float64(ev.AllocBytes)},
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

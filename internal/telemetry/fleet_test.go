@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFleetPublisherLiveView(t *testing.T) {
+	var p *FleetPublisher
+	p.Publish(&FleetSnapshot{Tick: 1}) // nil publisher: no-op
+	if p.Load() != nil {
+		t.Fatal("nil publisher loaded a snapshot")
+	}
+
+	p = NewFleetPublisher(nil)
+	if p.Load() != nil {
+		t.Fatal("fresh publisher has a snapshot")
+	}
+	p.Publish(nil) // ignored
+	if p.Load() != nil {
+		t.Fatal("nil snapshot published")
+	}
+	a := &FleetSnapshot{Tick: 1, SimNS: 60e9}
+	b := &FleetSnapshot{Tick: 2, SimNS: 120e9}
+	p.Publish(a)
+	p.Publish(b)
+	if got := p.Load(); got != b {
+		t.Fatalf("Load = %+v, want latest", got)
+	}
+}
+
+// TestFleetPublisherScrapeSafety hammers Load from readers while a
+// writer publishes — the mid-run scrape the /fleet endpoint performs.
+// Run under -race (check.sh does) this proves the claim.
+func TestFleetPublisherScrapeSafety(t *testing.T) {
+	p := NewFleetPublisher(nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap := p.Load(); snap != nil && snap.Tick < 0 {
+					t.Error("torn snapshot")
+					return
+				}
+			}
+		}()
+	}
+	for i := int64(1); i <= 1000; i++ {
+		p.Publish(&FleetSnapshot{Tick: i, Servers: []ServerState{{ID: 0, AirTempC: 20}}})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFleetLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewNDJSONFleetLog(&buf)
+	p := NewFleetPublisher(log)
+	for i := int64(1); i <= 3; i++ {
+		p.Publish(&FleetSnapshot{
+			Tick:         i,
+			SimNS:        i * 60e9,
+			CoolingLoadW: 1000 + float64(i),
+			TotalPowerW:  5000,
+			Servers: []ServerState{
+				{ID: 0, AirTempC: 25.5, MeltFrac: 0.25, Group: "hot"},
+				{ID: 1, AirTempC: 22, Group: "cold", Crashed: i == 2},
+			},
+		})
+	}
+	if err := log.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := ReadFleetLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("decoded %d snapshots, want 3", len(snaps))
+	}
+	if snaps[1].Tick != 2 || !snaps[1].Servers[1].Crashed || snaps[1].Servers[0].Group != "hot" {
+		t.Fatalf("snapshot 1 mangled: %+v", snaps[1])
+	}
+	if snaps[0].Servers[0].MeltFrac != 0.25 {
+		t.Fatalf("melt frac mangled: %+v", snaps[0].Servers[0])
+	}
+}
+
+func TestReadFleetLogRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "{x}\n",
+		"trailing":      `{"tick":1,"sim_ns":1,"cooling_load_w":0,"total_power_w":0} junk` + "\n",
+		"negative tick": `{"tick":-1,"sim_ns":0,"cooling_load_w":0,"total_power_w":0}` + "\n",
+		"unsorted ids": `{"tick":1,"sim_ns":1,"cooling_load_w":0,"total_power_w":0,` +
+			`"servers":[{"id":1,"air_temp_c":1,"melt_frac":0},{"id":0,"air_temp_c":1,"melt_frac":0}]}` + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadFleetLog(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+// TestFleetEncoderMatchesEncodingJSON pins the hand-rolled fleet
+// encoder to encoding/json byte-for-byte across the shapes and float
+// regimes the simulation produces — plus the edge cases it does not,
+// so the formats can never drift apart.
+func TestFleetEncoderMatchesEncodingJSON(t *testing.T) {
+	snaps := []*FleetSnapshot{
+		{Tick: 1, SimNS: 60e9, CoolingLoadW: 29.47977274821823, TotalPowerW: 1951.65625,
+			Servers: []ServerState{
+				{ID: 0, AirTempC: 22.37546580513657, MeltFrac: 0, Group: "hot"},
+				{ID: 1, AirTempC: -3.5, MeltFrac: 0.9999999999999999, Group: "cold", Crashed: true},
+				{ID: 2, AirTempC: 0, MeltFrac: 1},
+			}},
+		// Run omitempty, empty and nil server slices.
+		{Tick: 7, SimNS: 0, Run: 3, CoolingLoadW: 0, TotalPowerW: 0, Servers: []ServerState{}},
+		{Tick: 0, SimNS: 1, CoolingLoadW: 1, TotalPowerW: 2},
+		// Float regimes where encoding/json switches to 'e' form, on
+		// both sides of the exponent-cleanup rule.
+		{Tick: 2, SimNS: 2, CoolingLoadW: 1e-7, TotalPowerW: 1e21,
+			Servers: []ServerState{{ID: 0, AirTempC: 2.5e-9, MeltFrac: 3e22},
+				{ID: 9, AirTempC: -1e-300, MeltFrac: 5e-324}}},
+		// A group string that needs escaping falls back to encoding/json.
+		{Tick: 3, SimNS: 3, CoolingLoadW: 1, TotalPowerW: 1,
+			Servers: []ServerState{{ID: 0, AirTempC: 1, MeltFrac: 0, Group: `we"ird<&>\n`}}},
+	}
+	for i, snap := range snaps {
+		want, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendFleetJSON(nil, snap)
+		if err != nil {
+			t.Fatalf("snap %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("snap %d encoding diverged:\n got  %s\n want %s", i, got, want)
+		}
+	}
+	// Non-finite floats are rejected, as encoding/json rejects them.
+	if _, err := appendFleetJSON(nil, &FleetSnapshot{CoolingLoadW: math.NaN()}); err == nil {
+		t.Error("NaN not rejected")
+	}
+	if _, err := appendFleetJSON(nil, &FleetSnapshot{Servers: []ServerState{{AirTempC: math.Inf(1)}}}); err == nil {
+		t.Error("+Inf not rejected")
+	}
+}

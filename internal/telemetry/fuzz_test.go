@@ -58,6 +58,101 @@ func FuzzReadJSONL(f *testing.F) {
 	})
 }
 
+// FuzzReadWindows drives the streaming NDJSON window decoder with
+// arbitrary input (mirror of FuzzReadJSONL for the windowed
+// time-series stream). The decoder must never panic; anything it
+// accepts must satisfy the sealed-window invariants and survive an
+// encode→decode round trip.
+func FuzzReadWindows(f *testing.F) {
+	// Seed with real sink output plus edge shapes.
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	s := NewStream(StreamOptions{WindowTicks: 3, RingWindows: 2, Sink: sink})
+	for i := int64(0); i < 10; i++ {
+		s.Series("cooling_load_w").Observe(i, float64(100+i))
+		s.Series("melt_frac").Observe(i, float64(i)/10)
+	}
+	s.Flush()
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"series":"x","window":0,"start_tick":0,"count":1,"min":1,"max":1,"mean":1,"p99":1,"sum":1}`)
+	f.Add(`{"series":"x","run":3,"window":2,"start_tick":120,"count":0,"min":0,"max":0,"mean":0,"p99":0,"sum":0}`)
+	f.Add(`{"series":""}`)
+	f.Add(`{"series":"x","count":1,"min":5,"max":1}`)
+	f.Add(`{"series":"x"} trailing`)
+	f.Add(`{not json}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadWindows(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, rec := range recs {
+			if err := validateWindowRecord(rec); err != nil {
+				t.Fatalf("record %d violates invariants after accept: %v", i, err)
+			}
+		}
+		// Round trip: re-encode through the sink and decode again.
+		var out bytes.Buffer
+		rt := NewNDJSONSink(&out)
+		for _, rec := range recs {
+			rt.EmitWindow(rec)
+		}
+		if err := rt.Err(); err != nil {
+			t.Fatalf("re-encode of accepted records failed: %v", err)
+		}
+		again, err := ReadWindows(&out)
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range again {
+			if again[i] != recs[i] {
+				t.Fatalf("record %d changed in round trip: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzWritePrometheus drives the exposition encoder with arbitrary
+// snapshots (decoded via ReadSnapshot, so any accepted snapshot is
+// fair game). The encoder must never panic or error on an in-memory
+// writer, and its output must obey the exposition grammar: every line
+// parses, metric names are sanitized, histogram bucket series are
+// cumulative and end at the count.
+func FuzzWritePrometheus(f *testing.F) {
+	reg := NewRegistry()
+	reg.Counter("ticks").Add(7)
+	reg.Gauge("melt frac").Set(0.25)
+	h := reg.Histogram("phase_ms", 1, 10)
+	h.Observe(0.5)
+	h.Observe(25)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{}`)
+	f.Add(`{"counters":[{"name":"0weird name!","value":1}]}`)
+	f.Add(`{"gauges":[{"name":"g","value":1e308}]}`)
+	f.Add(`{"histograms":[{"name":"h","count":1,"sum":2,"buckets":[{"le":null,"count":1}]}]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		snap, err := ReadSnapshot(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WritePrometheus(&out, snap); err != nil {
+			t.Fatalf("encode of accepted snapshot failed: %v", err)
+		}
+		checkPrometheusInvariants(t, out.String())
+	})
+}
+
 // FuzzReadSnapshot drives the metrics snapshot decoder with arbitrary
 // JSON. The decoder must never panic; anything it accepts must
 // re-encode to a snapshot it accepts again (idempotent validation).

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim_events_dispatched").Add(42)
+	reg.Gauge("queue depth/hwm").Set(7.5) // name needs sanitizing
+	h := reg.Histogram("pcm_melt_frac", 0.5, 1)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sim_events_dispatched counter\nsim_events_dispatched 42\n",
+		"# TYPE queue_depth_hwm gauge\nqueue_depth_hwm 7.5\n",
+		"# TYPE pcm_melt_frac histogram\n",
+		`pcm_melt_frac_bucket{le="0.5"} 1`,
+		`pcm_melt_frac_bucket{le="1"} 2`,
+		`pcm_melt_frac_bucket{le="+Inf"} 3`,
+		"pcm_melt_frac_sum 3\n",
+		"pcm_melt_frac_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promLine matches the exposition grammar this encoder may emit: a
+// TYPE comment or a sample line with an optional single le label.
+var promLine = regexp.MustCompile(
+	`^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"\\\n]+"\}|_sum|_count)? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN))$`)
+
+// checkPrometheusInvariants asserts every line parses and histogram
+// bucket series are cumulative, ending at the count.
+func checkPrometheusInvariants(t *testing.T, out string) {
+	t.Helper()
+	lastBucket := map[string]uint64{}
+	counts := map[string]uint64{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !promLine.MatchString(line) {
+			t.Fatalf("line violates exposition grammar: %q", line)
+		}
+		if i := strings.Index(line, "_bucket{le="); i >= 0 {
+			name := line[:i]
+			v, err := strconv.ParseUint(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < lastBucket[name] {
+				t.Fatalf("bucket series for %s not cumulative: %q after %d", name, line, lastBucket[name])
+			}
+			lastBucket[name] = v
+		}
+		if i := strings.Index(line, "_count "); i >= 0 && !strings.HasPrefix(line, "# TYPE") {
+			name := line[:i]
+			v, err := strconv.ParseUint(line[i+len("_count "):], 10, 64)
+			if err == nil {
+				counts[name] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name, count := range counts {
+		if last, ok := lastBucket[name]; ok && last != count {
+			t.Fatalf("histogram %s: +Inf bucket %d != count %d", name, last, count)
+		}
+	}
+}
+
+func TestWritePrometheusInvariants(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(1)
+	reg.Gauge("inf").Set(math.Inf(1))
+	reg.Gauge("neg").Set(math.Inf(-1))
+	reg.Gauge("nan").Set(math.NaN())
+	reg.Gauge("0bad name!").Set(-2.5e-9)
+	h := reg.Histogram("lat", 1, 10, 100)
+	for i := 0; i < 250; i++ {
+		h.Observe(float64(i))
+	}
+	reg.Histogram("empty", 5) // declared, never observed
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheusInvariants(t, buf.String())
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":    "ok_name",
+		"with space": "with_space",
+		"0leading":   "_leading",
+		"x0":         "x0",
+		"":           "_",
+		"a:b":        "a:b",
+		"héat":       "h_at",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

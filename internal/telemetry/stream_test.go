@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// errWriter fails after n successful writes.
+type errWriter struct {
+	n   int
+	err error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestNDJSONSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	s := NewStream(StreamOptions{WindowTicks: 3, RingWindows: 2, Sink: sink})
+	series := s.Series("cooling_load_w")
+	for i := int64(0); i < 10; i++ {
+		series.Observe(i, float64(100+i))
+	}
+	s.Flush()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 ticks at 3 per window = 3 sealed + 1 flushed partial.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", lines, buf.String())
+	}
+	recs, err := ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("decoded %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Series != "cooling_load_w" || rec.Window != int64(i) {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+	// Window 1 covers ticks 3..5 → values 103..105.
+	if recs[1].Min != 103 || recs[1].Max != 105 || recs[1].Count != 3 || recs[1].Mean != 104 {
+		t.Fatalf("window 1 aggregates: %+v", recs[1])
+	}
+}
+
+func TestNDJSONSinkFlushesPerWindow(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	ts := NewTimeSeries("x", 2, 2, sink)
+	ts.Observe(0, 1)
+	ts.Observe(1, 2)
+	if buf.Len() != 0 {
+		t.Fatal("bytes written before the window sealed")
+	}
+	ts.Observe(2, 3) // seals window 0
+	if buf.Len() == 0 {
+		t.Fatal("sealed window not flushed to the writer")
+	}
+}
+
+func TestNDJSONSinkLatchesWriteError(t *testing.T) {
+	boom := errors.New("disk full")
+	sink := NewNDJSONSink(&errWriter{n: 0, err: boom})
+	sink.EmitWindow(WindowRecord{Series: "x", Count: 1})
+	if err := sink.Err(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	// Later emissions are no-ops, the first error sticks.
+	sink.EmitWindow(WindowRecord{Series: "y", Count: 1})
+	if err := sink.Err(); !errors.Is(err, boom) {
+		t.Fatalf("err after second emit = %v", err)
+	}
+}
+
+func TestReadWindowsRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{nope}\n",
+		"trailing":        `{"series":"s"} extra` + "\n",
+		"missing series":  `{"window":1}` + "\n",
+		"negative run":    `{"series":"s","run":-2}` + "\n",
+		"min above max":   `{"series":"s","count":1,"min":2,"max":1,"mean":1.5,"p99":1.5}` + "\n",
+		"mean outside":    `{"series":"s","count":1,"min":1,"max":2,"mean":9,"p99":1.5}` + "\n",
+		"p99 outside":     `{"series":"s","count":1,"min":1,"max":2,"mean":1.5,"p99":7}` + "\n",
+		"negative window": `{"series":"s","window":-1}` + "\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadWindows(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+	// Blank lines are fine; empty input decodes to nothing.
+	recs, err := ReadWindows(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank input: %v, %d records", err, len(recs))
+	}
+}

@@ -1,0 +1,435 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the bounded-memory half of the observability layer: a
+// windowed time-series sampler whose state is O(windows), never
+// O(ticks). A long-lived streaming engine can observe one value per
+// tick for millions of ticks; the sampler aggregates each fixed-width
+// window of ticks into min/max/mean/p99, keeps only a ring of recent
+// sealed windows in memory, and hands every sealed window to an
+// optional sink (e.g. an NDJSON stream on disk) the moment it closes —
+// flush-per-window, not flush-per-run.
+
+// Default sizing: windows of one simulated hour at the paper's
+// one-minute step, a ring holding roughly a day of recent windows, and
+// a per-window reservoir big enough that p99 is exact for windows up
+// to 512 samples.
+const (
+	DefaultWindowTicks = 60
+	DefaultRingWindows = 24
+	maxWindowSamples   = 512
+)
+
+// Window is one sealed aggregation window of a time series.
+type Window struct {
+	// Index is the window's ordinal: ticks [Index*W, (Index+1)*W).
+	Index int64
+	// StartTick is the first tick covered (Index * windowTicks).
+	StartTick int64
+	// Count is the number of observations that landed in the window.
+	Count uint64
+	// Min, Max, Sum aggregate the observations exactly.
+	Min, Max, Sum float64
+	// Mean is Sum/Count.
+	Mean float64
+	// P99 is the 99th-percentile observation. Exact for windows with at
+	// most 512 samples; computed over a deterministic systematic
+	// subsample (every k-th observation) beyond that.
+	P99 float64
+}
+
+// WindowRecord is the streamed form of a sealed window: one NDJSON
+// line in the stream sink format, carrying the series name and the
+// batch run index so interleaved streams from concurrent runs stay
+// separable.
+type WindowRecord struct {
+	Series    string  `json:"series"`
+	Run       int     `json:"run,omitempty"`
+	Window    int64   `json:"window"`
+	StartTick int64   `json:"start_tick"`
+	Count     uint64  `json:"count"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	Mean      float64 `json:"mean"`
+	P99       float64 `json:"p99"`
+	Sum       float64 `json:"sum"`
+}
+
+// WindowSink receives sealed windows as they close. Implementations
+// must be safe for concurrent use when shared across runs (the NDJSON
+// sink is) and must only record — the zero-perturbation contract of
+// the package applies.
+type WindowSink interface {
+	EmitWindow(rec WindowRecord)
+}
+
+// TimeSeries aggregates a stream of (tick, value) observations into
+// fixed-width windows, holding at most ringWindows sealed windows plus
+// one open accumulator — bounded memory regardless of run length.
+// Observe must be called with non-decreasing ticks (simulation time
+// only moves forward); methods are safe for concurrent use with reads
+// (Windows/Last), though a single series is typically fed from one
+// goroutine. A nil *TimeSeries ignores observations, so call sites can
+// hold optional series without branching.
+type TimeSeries struct {
+	mu          sync.Mutex
+	name        string
+	run         int
+	windowTicks int64
+	sink        WindowSink
+
+	// ring of sealed windows: ring[(start+i)%len] for i < count.
+	ring  []Window
+	start int
+	count int
+
+	// open window accumulator.
+	open    bool
+	cur     Window
+	curN    uint64 // observations seen in the open window
+	stride  uint64 // systematic-sampling stride for the p99 reservoir
+	samples []float64
+}
+
+// NewTimeSeries returns a sampler aggregating windowTicks ticks per
+// window and retaining ringWindows sealed windows. Non-positive
+// arguments select the defaults. sink may be nil (aggregate only).
+func NewTimeSeries(name string, windowTicks, ringWindows int, sink WindowSink) *TimeSeries {
+	if windowTicks <= 0 {
+		windowTicks = DefaultWindowTicks
+	}
+	if ringWindows <= 0 {
+		ringWindows = DefaultRingWindows
+	}
+	return &TimeSeries{
+		name:        name,
+		windowTicks: int64(windowTicks),
+		sink:        sink,
+		ring:        make([]Window, ringWindows),
+	}
+}
+
+// Name returns the series name.
+func (ts *TimeSeries) Name() string {
+	if ts == nil {
+		return ""
+	}
+	return ts.name
+}
+
+// Observe records v at the given tick. Ticks must not decrease between
+// calls; a tick that lands past the open window seals it (emitting to
+// the sink) and opens the next. A nil series ignores the call.
+func (ts *TimeSeries) Observe(tick int64, v float64) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	idx := tick / ts.windowTicks
+	if tick < 0 {
+		idx = 0
+	}
+	if ts.open && idx != ts.cur.Index {
+		ts.sealLocked()
+	}
+	if !ts.open {
+		ts.cur = Window{Index: idx, StartTick: idx * ts.windowTicks, Min: v, Max: v}
+		ts.open = true
+		ts.curN = 0
+		ts.stride = 1
+		ts.samples = ts.samples[:0]
+	}
+	if v < ts.cur.Min {
+		ts.cur.Min = v
+	}
+	if v > ts.cur.Max {
+		ts.cur.Max = v
+	}
+	ts.cur.Sum += v
+	ts.cur.Count++
+	// Deterministic p99 reservoir: keep every stride-th observation;
+	// when the reservoir fills, drop every other retained sample and
+	// double the stride. No randomness — the same observation sequence
+	// always retains the same subsample.
+	if ts.curN%ts.stride == 0 {
+		if len(ts.samples) == maxWindowSamples {
+			kept := ts.samples[:0]
+			for i := 0; i < maxWindowSamples; i += 2 {
+				kept = append(kept, ts.samples[i])
+			}
+			ts.samples = kept
+			ts.stride *= 2
+		}
+		ts.samples = append(ts.samples, v)
+	}
+	ts.curN++
+}
+
+// sealLocked closes the open window: finalizes mean and p99, pushes it
+// into the ring (evicting the oldest), and emits it to the sink.
+func (ts *TimeSeries) sealLocked() {
+	if !ts.open {
+		return
+	}
+	w := ts.cur
+	if w.Count > 0 {
+		// Clamp: summation rounding can push Sum/Count a ulp past the
+		// exact extrema, and the stream validator holds min ≤ mean ≤ max.
+		w.Mean = clamp(w.Sum/float64(w.Count), w.Min, w.Max)
+		w.P99 = percentile(ts.samples, 0.99)
+	}
+	if ts.count == len(ts.ring) {
+		ts.start = (ts.start + 1) % len(ts.ring)
+		ts.count--
+	}
+	ts.ring[(ts.start+ts.count)%len(ts.ring)] = w
+	ts.count++
+	ts.open = false
+	if ts.sink != nil {
+		ts.sink.EmitWindow(WindowRecord{
+			Series:    ts.name,
+			Run:       ts.run,
+			Window:    w.Index,
+			StartTick: w.StartTick,
+			Count:     w.Count,
+			Min:       w.Min,
+			Max:       w.Max,
+			Mean:      w.Mean,
+			P99:       w.P99,
+			Sum:       w.Sum,
+		})
+	}
+}
+
+// Flush seals the open window, if any, so a finished run's trailing
+// partial window reaches the sink.
+func (ts *TimeSeries) Flush() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.sealLocked()
+}
+
+// Windows returns a copy of the retained sealed windows, oldest first.
+func (ts *TimeSeries) Windows() []Window {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Window, ts.count)
+	for i := 0; i < ts.count; i++ {
+		out[i] = ts.ring[(ts.start+i)%len(ts.ring)]
+	}
+	return out
+}
+
+// Last returns the most recently sealed window, or false if none has
+// sealed yet.
+func (ts *TimeSeries) Last() (Window, bool) {
+	if ts == nil {
+		return Window{}, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.count == 0 {
+		return Window{}, false
+	}
+	return ts.ring[(ts.start+ts.count-1)%len(ts.ring)], true
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of vs by
+// nearest-rank over a sorted copy. Empty input yields 0.
+func percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Stream is a named set of time series sharing one window
+// configuration and sink — the bounded-memory telemetry surface a run
+// feeds. Series are created on first use; a nil *Stream hands out nil
+// series, so an unstreamed run pays only nil checks. Safe for
+// concurrent use.
+type Stream struct {
+	mu          sync.Mutex
+	windowTicks int
+	ringWindows int
+	sink        WindowSink
+	run         int
+	series      map[string]*TimeSeries
+}
+
+// StreamOptions configures a Stream.
+type StreamOptions struct {
+	// WindowTicks is the number of ticks aggregated per window
+	// (non-positive → DefaultWindowTicks).
+	WindowTicks int
+	// RingWindows is how many sealed windows each series retains in
+	// memory (non-positive → DefaultRingWindows).
+	RingWindows int
+	// Sink, when non-nil, receives every sealed window as it closes.
+	Sink WindowSink
+}
+
+// NewStream returns an empty stream with the given options.
+func NewStream(opts StreamOptions) *Stream {
+	if opts.WindowTicks <= 0 {
+		opts.WindowTicks = DefaultWindowTicks
+	}
+	if opts.RingWindows <= 0 {
+		opts.RingWindows = DefaultRingWindows
+	}
+	return &Stream{
+		windowTicks: opts.WindowTicks,
+		ringWindows: opts.RingWindows,
+		sink:        opts.Sink,
+		series:      make(map[string]*TimeSeries),
+	}
+}
+
+// Series returns the named series, creating it if needed. Nil-safe.
+func (s *Stream) Series(name string) *TimeSeries {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.series[name]
+	if !ok {
+		ts = NewTimeSeries(name, s.windowTicks, s.ringWindows, s.sink)
+		ts.run = s.run
+		s.series[name] = ts
+	}
+	return ts
+}
+
+// ForRun returns a stream sharing this stream's window configuration
+// and sink but with its own series, every emitted window tagged with
+// the given batch run index — the Stream analogue of WithRun for
+// tracers, used by RunMany so concurrent runs sharing one sink stay
+// separable. A nil receiver yields nil.
+func (s *Stream) ForRun(run int) *Stream {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Stream{
+		windowTicks: s.windowTicks,
+		ringWindows: s.ringWindows,
+		sink:        s.sink,
+		run:         run,
+		series:      make(map[string]*TimeSeries),
+	}
+}
+
+// Flush seals every series' open window. Call at end of run so
+// trailing partial windows reach the sink.
+func (s *Stream) Flush() {
+	if s == nil {
+		return
+	}
+	for _, ts := range s.sorted() {
+		ts.Flush()
+	}
+}
+
+// Snapshot returns the retained windows of every series as records,
+// sorted by series name then window index — a deterministic view for
+// live endpoints and tests.
+func (s *Stream) Snapshot() []WindowRecord {
+	if s == nil {
+		return nil
+	}
+	var out []WindowRecord
+	for _, ts := range s.sorted() {
+		for _, w := range ts.Windows() {
+			out = append(out, WindowRecord{
+				Series:    ts.Name(),
+				Run:       s.run,
+				Window:    w.Index,
+				StartTick: w.StartTick,
+				Count:     w.Count,
+				Min:       w.Min,
+				Max:       w.Max,
+				Mean:      w.Mean,
+				P99:       w.P99,
+				Sum:       w.Sum,
+			})
+		}
+	}
+	return out
+}
+
+// sorted returns the series ordered by name (deterministic iteration).
+func (s *Stream) sorted() []*TimeSeries {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for name := range s.series { //vmtlint:allow maporder names are sorted immediately below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*TimeSeries, len(names))
+	for i, name := range names {
+		out[i] = s.series[name]
+	}
+	return out
+}
+
+// validateWindowRecord rejects records no sealed window could have
+// produced, so decoded streams carry the writer's invariants.
+func validateWindowRecord(rec WindowRecord) error {
+	if rec.Series == "" {
+		return fmt.Errorf("window missing series name")
+	}
+	if rec.Run < 0 {
+		return fmt.Errorf("series %q: negative run %d", rec.Series, rec.Run)
+	}
+	if rec.Window < 0 || rec.StartTick < 0 {
+		return fmt.Errorf("series %q: negative window index or start tick", rec.Series)
+	}
+	if rec.Count > 0 {
+		if rec.Min > rec.Max {
+			return fmt.Errorf("series %q window %d: min %g > max %g", rec.Series, rec.Window, rec.Min, rec.Max)
+		}
+		if rec.Mean < rec.Min || rec.Mean > rec.Max {
+			return fmt.Errorf("series %q window %d: mean %g outside [min, max]", rec.Series, rec.Window, rec.Mean)
+		}
+		if rec.P99 < rec.Min || rec.P99 > rec.Max {
+			return fmt.Errorf("series %q window %d: p99 %g outside [min, max]", rec.Series, rec.Window, rec.P99)
+		}
+	}
+	return nil
+}

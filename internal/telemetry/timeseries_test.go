@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTimeSeriesWindowAggregation(t *testing.T) {
+	ts := NewTimeSeries("load", 10, 4, nil)
+	// Window 0: ticks 0..9, values 1..10.
+	for i := 0; i < 10; i++ {
+		ts.Observe(int64(i), float64(i+1))
+	}
+	// Crossing into window 1 seals window 0.
+	ts.Observe(10, 100)
+	w, ok := ts.Last()
+	if !ok {
+		t.Fatal("no sealed window after crossing a boundary")
+	}
+	if w.Index != 0 || w.StartTick != 0 {
+		t.Fatalf("sealed window indexing wrong: %+v", w)
+	}
+	if w.Count != 10 || w.Min != 1 || w.Max != 10 || w.Sum != 55 {
+		t.Fatalf("aggregates wrong: %+v", w)
+	}
+	if w.Mean != 5.5 {
+		t.Fatalf("mean = %g, want 5.5", w.Mean)
+	}
+	// Nearest-rank p99 of 10 samples is the 10th value.
+	if w.P99 != 10 {
+		t.Fatalf("p99 = %g, want 10", w.P99)
+	}
+}
+
+func TestTimeSeriesFlushSealsPartialWindow(t *testing.T) {
+	ts := NewTimeSeries("load", 10, 4, nil)
+	ts.Observe(3, 7)
+	if _, ok := ts.Last(); ok {
+		t.Fatal("window sealed before boundary or flush")
+	}
+	ts.Flush()
+	w, ok := ts.Last()
+	if !ok || w.Count != 1 || w.Min != 7 || w.Max != 7 || w.Mean != 7 {
+		t.Fatalf("flush did not seal the partial window: %+v, ok=%v", w, ok)
+	}
+	// Double flush is a no-op.
+	ts.Flush()
+	if got := len(ts.Windows()); got != 1 {
+		t.Fatalf("second flush created a window: %d windows", got)
+	}
+}
+
+// TestTimeSeriesBoundedMemory is the bounded-memory contract: after
+// observing 10x more windows than the ring retains (and far more ticks
+// than that), retained state is O(ring + reservoir), not O(ticks).
+func TestTimeSeriesBoundedMemory(t *testing.T) {
+	const (
+		windowTicks = 10
+		ringWindows = 8
+		numWindows  = 10 * ringWindows
+	)
+	sealed := 0
+	sink := windowSinkFunc(func(WindowRecord) { sealed++ })
+	ts := NewTimeSeries("load", windowTicks, ringWindows, sink)
+	tick := int64(0)
+	for w := 0; w < numWindows; w++ {
+		for i := 0; i < windowTicks; i++ {
+			ts.Observe(tick, float64(tick%97))
+			tick++
+		}
+	}
+	ts.Flush()
+	if sealed != numWindows {
+		t.Fatalf("sink saw %d windows, want %d", sealed, numWindows)
+	}
+	ws := ts.Windows()
+	if len(ws) != ringWindows {
+		t.Fatalf("ring retains %d windows, want %d", len(ws), ringWindows)
+	}
+	// The retained windows are the most recent ones, oldest first.
+	for i, w := range ws {
+		want := int64(numWindows - ringWindows + i)
+		if w.Index != want {
+			t.Fatalf("ring[%d].Index = %d, want %d", i, w.Index, want)
+		}
+	}
+	// The p99 reservoir never outgrows its cap.
+	if cap(ts.samples) > 2*maxWindowSamples {
+		t.Fatalf("reservoir capacity %d exceeds bound", cap(ts.samples))
+	}
+}
+
+// TestTimeSeriesP99Decimation: beyond the reservoir cap the p99 comes
+// from a deterministic systematic subsample — same input, same answer,
+// and still within the window's [min, max].
+func TestTimeSeriesP99Decimation(t *testing.T) {
+	run := func() Window {
+		ts := NewTimeSeries("x", 1<<20, 2, nil)
+		for i := 0; i < 5000; i++ {
+			ts.Observe(int64(i), float64(i)) // all in window 0
+		}
+		ts.Flush()
+		w, _ := ts.Last()
+		return w
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("decimated window not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Count != 5000 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	if a.P99 < a.Min || a.P99 > a.Max {
+		t.Fatalf("p99 %g outside [%g, %g]", a.P99, a.Min, a.Max)
+	}
+	// 99th percentile of 0..4999 is near 4950; the subsample keeps it
+	// in the right neighborhood.
+	if a.P99 < 4500 {
+		t.Fatalf("p99 %g implausibly low", a.P99)
+	}
+}
+
+func TestTimeSeriesNilSafety(t *testing.T) {
+	var ts *TimeSeries
+	ts.Observe(0, 1) // must not panic
+	ts.Flush()
+	if ws := ts.Windows(); ws != nil {
+		t.Fatalf("nil series returned windows: %v", ws)
+	}
+	if _, ok := ts.Last(); ok {
+		t.Fatal("nil series has a last window")
+	}
+	if ts.Name() != "" {
+		t.Fatal("nil series has a name")
+	}
+
+	var s *Stream
+	if s.Series("x") != nil {
+		t.Fatal("nil stream handed out a series")
+	}
+	s.Flush()
+	if s.Snapshot() != nil {
+		t.Fatal("nil stream snapshot non-nil")
+	}
+	if s.ForRun(3) != nil {
+		t.Fatal("nil stream ForRun non-nil")
+	}
+}
+
+func TestStreamSeriesSharedConfigAndSnapshot(t *testing.T) {
+	s := NewStream(StreamOptions{WindowTicks: 5, RingWindows: 2})
+	a := s.Series("b_series")
+	if s.Series("b_series") != a {
+		t.Fatal("Series not idempotent")
+	}
+	s.Series("a_series").Observe(0, 1)
+	a.Observe(0, 2)
+	for i := int64(0); i < 12; i++ {
+		s.Series("a_series").Observe(i, float64(i))
+		a.Observe(i, float64(-i))
+	}
+	s.Flush()
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	// Sorted by series name, windows ascending within a series.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Series < snap[i-1].Series {
+			t.Fatalf("snapshot not sorted by series: %q after %q", snap[i].Series, snap[i-1].Series)
+		}
+		if snap[i].Series == snap[i-1].Series && snap[i].Window <= snap[i-1].Window {
+			t.Fatalf("windows not ascending within %q", snap[i].Series)
+		}
+	}
+}
+
+func TestStreamForRunTagsRecords(t *testing.T) {
+	var mu sync.Mutex
+	var recs []WindowRecord
+	sink := windowSinkFunc(func(r WindowRecord) { mu.Lock(); recs = append(recs, r); mu.Unlock() })
+	base := NewStream(StreamOptions{WindowTicks: 2, RingWindows: 2, Sink: sink})
+	forked := base.ForRun(7)
+	forked.Series("x").Observe(0, 1)
+	forked.Series("x").Observe(2, 1) // seals window 0
+	forked.Flush()
+	base.Series("x").Observe(0, 1)
+	base.Flush()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Run != 7 || recs[1].Run != 7 {
+		t.Fatalf("forked stream records not tagged with run 7: %+v", recs)
+	}
+	if recs[2].Run != 0 {
+		t.Fatalf("base stream record tagged: %+v", recs[2])
+	}
+}
+
+func TestValidateWindowRecord(t *testing.T) {
+	good := WindowRecord{Series: "s", Window: 1, StartTick: 10, Count: 3, Min: 1, Max: 5, Mean: 3, P99: 5, Sum: 9}
+	if err := validateWindowRecord(good); err != nil {
+		t.Fatalf("good record rejected: %v", err)
+	}
+	bad := []WindowRecord{
+		{},
+		{Series: "s", Run: -1},
+		{Series: "s", Window: -1},
+		{Series: "s", StartTick: -4},
+		{Series: "s", Count: 1, Min: 2, Max: 1},
+		{Series: "s", Count: 1, Min: 1, Max: 2, Mean: 3},
+		{Series: "s", Count: 1, Min: 1, Max: 2, Mean: 1.5, P99: math.Nextafter(2, 3)},
+	}
+	for i, rec := range bad {
+		if err := validateWindowRecord(rec); err == nil {
+			t.Errorf("bad record %d accepted: %+v", i, rec)
+		}
+	}
+}
+
+// windowSinkFunc adapts a function to WindowSink.
+type windowSinkFunc func(WindowRecord)
+
+func (f windowSinkFunc) EmitWindow(rec WindowRecord) { f(rec) }

@@ -22,6 +22,10 @@ type SpanEvent struct {
 	WallStart time.Duration `json:"wall_start_ns"`
 	// Wall is the wall-clock duration of the phase.
 	Wall time.Duration `json:"wall_ns"`
+	// AllocBytes is the heap allocated during the span (band profiling
+	// only; zero when profiling is off). Exported as a Chrome trace
+	// counter event alongside the span.
+	AllocBytes uint64 `json:"alloc_b,omitempty"`
 	// Args are key gauges sampled at span close.
 	Args map[string]float64 `json:"args,omitempty"`
 }

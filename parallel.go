@@ -12,6 +12,11 @@ import (
 	"vmt/internal/telemetry"
 )
 
+// progressWindowRuns is the window width (in completed runs) of the
+// sampler behind the progress line's rate/ETA: recent enough to track
+// pace changes, wide enough to smooth worker jitter.
+const progressWindowRuns = 8
+
 // RunError reports which configuration of a batch failed. It wraps the
 // underlying cause for errors.Is/As.
 type RunError struct {
@@ -44,6 +49,17 @@ type BatchOptions struct {
 	// Metrics, when non-nil, is applied to every run whose Config has
 	// no registry of its own; counters aggregate across the batch.
 	Metrics *telemetry.Registry
+	// Stream, when non-nil, is shared across the batch: every run
+	// whose Config has no Stream of its own gets a per-run fork
+	// (Stream.ForRun) writing into the shared sink, so interleaved
+	// window records stay separable by run index. Must be safe for
+	// concurrent use (telemetry.Stream and its NDJSON sink are).
+	Stream *telemetry.Stream
+	// Fleet, when non-nil, is applied to every run whose Config has no
+	// publisher of its own. The live view shows whichever run
+	// published last — last-writer-wins is the expected semantics for
+	// a batch's /fleet endpoint.
+	Fleet *telemetry.FleetPublisher
 	// Context, when non-nil, cancels the batch: queued runs are marked
 	// with ctx.Err() without starting, in-flight runs stop at their
 	// next tick, and completed indices keep their results — clean
@@ -115,18 +131,34 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 	start := time.Now() //vmtlint:allow detrand observational: progress-line timing only
 	var progressMu sync.Mutex
 	done := 0
+	// Per-run durations feed a windowed time-series (the same bounded
+	// sampler streamed runs use), so the rate and ETA reflect the
+	// recent completion pace — a sweep whose late configurations are
+	// bigger than its early ones gets an honest forecast, not the
+	// whole-batch average.
+	durations := telemetry.NewTimeSeries("batch_run_seconds", progressWindowRuns, 4, nil)
 	report := func(i int, d time.Duration) {
 		if opts.Progress == nil {
 			return
 		}
 		progressMu.Lock()
 		defer progressMu.Unlock()
+		durations.Observe(int64(done), d.Seconds())
 		done++
 		elapsed := time.Since(start) //vmtlint:allow detrand observational: progress-line timing only
+		rate := float64(done) / elapsed.Seconds()
+		// Prefer the last sealed window's mean run time; before one
+		// seals, fall back to the batch-wide mean.
+		perRun := elapsed.Seconds() / float64(done)
+		if w, ok := durations.Last(); ok && w.Count > 0 {
+			perRun = w.Mean
+		}
+		remaining := len(cfgs) - done
+		eta := time.Duration(perRun * float64(remaining) / float64(workers) * float64(time.Second))
 		fmt.Fprintf(opts.Progress,
-			"vmt: run %d/%d done (%s, %d servers) in %v — %.2f runs/s\n",
+			"vmt: run %d/%d done (%s, %d servers) in %v — %.2f runs/s, eta %v\n",
 			done, len(cfgs), cfgs[i].Policy, cfgs[i].Servers,
-			d.Round(time.Millisecond), float64(done)/elapsed.Seconds())
+			d.Round(time.Millisecond), rate, eta.Round(time.Second))
 	}
 
 	var wg sync.WaitGroup
@@ -154,10 +186,25 @@ func RunManyOpts(cfgs []Config, opts BatchOptions) ([]*Result, error) {
 				if cfg.Tracer == nil {
 					shared := opts.Tracer
 					if shared == nil {
-						cfg = cfg.withDefaultObservability()
-						shared = cfg.Tracer
+						shared = defaultObservers().Tracer
 					}
 					cfg.Tracer = telemetry.WithRun(shared, i)
+				}
+				// Same per-run tagging for window streams: fork the
+				// shared stream (batch option or process default) so
+				// this run's records carry its index. ForRun on nil
+				// yields nil, and RunCtx then resolves defaults —
+				// which is fine, because a nil default stream stays
+				// nil.
+				if cfg.Stream == nil {
+					shared := opts.Stream
+					if shared == nil {
+						shared = defaultObservers().Stream
+					}
+					cfg.Stream = shared.ForRun(i)
+				}
+				if cfg.Fleet == nil {
+					cfg.Fleet = opts.Fleet
 				}
 				runStart := time.Now() //vmtlint:allow detrand observational: progress-line timing only
 				results[i], errs[i] = runOne(cfg)

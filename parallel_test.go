@@ -116,6 +116,46 @@ func TestRunManyOptsProgressAndThroughput(t *testing.T) {
 	if !strings.Contains(last, "3/3") || !strings.Contains(last, "runs/s") {
 		t.Fatalf("last progress line malformed: %q", last)
 	}
+	// Every line forecasts the remainder; the final line's remainder
+	// is zero.
+	for _, line := range lines {
+		if !strings.Contains(line, "eta ") {
+			t.Fatalf("progress line missing eta: %q", line)
+		}
+	}
+	if !strings.Contains(last, "eta 0s") {
+		t.Fatalf("final progress line should have eta 0s: %q", last)
+	}
+}
+
+// TestRunManyOptsSharedStreamTagsRuns checks a batch-shared window
+// stream forks per run: records from concurrent runs interleave in one
+// sink but stay separable by run index.
+func TestRunManyOptsSharedStreamTagsRuns(t *testing.T) {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = BaselineScenario(3)
+		cfgs[i].Trace = smallTrace()
+	}
+	var buf bytes.Buffer
+	sink := telemetry.NewNDJSONSink(&buf) // sink serializes concurrent emits itself
+	shared := telemetry.NewStream(telemetry.StreamOptions{WindowTicks: 4, Sink: sink})
+	if _, err := RunManyOpts(cfgs, BatchOptions{Workers: 3, Stream: shared}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRun := map[int]int{}
+	for _, rec := range recs {
+		perRun[rec.Run]++
+	}
+	for i := range cfgs {
+		if perRun[i] == 0 {
+			t.Fatalf("no window records tagged run %d: %v", i, perRun)
+		}
+	}
 }
 
 // TestRunManyOptsSharedTracerTagsRuns checks a batch-shared recorder

@@ -6,18 +6,18 @@
 # Usage: scripts/bench.sh [count] [out.json]
 #
 #   count     repetitions per benchmark (go test -count; default 5)
-#   out.json  output path (default BENCH_PR5.json in the repo root)
+#   out.json  output path (default BENCH_PR6.json in the repo root)
 #
 # Medians over several -count repetitions are the comparison currency:
 # single runs on shared machines swing tens of percent. Compare the
-# committed BENCH_PR5.json against a fresh run on the same host, not
+# committed BENCH_PR6.json against a fresh run on the same host, not
 # across hosts.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 COUNT=${1:-5}
-OUT=${2:-BENCH_PR5.json}
+OUT=${2:-BENCH_PR6.json}
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
@@ -27,7 +27,7 @@ run_bench() {
     go test -run '^$' -bench "$2" -benchtime "$3" -count "$COUNT" "$1" >>"$TMP"
 }
 
-run_bench .                   '^(BenchmarkRun|BenchmarkRunTraced)$'                                  20x
+run_bench .                   '^(BenchmarkRun|BenchmarkRunTraced|BenchmarkRunStreamed|BenchmarkRunFullObservability)$'                                  20x
 run_bench .                   '^BenchmarkAblationStudy(Cached|Uncached)$'                            5x
 run_bench .                   '^BenchmarkAdaptiveGVStudy(Cached|Uncached)$'                          3x
 run_bench ./internal/pcm/     'BenchmarkPackApply|BenchmarkEstimatorUpdate|BenchmarkCurveProjection' 2000000x

@@ -41,6 +41,30 @@ go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
     -run 'Test' -count=1
 go test -race ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
-go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded' -count=1
+
+echo "== vmtdiff self-check (determinism, end to end)"
+# Two identical runs must diff clean; a one-value mutation must be
+# pinpointed at its exact tick with exit status 1.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/vmtsim" ./cmd/vmtsim
+go build -o "$tmp/vmtdiff" ./cmd/vmtdiff
+"$tmp/vmtsim" -servers 10 -baseline=false -fleet-log "$tmp/a.ndjson" >/dev/null
+"$tmp/vmtsim" -servers 10 -baseline=false -fleet-log "$tmp/b.ndjson" >/dev/null
+"$tmp/vmtdiff" "$tmp/a.ndjson" "$tmp/b.ndjson" >/dev/null
+awk 'NR==100 { sub(/"cooling_load_w":[0-9.eE+-]+/, "\"cooling_load_w\":1.5") } { print }' \
+    "$tmp/a.ndjson" > "$tmp/c.ndjson"
+status=0
+"$tmp/vmtdiff" "$tmp/a.ndjson" "$tmp/c.ndjson" > "$tmp/diff.out" || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "vmtdiff on a mutated stream exited $status, want 1" >&2
+    exit 1
+fi
+if ! grep -q 'tick 100.*cooling_load_w' "$tmp/diff.out"; then
+    echo "vmtdiff did not pinpoint the mutated tick:" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+fi
 
 echo "ok"

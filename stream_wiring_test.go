@@ -1,0 +1,138 @@
+package vmt
+
+// Wiring tests for the streaming observability layer: a solo Run feeds
+// the windowed time-series, publishes fleet snapshots, and bills band
+// profiles — all strictly observationally (the bit-identity property
+// test in telemetry_invariant_test.go proves the "never perturbs"
+// half).
+
+import (
+	"bytes"
+	"testing"
+
+	"vmt/internal/telemetry"
+)
+
+func TestRunFeedsStreamAndFleet(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewNDJSONSink(&buf)
+	cfg := Scenario(8, PolicyVMTTA, 22)
+	cfg.Trace = smallTrace()
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Stream = telemetry.NewStream(telemetry.StreamOptions{WindowTicks: 16, Sink: sink})
+	cfg.Fleet = telemetry.NewFleetPublisher(nil)
+	cfg.ProfileBands = true
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streamed series: every sealed window reached the sink, and the
+	// run-end flush sealed the trailing partial.
+	recs, err := telemetry.ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeries := map[string]uint64{}
+	for _, rec := range recs {
+		bySeries[rec.Series] += rec.Count
+	}
+	nTicks := uint64(res.CoolingLoadW.Len())
+	for _, name := range []string{
+		"cooling_load_w", "total_power_w", "mean_air_temp_c",
+		"mean_melt_frac", "max_cpu_temp_c", "hot_group_size",
+	} {
+		if bySeries[name] != nTicks {
+			t.Errorf("series %s streamed %d observations, want %d", name, bySeries[name], nTicks)
+		}
+	}
+
+	// The streamed aggregates describe the same numbers the Result
+	// series hold: the peak cooling load is some window's max.
+	peak := res.PeakCoolingW()
+	foundPeak := false
+	for _, rec := range recs {
+		if rec.Series == "cooling_load_w" && rec.Max == peak {
+			foundPeak = true
+		}
+	}
+	if !foundPeak {
+		t.Errorf("no cooling_load_w window carries the run's peak %g", peak)
+	}
+
+	// Fleet live view: the final snapshot covers every server, tagged
+	// with hot/cold groups, at the last sample tick.
+	snap := cfg.Fleet.Load()
+	if snap == nil {
+		t.Fatal("no fleet snapshot published")
+	}
+	if snap.Tick != int64(nTicks) {
+		t.Errorf("final fleet tick = %d, want %d", snap.Tick, nTicks)
+	}
+	if len(snap.Servers) != cfg.Servers {
+		t.Fatalf("fleet snapshot has %d servers, want %d", len(snap.Servers), cfg.Servers)
+	}
+	groups := map[string]int{}
+	for i, sv := range snap.Servers {
+		if sv.ID != i {
+			t.Fatalf("server %d has ID %d", i, sv.ID)
+		}
+		groups[sv.Group]++
+	}
+	if groups["hot"] == 0 || groups["cold"] == 0 {
+		t.Errorf("grouping policy published groups %v, want hot and cold", groups)
+	}
+
+	// Band profiling billed the bands and its own overhead.
+	for _, name := range []string{
+		"band_wall_ns_physics", "band_spans_schedule", "band_spans_sample", "profiler_self_ns",
+	} {
+		if cfg.Metrics.Counter(name).Value() == 0 {
+			t.Errorf("counter %s stayed zero", name)
+		}
+	}
+	if got := cfg.Metrics.Counter("band_spans_physics").Value(); got != nTicks {
+		t.Errorf("band_spans_physics = %d, want %d", got, nTicks)
+	}
+}
+
+// TestDefaultObserversApplyToRuns exercises the extended process-wide
+// fallback (stream/fleet/profiling), including that per-Config fields
+// take precedence.
+func TestDefaultObserversApplyToRuns(t *testing.T) {
+	stream := telemetry.NewStream(telemetry.StreamOptions{WindowTicks: 8})
+	fleet := telemetry.NewFleetPublisher(nil)
+	reg := telemetry.NewRegistry()
+	SetDefaultObservers(Observers{Metrics: reg, Stream: stream, Fleet: fleet, ProfileBands: true})
+	defer SetDefaultObservers(Observers{})
+
+	cfg := BaselineScenario(4)
+	cfg.Trace = smallTrace()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Snapshot()) == 0 {
+		t.Fatal("default stream saw no windows")
+	}
+	if fleet.Load() == nil {
+		t.Fatal("default fleet publisher saw no snapshots")
+	}
+	if reg.Counter("band_spans_physics").Value() == 0 {
+		t.Fatal("default ProfileBands did not profile")
+	}
+
+	// A per-Config stream takes precedence over the default.
+	own := telemetry.NewStream(telemetry.StreamOptions{WindowTicks: 8})
+	cfg.Stream = own
+	before := len(stream.Snapshot())
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(own.Snapshot()) == 0 {
+		t.Fatal("per-config stream ignored")
+	}
+	if len(stream.Snapshot()) != before {
+		t.Fatal("default stream should not see a run with its own stream")
+	}
+}

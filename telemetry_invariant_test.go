@@ -8,6 +8,7 @@ package vmt
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"vmt/internal/telemetry"
@@ -73,6 +74,105 @@ func TestInstrumentedRunIsBitIdentical(t *testing.T) {
 				t.Fatal("melt-fraction histogram recorded nothing")
 			}
 		})
+	}
+}
+
+// TestInstrumentedStreamedRunIsBitIdentical extends the contract to
+// the full streaming layer: a run carrying every instrument at once —
+// metrics registry, span tracer, windowed stream with an NDJSON sink,
+// fleet publisher with an NDJSON log, and band profiling — must export
+// byte-identically to a bare run, at every physics worker count the
+// determinism invariant covers.
+func TestInstrumentedStreamedRunIsBitIdentical(t *testing.T) {
+	base := Scenario(10, PolicyVMTTA, 22)
+	base.Trace = smallTrace()
+
+	plainCfg := base
+	plainCfg.PhysicsWorkers = 1
+	plain, err := Run(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exportBytes(t, plain)
+
+	for _, workers := range []int{1, 2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			var winBuf, fleetBuf bytes.Buffer
+			cfg := base
+			cfg.PhysicsWorkers = workers
+			cfg.Metrics = telemetry.NewRegistry()
+			cfg.Tracer = telemetry.NewRecorder()
+			cfg.Stream = telemetry.NewStream(telemetry.StreamOptions{
+				WindowTicks: 32,
+				Sink:        telemetry.NewNDJSONSink(&winBuf),
+			})
+			cfg.Fleet = telemetry.NewFleetPublisher(telemetry.NewNDJSONFleetLog(&fleetBuf))
+			cfg.ProfileBands = true
+
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := exportBytes(t, res); !bytes.Equal(got, want) {
+				t.Fatalf("fully instrumented streamed run (workers=%d) diverged from bare run", workers)
+			}
+			// Every instrument actually observed the run.
+			if winBuf.Len() == 0 || fleetBuf.Len() == 0 {
+				t.Fatalf("streams are empty: windows=%dB fleet=%dB", winBuf.Len(), fleetBuf.Len())
+			}
+			if cfg.Metrics.Counter("band_spans_physics").Value() == 0 {
+				t.Fatal("band profiler recorded no physics spans")
+			}
+		})
+	}
+}
+
+// TestStreamMemoryIsBoundedOverLongRun pins the bounded-memory claim:
+// a full-day run seals an order of magnitude more windows than the
+// ring retains, every one reaches the sink, and the in-memory snapshot
+// never exceeds the ring size.
+func TestStreamMemoryIsBoundedOverLongRun(t *testing.T) {
+	const windowTicks, ringWindows = 4, 8
+	var buf bytes.Buffer
+	cfg := BaselineScenario(5)
+	cfg.Trace = smallTrace() // one paper day: 1440 one-minute ticks
+	sink := telemetry.NewNDJSONSink(&buf)
+	cfg.Stream = telemetry.NewStream(telemetry.StreamOptions{
+		WindowTicks: windowTicks,
+		RingWindows: ringWindows,
+		Sink:        sink,
+	})
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSeries := map[string]int{}
+	for _, rec := range recs {
+		perSeries[rec.Series]++
+	}
+	sealed := perSeries["cooling_load_w"]
+	if sealed < 10*ringWindows {
+		t.Fatalf("run sealed only %d windows; need ≥ %d to demonstrate bounded memory", sealed, 10*ringWindows)
+	}
+	inMem := map[string]int{}
+	for _, rec := range cfg.Stream.Snapshot() {
+		inMem[rec.Series]++
+	}
+	for series, n := range inMem {
+		if n > ringWindows {
+			t.Errorf("series %s retains %d windows in memory, ring bound is %d", series, n, ringWindows)
+		}
+	}
+	if inMem["cooling_load_w"] == 0 {
+		t.Fatal("snapshot is empty — bound proven vacuously")
 	}
 }
 

@@ -148,6 +148,30 @@ type Config struct {
 	// or Chrome trace_event JSON. Nil disables tracing at (near) zero
 	// cost.
 	Tracer telemetry.Tracer
+	// Stream, when non-nil, receives windowed time-series telemetry:
+	// each sample tick feeds cooling_load_w, total_power_w,
+	// mean_air_temp_c, mean_melt_frac, max_cpu_temp_c (and
+	// hot_group_size for grouping policies) into bounded-memory
+	// samplers that aggregate fixed windows of ticks into
+	// min/max/mean/p99 and hand each sealed window to the stream's sink
+	// the moment it closes — telemetry that is on disk while the run is
+	// still going, with O(windows) memory regardless of run length.
+	// Strictly observational, like Metrics and Tracer.
+	Stream *telemetry.Stream
+	// Fleet, when non-nil, receives one immutable FleetSnapshot per
+	// sample tick: per-server air temperature, melt fraction, placement
+	// group, and crash state. The publisher's atomic live view backs
+	// the cliobs /fleet endpoint (scrape-safe mid-run); its optional
+	// sink writes the NDJSON fleet log vmtdiff replays to find the
+	// first divergent tick between two runs. Strictly observational.
+	Fleet *telemetry.FleetPublisher
+	// ProfileBands, when true and Metrics is set, profiles each engine
+	// band (physics, fault, schedule, sample): wall time and heap
+	// allocation deltas land on band_wall_ns_*/band_alloc_bytes_*/
+	// band_spans_* counters, with the profiler's own cost separated
+	// into profiler_self_ns, and allocation deltas attach to trace
+	// spans (Chrome trace counter tracks). Strictly observational.
+	ProfileBands bool
 }
 
 // Scenario returns a ready-to-run paper configuration for the given
@@ -411,33 +435,65 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Tracing: span wraps a phase handler so each tick emits one span
-	// event with wall timings and the gauges args samples at close.
-	// With a nil tracer the handler is returned untouched, so the
-	// uninstrumented hot path is unchanged.
+	// Tracing and band profiling: span wraps a phase handler so each
+	// tick emits one span event with wall timings and the gauges args
+	// samples at close, and (with ProfileBands) brackets the handler
+	// with the band profiler so wall/alloc deltas land on the band
+	// counters and the allocation delta rides on the span event. With a
+	// nil tracer and no profiler the handler is returned untouched, so
+	// the uninstrumented hot path is unchanged.
 	tracer := cfg.Tracer
+	var profiler *telemetry.BandProfiler
+	if cfg.ProfileBands {
+		profiler = telemetry.NewBandProfiler(cfg.Metrics) // nil registry → nil profiler
+	}
 	var wall0 time.Time
 	if tracer != nil {
 		wall0 = time.Now() //vmtlint:allow detrand observational: span wall-clock origin, never read by the simulation
 	}
 	span := func(name string, fn sim.Handler, args func() map[string]float64) sim.Handler {
-		if tracer == nil {
+		if tracer == nil && profiler == nil {
 			return fn
 		}
+		band := profiler.Band(name) // nil profiler → nil band, whose methods no-op
 		return func(now time.Duration) {
-			t0 := time.Now() //vmtlint:allow detrand observational: span timing feeds the tracer only
+			var t0 time.Time
+			if tracer != nil {
+				t0 = time.Now() //vmtlint:allow detrand observational: span timing feeds the tracer only
+			}
+			band.Begin()
 			fn(now)
+			_, alloc := band.End()
+			if tracer == nil {
+				return
+			}
 			ev := telemetry.SpanEvent{
-				Name:      name,
-				At:        now,
-				WallStart: t0.Sub(wall0),
-				Wall:      time.Since(t0), //vmtlint:allow detrand observational: span timing feeds the tracer only
+				Name:       name,
+				At:         now,
+				WallStart:  t0.Sub(wall0),
+				Wall:       time.Since(t0), //vmtlint:allow detrand observational: span timing feeds the tracer only
+				AllocBytes: alloc,
 			}
 			if args != nil {
 				ev.Args = args()
 			}
 			tracer.Emit(ev)
 		}
+	}
+
+	// Streaming series handles, resolved once so the sample band does
+	// no map lookups. A nil Stream hands out nil series whose Observe
+	// is a no-op — the unstreamed run pays one nil check per series.
+	var (
+		stCooling = cfg.Stream.Series("cooling_load_w")
+		stPower   = cfg.Stream.Series("total_power_w")
+		stAirTemp = cfg.Stream.Series("mean_air_temp_c")
+		stMelt    = cfg.Stream.Series("mean_melt_frac")
+		stMaxCPU  = cfg.Stream.Series("max_cpu_temp_c")
+		stHotSize *telemetry.TimeSeries
+	)
+	if hasGroups {
+		stHotSize = cfg.Stream.Series("hot_group_size")
 	}
 
 	// Thermal/PCM instruments, sampled in the metrics band: the fleet
@@ -520,7 +576,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Metrics: sample the settled state each period (after the first
 	// physics step so the series align with elapsed intervals).
-	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, span("sample", func(time.Duration) {
+	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, span("sample", func(now time.Duration) {
 		if runErr != nil {
 			return
 		}
@@ -565,6 +621,52 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			res.AirTempGrid = append(res.AirTempGrid, air)
 			res.MeltFracGrid = append(res.MeltFracGrid, melt)
 		}
+		// Streamed telemetry: one observation per series per tick, fed
+		// into the bounded-memory window samplers. Ticks are 1-based
+		// (the first sample lands after one elapsed step).
+		if cfg.Stream != nil || cfg.Fleet != nil {
+			tick := int64(now / cfg.Step)
+			stCooling.Observe(tick, lastSample.CoolingLoadW)
+			stPower.Observe(tick, lastSample.TotalPowerW)
+			stAirTemp.Observe(tick, lastSample.MeanAirTempC)
+			stMelt.Observe(tick, lastSample.MeanMeltFrac)
+			stMaxCPU.Observe(tick, lastSample.MaxCPUTempC)
+			if hasGroups {
+				stHotSize.Observe(tick, float64(grouper.HotGroupSize()))
+			}
+			if cfg.Fleet != nil {
+				// A fresh immutable snapshot per tick: readers of the
+				// live view may hold the previous one indefinitely.
+				snap := &telemetry.FleetSnapshot{
+					Tick:         tick,
+					SimNS:        int64(now),
+					CoolingLoadW: lastSample.CoolingLoadW,
+					TotalPowerW:  lastSample.TotalPowerW,
+					Servers:      make([]telemetry.ServerState, len(lastSample.AirTempC)),
+				}
+				hot := 0
+				if hasGroups {
+					hot = grouper.HotGroupSize()
+				}
+				for i := range snap.Servers {
+					st := telemetry.ServerState{
+						ID:       i,
+						AirTempC: lastSample.AirTempC[i],
+						MeltFrac: lastSample.MeltFrac[i],
+						Crashed:  cl.Server(i).Failed(),
+					}
+					if hasGroups {
+						if i < hot {
+							st.Group = "hot"
+						} else {
+							st.Group = "cold"
+						}
+					}
+					snap.Servers[i] = st
+				}
+				cfg.Fleet.Publish(snap)
+			}
+		}
 	}, func() map[string]float64 {
 		args := map[string]float64{"max_cpu_temp_c": lastSample.MaxCPUTempC}
 		if n := res.WaxEnergyJ.Len(); n > 0 {
@@ -591,6 +693,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// Seal trailing partial windows so the stream's sink holds the
+	// complete run. Nil-safe.
+	cfg.Stream.Flush()
 	if stream != nil {
 		res.TaskArrivals = stream.Arrived()
 		res.TaskDrops = stream.Dropped()
