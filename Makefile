@@ -10,7 +10,7 @@ test:
 	go test ./...
 
 lint:
-	go run ./cmd/vmtlint ./...
+	go run ./cmd/vmtlint -strict -cache .vmtlint-cache ./...
 
 build:
 	go build ./...

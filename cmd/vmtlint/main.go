@@ -6,12 +6,20 @@
 //
 // Usage:
 //
-//	vmtlint [-list] [-strict] [pattern ...]
+//	vmtlint [-list] [-strict] [-cache dir] [-cachestats] [pattern ...]
 //
 // Patterns are package directories relative to the working directory:
 // "./..." (or no arguments) lints every package in the module,
 // "./internal/sim" one package, "./internal/..." a subtree. Import
 // paths ("vmt/internal/sim") work too.
+//
+// With -cache, per-package diagnostics are cached on disk keyed by a
+// content hash over the package's sources, its module-local import
+// closure, the analyzer set, and the toolchain — the same discipline
+// as the simulator's run cache. A warm run answers every package from
+// disk without parsing or type-checking anything, retiring the
+// several-second module reload that dominated each invocation.
+// -cachestats reports hits/misses/type-checks to stderr.
 //
 // Diagnostics print as "file:line: [analyzer] message". Exit status is
 // 0 for a clean tree, 1 if any unsuppressed diagnostic was reported,
@@ -28,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,8 +50,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	strict := flag.Bool("strict", false, "also report //vmtlint:allow directives that suppress nothing")
+	cacheDir := flag.String("cache", "", "cache per-package diagnostics in `dir`, keyed by content hash")
+	cacheStats := flag.Bool("cachestats", false, "report cache hits/misses and type-check count to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [-strict] [pattern ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [-strict] [-cache dir] [-cachestats] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,13 +70,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vmtlint:", err)
 		os.Exit(2)
 	}
-	os.Exit(run(cwd, flag.Args(), *strict, os.Stdout, os.Stderr))
+	os.Exit(run(cwd, flag.Args(), *strict, *cacheDir, *cacheStats, os.Stdout, os.Stderr))
 }
 
 // run is the testable driver body: lint the packages of the module
 // containing dir that match the patterns, print diagnostics to out,
 // and return the process exit code.
-func run(dir string, patterns []string, strict bool, out, errOut io.Writer) int {
+func run(dir string, patterns []string, strict bool, cacheDir string, cacheStats bool, out, errOut io.Writer) int {
 	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(errOut, "vmtlint:", err)
@@ -81,34 +92,37 @@ func run(dir string, patterns []string, strict bool, out, errOut io.Writer) int 
 		fmt.Fprintln(errOut, "vmtlint:", err)
 		return 2
 	}
-	var pkgs []*lint.Package
-	for _, p := range paths {
-		pkg, err := loader.Load(p)
-		if err != nil {
+	var cache *lint.Cache
+	if cacheDir != "" {
+		if cache, err = lint.OpenCache(cacheDir); err != nil {
 			fmt.Fprintln(errOut, "vmtlint:", err)
 			return 2
 		}
+	}
+	diags, err := lint.RunCached(loader, cache, paths, lint.Analyzers, strict)
+	if err != nil {
 		// Lint runs on code that already builds; type errors mean the
 		// loader's import environment is broken, and linting
 		// half-typed code would silently miss findings.
-		if len(pkg.TypeErrors) > 0 {
-			fmt.Fprintf(errOut, "vmtlint: type-checking %s failed:\n", p)
-			for i, te := range pkg.TypeErrors {
+		var terr *lint.TypeCheckError
+		if errors.As(err, &terr) {
+			fmt.Fprintf(errOut, "vmtlint: type-checking %s failed:\n", terr.Path)
+			for i, te := range terr.Errs {
 				if i == 5 {
-					fmt.Fprintf(errOut, "\t... and %d more\n", len(pkg.TypeErrors)-i)
+					fmt.Fprintf(errOut, "\t... and %d more\n", len(terr.Errs)-i)
 					break
 				}
 				fmt.Fprintf(errOut, "\t%v\n", te)
 			}
 			return 2
 		}
-		pkgs = append(pkgs, pkg)
+		fmt.Fprintln(errOut, "vmtlint:", err)
+		return 2
 	}
-	runner := lint.Run
-	if strict {
-		runner = lint.RunStrict
+	if cache != nil && cacheStats {
+		fmt.Fprintf(errOut, "vmtlint: cache %d hits, %d misses, %d packages type-checked\n",
+			cache.Hits(), cache.Misses(), loader.Checked())
 	}
-	diags := runner(pkgs, lint.Analyzers)
 	for _, d := range diags {
 		file := d.Position.Filename
 		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {

@@ -8,6 +8,46 @@ import (
 	"vmt/internal/workload"
 )
 
+// BenchmarkFleetStep measures one cluster tick over the
+// struct-of-arrays fleet store at fleet scales from 1k to 1M servers
+// and physics fan-outs 1/4/8. Results are bit-identical across worker
+// counts; the fan-out only trades goroutines for wall time, and only
+// pays on hosts with free cores (GOMAXPROCS>1). A third of the fleet
+// carries load so the settled memo path, the integrating path, and the
+// estimator all contribute, as in a real diurnal run.
+func BenchmarkFleetStep(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				cfg := PaperCluster(n)
+				cfg.PhysicsWorkers = workers
+				c, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < c.Len(); i += 3 {
+					for j := 0; j < 16; j++ {
+						if err := c.Server(i).Place(workload.VideoEncoding); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				// One warm step so scratch and estimator state are hot.
+				if _, err := c.Step(time.Minute); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Step(time.Minute); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkClusterStepWorkers measures one cluster tick at different
 // physics fan-outs (results are bit-identical across all of them; the
 // knob trades goroutines for wall time on multi-core hosts).

@@ -66,22 +66,34 @@ func (c Config) Validate() error {
 	return c.Material.Validate()
 }
 
-// Cluster is a collection of servers stepped in lockstep.
+// Cluster is a collection of servers stepped in lockstep. The hot
+// thermal state lives in a struct-of-arrays thermal.Fleet — parallel
+// slices indexed by server ID — so one Step is a cache-friendly sweep
+// over contiguous ranges instead of a pointer chase through per-server
+// node structs; Server keeps the job bookkeeping and delegates its
+// thermal accessors into the store.
 type Cluster struct {
 	cfg     Config
 	servers []*Server
-	reg     *registry
+	fleet   *thermal.Fleet
+	// ests is the dense estimator column: servers[i].est points at
+	// ests[i], so the per-tick estimator pass walks contiguous memory
+	// in step with the fleet's air-temperature slice instead of chasing
+	// per-server heap pointers.
+	ests []pcm.Estimator
+	reg  *registry
 	// workers is the resolved physics worker count (≥1; 1 = serial).
 	workers int
 	// Per-server scratch reused across Steps so the steady-state
-	// physics path allocates nothing. stepRes/stepPow/stepErr carry
-	// each worker's per-server outputs to the sequential reduction;
-	// airBuf/meltBuf back the Sample snapshots.
-	stepRes []thermal.StepResult
-	stepPow []float64
-	stepErr []error
-	airBuf  []float64
-	meltBuf []float64
+	// physics path allocates nothing. stepPow carries each server's
+	// draw into the fleet kernel; airBuf/meltBuf back the Sample
+	// snapshots; chunkIdx/chunkErr carry each worker chunk's first
+	// failure to the sequential reduction.
+	stepPow  []float64
+	airBuf   []float64
+	meltBuf  []float64
+	chunkIdx []int
+	chunkErr []error
 	// failedCount tracks crashed servers (fault injection) so the
 	// schedulers' alive-prefix sizing can skip the scan when zero.
 	failedCount int
@@ -128,31 +140,44 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	reg := newRegistry()
+	fleet, err := thermal.NewFleet(cfg.NumServers)
+	if err != nil {
+		return nil, err
+	}
 	servers := make([]*Server, cfg.NumServers)
+	ests := make([]pcm.Estimator, cfg.NumServers)
 	for i := range servers {
 		inlet := cfg.InletTempC
 		if cfg.InletStdevC > 0 {
 			inlet = rng.Normal(cfg.InletTempC, cfg.InletStdevC)
 		}
-		s, err := newServer(i, cfg.Server, cfg.Material, inlet, reg)
+		s, err := newServer(i, cfg.Server, cfg.Material, inlet, reg, fleet, &ests[i])
 		if err != nil {
 			return nil, err
 		}
 		servers[i] = s
 	}
 	n := cfg.NumServers
+	workers := resolveWorkers(cfg)
 	return &Cluster{
-		cfg:     cfg,
-		servers: servers,
-		reg:     reg,
-		workers: resolveWorkers(cfg),
-		stepRes: make([]thermal.StepResult, n),
-		stepPow: make([]float64, n),
-		stepErr: make([]error, n),
-		airBuf:  make([]float64, n),
-		meltBuf: make([]float64, n),
+		cfg:      cfg,
+		servers:  servers,
+		fleet:    fleet,
+		ests:     ests,
+		reg:      reg,
+		workers:  workers,
+		stepPow:  make([]float64, n),
+		airBuf:   make([]float64, n),
+		meltBuf:  make([]float64, n),
+		chunkIdx: make([]int, 0, workers),
+		chunkErr: make([]error, 0, workers),
 	}, nil
 }
+
+// Fleet exposes the cluster's struct-of-arrays thermal store (tests,
+// telemetry snapshots, benchmarks). The fleet is owned by the cluster;
+// callers must not step it directly between cluster Steps.
+func (c *Cluster) Fleet() *thermal.Fleet { return c.fleet }
 
 // PhysicsWorkers returns the resolved per-Step physics worker count.
 func (c *Cluster) PhysicsWorkers() int { return c.workers }
@@ -260,6 +285,10 @@ type Sample struct {
 	// WaxEnergyJ is the cumulative energy parked in wax since the run
 	// started (the sum of every server's wax ledger, in ID order).
 	WaxEnergyJ float64
+	// SettledServers counts servers whose physics step replayed a
+	// memoized steady-state transition — the fleet's settled fraction,
+	// an observability signal for how much of the cluster is coasting.
+	SettledServers int
 	// AirTempC and MeltFrac are per-server snapshots (ground truth),
 	// indexed by server ID — the raw material of the paper's heat
 	// maps. The backing arrays are owned by the cluster and reused by
@@ -278,14 +307,15 @@ type Sample struct {
 // order, which keeps every float sum in a fixed order and the result
 // bit-identical for any worker count.
 func (c *Cluster) Step(dt time.Duration) (Sample, error) {
-	if c.workers > 1 {
-		c.stepParallel(dt)
-	} else {
-		for i, s := range c.servers {
-			c.stepRes[i], c.stepErr[i] = s.step(dt)
-			c.stepPow[i] = s.PowerW()
-		}
+	// Power is a pure function of job occupancy, fixed for the whole
+	// step; gather it once so the fleet kernel reads a flat slice.
+	for i, s := range c.servers {
+		c.stepPow[i] = s.PowerW()
 	}
+	if err := c.stepPhysics(dt); err != nil {
+		return Sample{}, err
+	}
+	v := c.fleet.View()
 	sample := Sample{AirTempC: c.airBuf, MeltFrac: c.meltBuf}
 	// Hoisted spec scalars; keep in sync with ServerSpec.CPUTempC and
 	// ServerSpec.WouldThrottle (inlining them here avoids copying the
@@ -295,31 +325,32 @@ func (c *Cluster) Step(dt time.Duration) (Sample, error) {
 	rCPU := c.cfg.Server.CPUThermalResistanceKPerW
 	limitC := c.cfg.Server.CPULimitC
 	var sumAir, sumMelt float64
-	for i, s := range c.servers {
-		if err := c.stepErr[i]; err != nil {
-			return Sample{}, fmt.Errorf("cluster: server %d: %w", i, err)
-		}
-		res := &c.stepRes[i]
+	for i := range c.servers {
+		air := v.AirTempC[i]
+		melt := v.MeltFrac[i]
 		pw := c.stepPow[i]
 		sample.TotalPowerW += pw
-		sample.CoolingLoadW += res.CoolingLoadW
-		sample.WaxFlowW += res.WaxFlowW
-		c.airBuf[i] = res.AirTempC
-		c.meltBuf[i] = res.MeltFrac
-		sumAir += res.AirTempC
-		sumMelt += res.MeltFrac
+		sample.CoolingLoadW += v.CoolingLoadW[i]
+		sample.WaxFlowW += v.WaxFlowW[i]
+		c.airBuf[i] = air
+		c.meltBuf[i] = melt
+		sumAir += air
+		sumMelt += melt
 		dynamic := pw - idleW
 		if dynamic < 0 {
 			dynamic = 0
 		}
-		cpu := res.AirTempC + dynamic/cpus*rCPU
+		cpu := air + dynamic/cpus*rCPU
 		if cpu > sample.MaxCPUTempC {
 			sample.MaxCPUTempC = cpu
 		}
 		if limitC > 0 && cpu > limitC {
 			sample.ThrottlingServers++
 		}
-		sample.WaxEnergyJ += s.node.Ledger().WaxStoredJ
+		sample.WaxEnergyJ += v.WaxStoredJ[i]
+		if v.Settled[i] {
+			sample.SettledServers++
+		}
 	}
 	// Same ID-order addition sequence as stats.Mean over the snapshot
 	// arrays, folded into the reduction pass above.
@@ -330,27 +361,89 @@ func (c *Cluster) Step(dt time.Duration) (Sample, error) {
 	return sample, nil
 }
 
-// stepParallel advances the servers on c.workers goroutines, each
-// owning a contiguous ID range and writing only its own servers'
-// result slots.
-func (c *Cluster) stepParallel(dt time.Duration) {
+// physBlock is the cache-blocking granularity of the parallel physics
+// path: each worker walks its chunk in blocks of this many servers,
+// running the physics step and then the estimator pass over the same
+// block while its air-temperature column is still cache-resident. The
+// serial path deliberately stays the plain two-pass loop over the
+// plain kernel — it is the readable reference implementation, in the
+// same spirit as the scalar Node oracle; the blocked path uses the
+// substep-major thermal.Fleet.StepRangeVec kernel (bit-identical by
+// construction and by the worker-count property tests).
+const physBlock = 2048
+
+// stepPhysics advances the fleet store by dt and feeds each server's
+// estimator the post-step air temperature — serially, or fanned out
+// over disjoint contiguous ID ranges. Per-server outcomes land in the
+// fleet's slices either way, and the per-server arithmetic is
+// range-independent, so results are bit-identical at any worker count.
+// On error, the lowest-ID failure is reported; servers before it have
+// committed their step, servers after it in the same chunk have not
+// (earlier blocks of a failed chunk have committed both passes).
+func (c *Cluster) stepPhysics(dt time.Duration) error {
 	n := len(c.servers)
+	if c.workers <= 1 {
+		if idx, err := c.fleet.StepRange(0, n, c.stepPow, dt); err != nil {
+			return fmt.Errorf("cluster: server %d: %w", idx, err)
+		}
+		c.updateEstimators(0, n, dt)
+		return nil
+	}
 	chunk := (n + c.workers - 1) / c.workers
-	var wg sync.WaitGroup
+	c.chunkIdx = c.chunkIdx[:0]
+	c.chunkErr = c.chunkErr[:0]
 	for lo := 0; lo < n; lo += chunk {
+		c.chunkIdx = append(c.chunkIdx, n)
+		c.chunkErr = append(c.chunkErr, nil)
+	}
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s := c.servers[i]
-				c.stepRes[i], c.stepErr[i] = s.step(dt)
-				c.stepPow[i] = s.PowerW()
+			for b := lo; b < hi; b += physBlock {
+				e := b + physBlock
+				if e > hi {
+					e = hi
+				}
+				idx, err := c.fleet.StepRangeVec(b, e, c.stepPow, dt)
+				if err != nil {
+					c.chunkIdx[w], c.chunkErr[w] = idx, err
+					return
+				}
+				c.updateEstimators(b, e, dt)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Report the lowest-ID failure, matching the ID-order error
+	// precedence of the old per-server reduction.
+	first, firstIdx := error(nil), n
+	for w, err := range c.chunkErr {
+		if err != nil && c.chunkIdx[w] < firstIdx {
+			first, firstIdx = err, c.chunkIdx[w]
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("cluster: server %d: %w", firstIdx, first)
+	}
+	return nil
+}
+
+// updateEstimators feeds servers [lo,hi) their post-step air
+// temperatures. Estimators are per-server independent, so running all
+// of a chunk's updates after its physics (rather than interleaved
+// per-server) changes no values.
+func (c *Cluster) updateEstimators(lo, hi int, dt time.Duration) {
+	v := c.fleet.View()
+	// Walk the dense estimator column directly (servers[i].est aliases
+	// ests[i]) so the pass streams contiguous estimator state alongside
+	// the air-temperature slice.
+	for i := lo; i < hi; i++ {
+		c.ests[i].Update(v.AirTempC[i], dt)
+	}
 }

@@ -281,8 +281,11 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Servers length")
 	}
 	s := c.Server(1)
-	if s.AirTempC() != 22 || s.Node() == nil {
+	if s.AirTempC() != 22 || s.WaxTempC() != 22 {
 		t.Fatal("thermal accessors")
+	}
+	if c.Fleet() == nil || c.Fleet().Len() != 3 {
+		t.Fatal("cluster should expose its fleet store")
 	}
 	s.SetInletTempC(25)
 	if s.InletTempC() != 25 {

@@ -61,9 +61,9 @@ func TestEnergyConservationRandomJobs(t *testing.T) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			node := c.Server(i).Node()
-			led := node.Ledger()
-			residual := led.InputJ - led.EjectedJ - led.WaxStoredJ - node.AirEnergyJ()
+			s := c.Server(i)
+			led := s.Ledger()
+			residual := led.InputJ - led.EjectedJ - led.WaxStoredJ - s.AirEnergyJ()
 			// Tolerance scales with turnover; each substep balances
 			// exactly, so only accumulated rounding remains.
 			tol := 1e-6 * (math.Abs(led.InputJ) + math.Abs(led.EjectedJ) + 1)
@@ -76,6 +76,106 @@ func TestEnergyConservationRandomJobs(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The melt-fraction and enthalpy-conservation invariants hold on the
+// struct-of-arrays store itself: after heavy mixed load, every View
+// slot satisfies melt ∈ [0,1] and the per-server ledger balance
+// input = ejected + wax-stored + air-node energy.
+func TestFleetStoreInvariants(t *testing.T) {
+	const n = 512
+	c, err := New(PaperCluster(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wls := workload.TableI()
+	for i := 0; i < n; i++ {
+		s := c.Server(i)
+		for j := 0; j < i%33; j++ {
+			if err := s.Place(wls[(i+j)%len(wls)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for step := 0; step < 200; step++ {
+		if _, err := c.Step(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := c.Fleet()
+	v := f.View()
+	for i := 0; i < n; i++ {
+		if v.MeltFrac[i] < 0 || v.MeltFrac[i] > 1 {
+			t.Fatalf("server %d: melt %v outside [0,1]", i, v.MeltFrac[i])
+		}
+		led := f.Ledger(i)
+		if math.Float64bits(led.WaxStoredJ) != math.Float64bits(v.WaxStoredJ[i]) {
+			t.Fatalf("server %d: view ledger disagrees with accessor", i)
+		}
+		residual := led.InputJ - led.EjectedJ - led.WaxStoredJ - f.AirEnergyJ(i)
+		tol := 1e-6 * (math.Abs(led.InputJ) + math.Abs(led.EjectedJ) + 1)
+		if math.Abs(residual) > tol {
+			t.Fatalf("server %d: conservation residual %v (input %v)", i, residual, led.InputJ)
+		}
+	}
+}
+
+// The fan-out must stay invisible at fleet scale: N=100k servers with
+// PhysicsWorkers 1/2/4/8/16 — plus 7, whose uneven chunks exercise the
+// boundary arithmetic — produce bit-identical per-server state. Load
+// varies per server so a chunk-offset bug cannot cancel out.
+func TestStepPhysicsWorkersBitIdenticalAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-server fleet comparison is a long test")
+	}
+	const n = 100_000
+	build := func() *Cluster {
+		c, err := New(PaperCluster(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			s := c.Server(i)
+			for j := 0; j < (i*7)%33; j++ {
+				if err := s.Place(workload.VideoEncoding); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return c
+	}
+	ref := build()
+	ref.SetPhysicsWorkers(1)
+	const steps = 3
+	for step := 0; step < steps; step++ {
+		if _, err := ref.Step(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refV := ref.Fleet().View()
+	for _, workers := range []int{2, 4, 7, 8, 16} {
+		c := build()
+		c.SetPhysicsWorkers(workers)
+		var sample Sample
+		var err error
+		for step := 0; step < steps; step++ {
+			if sample, err = c.Step(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sample.MeanMeltFrac < 0 || sample.MeanMeltFrac > 1 {
+			t.Fatalf("workers=%d: mean melt %v out of bounds", workers, sample.MeanMeltFrac)
+		}
+		v := c.Fleet().View()
+		for i := 0; i < n; i++ {
+			if math.Float64bits(refV.AirTempC[i]) != math.Float64bits(v.AirTempC[i]) ||
+				math.Float64bits(refV.MeltFrac[i]) != math.Float64bits(v.MeltFrac[i]) ||
+				math.Float64bits(refV.CoolingLoadW[i]) != math.Float64bits(v.CoolingLoadW[i]) ||
+				math.Float64bits(refV.WaxStoredJ[i]) != math.Float64bits(v.WaxStoredJ[i]) {
+				t.Fatalf("workers=%d: server %d diverged from workers=1", workers, i)
+			}
+		}
 	}
 }
 

@@ -7,22 +7,27 @@ package cluster
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"vmt/internal/pcm"
 	"vmt/internal/thermal"
 	"vmt/internal/workload"
 )
 
-// Server is one simulated machine: thermal state plus job bookkeeping.
-// Jobs are single-core tasks tagged with their workload; per Section
-// IV-B they are assigned separate physical cores and never share SMT
-// contexts.
+// Server is one simulated machine: job bookkeeping plus a view onto
+// its slot in the cluster's struct-of-arrays thermal store. Jobs are
+// single-core tasks tagged with their workload; per Section IV-B they
+// are assigned separate physical cores and never share SMT contexts.
+//
+// The thermal state itself lives in the cluster-owned thermal.Fleet —
+// parallel slices indexed by server ID, advanced by one cache-friendly
+// loop per Step — and the thermal accessors here delegate to that
+// store, so the public Server API is unchanged from the per-Node
+// layout it replaces.
 type Server struct {
-	id   int
-	spec thermal.ServerSpec
-	node *thermal.Node
-	est  *pcm.Estimator
+	id    int
+	spec  thermal.ServerSpec
+	fleet *thermal.Fleet
+	est   *pcm.Estimator
 
 	// cores caches spec.Cores(): the scheduler scan loops read
 	// FreeCores for every server they visit, and the spec is immutable
@@ -46,19 +51,21 @@ type Server struct {
 	failed bool
 }
 
-func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64, reg *registry) (*Server, error) {
-	node, err := thermal.NewNode(spec, mat, inletC)
-	if err != nil {
+// newServer wires server id into the cluster's dense stores: its
+// thermal slot in the fleet, and its estimator initialized in place in
+// the cluster-owned estimator column (so the per-tick estimator pass
+// streams contiguous memory).
+func newServer(id int, spec thermal.ServerSpec, mat pcm.Material, inletC float64, reg *registry, fleet *thermal.Fleet, est *pcm.Estimator) (*Server, error) {
+	if err := fleet.Init(id, spec, mat, inletC); err != nil {
 		return nil, err
 	}
-	est, err := pcm.NewEstimator(mat, spec.WaxVolumeL, inletC, spec.WaxConductanceWPerK)
-	if err != nil {
+	if err := pcm.InitEstimator(est, mat, spec.WaxVolumeL, inletC, spec.WaxConductanceWPerK); err != nil {
 		return nil, err
 	}
 	return &Server{
 		id:    id,
 		spec:  spec,
-		node:  node,
+		fleet: fleet,
 		est:   est,
 		cores: spec.Cores(),
 		reg:   reg,
@@ -201,10 +208,13 @@ func (s *Server) PowerW() float64 {
 }
 
 // AirTempC returns the current air temperature at the wax.
-func (s *Server) AirTempC() float64 { return s.node.AirTempC() }
+func (s *Server) AirTempC() float64 { return s.fleet.AirTempC(s.id) }
+
+// WaxTempC returns the current wax temperature.
+func (s *Server) WaxTempC() float64 { return s.fleet.WaxTempC(s.id) }
 
 // MeltFrac returns the ground-truth wax melt fraction.
-func (s *Server) MeltFrac() float64 { return s.node.MeltFrac() }
+func (s *Server) MeltFrac() float64 { return s.fleet.MeltFrac(s.id) }
 
 // ReportedMeltFrac returns the melt fraction from the server's
 // lookup-table estimator — the value the cluster scheduler actually
@@ -212,22 +222,20 @@ func (s *Server) MeltFrac() float64 { return s.node.MeltFrac() }
 func (s *Server) ReportedMeltFrac() float64 { return s.est.MeltFrac() }
 
 // InletTempC returns the server's inlet temperature.
-func (s *Server) InletTempC() float64 { return s.node.InletTempC() }
+func (s *Server) InletTempC() float64 { return s.fleet.InletTempC(s.id) }
 
 // SetInletTempC overrides the inlet temperature (inlet variation
 // studies).
-func (s *Server) SetInletTempC(c float64) { s.node.SetInletTempC(c) }
+func (s *Server) SetInletTempC(c float64) { s.fleet.SetInletTempC(s.id, c) }
 
-// Node exposes the underlying thermal node for tests and reporting.
-func (s *Server) Node() *thermal.Node { return s.node }
+// Settled reports whether the server's last physics step replayed a
+// memoized steady-state transition.
+func (s *Server) Settled() bool { return s.fleet.Settled(s.id) }
 
-// step advances the server's physics by dt at its current power draw
-// and feeds the estimator the same sensed air temperature.
-func (s *Server) step(dt time.Duration) (thermal.StepResult, error) {
-	res, err := s.node.Step(s.PowerW(), dt)
-	if err != nil {
-		return res, err
-	}
-	s.est.Update(res.AirTempC, dt)
-	return res, nil
-}
+// Ledger returns the server's cumulative thermal energy accounting.
+func (s *Server) Ledger() thermal.EnergyLedger { return s.fleet.Ledger(s.id) }
+
+// AirEnergyJ returns the energy held by the server's air node relative
+// to its inlet temperature — the remainder term in the conservation
+// balance.
+func (s *Server) AirEnergyJ() float64 { return s.fleet.AirEnergyJ(s.id) }

@@ -1,0 +1,320 @@
+package lint
+
+// The diagnostics cache: vmtlint's analogue of the simulator's
+// content-addressed run cache. Type-checking the whole module from
+// scratch costs a couple of seconds per invocation; the diagnostics a
+// package produces are a pure function of its source, the sources of
+// its module-local dependencies (type information flows across package
+// boundaries), the analyzer set, the strict flag, and the toolchain.
+// So the cache keys each package by a sha256 over exactly those
+// inputs — computed with parser.ImportsOnly walks, never a type
+// check — and a warm run loads nothing at all: Loader.Checked() == 0.
+//
+// Mirroring internal/experiment's cache discipline, the key must see
+// every input that can change the output. The recipe folds in:
+//
+//   - cacheVersion (bumped when the entry format or recipe changes),
+//   - runtime.Version() (the toolchain's type-checker),
+//   - the analyzer names and the strict flag,
+//   - the module's own lint sources when linting this repo, so
+//     editing an analyzer invalidates every entry automatically,
+//   - the package's file names and contents, and recursively the
+//     content hashes of its module-local imports.
+//
+// Corrupt or unreadable entries are treated as misses and rewritten —
+// a damaged cache can cost time, never correctness.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheVersion names the on-disk entry format and the key recipe. Bump
+// it when either changes shape.
+const cacheVersion = "vmtlint-cache-v1"
+
+// Cache is a directory of per-package diagnostic entries keyed by
+// content hash. The zero value is not usable; OpenCache creates the
+// directory and returns a ready cache.
+type Cache struct {
+	dir    string
+	hits   int
+	misses int
+}
+
+// OpenCache opens (creating if needed) a diagnostics cache rooted at
+// dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Hits returns how many packages were answered from disk.
+func (c *Cache) Hits() int { return c.hits }
+
+// Misses returns how many packages had to be type-checked and linted.
+func (c *Cache) Misses() int { return c.misses }
+
+// cachedDiag is one Diagnostic flattened for JSON. File is stored
+// relative to the module root when possible so a relocated checkout
+// still resolves positions.
+type cachedDiag struct {
+	File     string `json:"file"`
+	Offset   int    `json:"offset"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// cacheEntry is the on-disk record for one (package, key) pair.
+type cacheEntry struct {
+	Version     string       `json:"version"`
+	Key         string       `json:"key"`
+	Diagnostics []cachedDiag `json:"diagnostics"`
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get loads the entry for key, rebuilding Diagnostics with filenames
+// resolved against modDir. Any read, parse, or consistency failure is
+// a miss: the entry will be recomputed and rewritten.
+func (c *Cache) get(key, modDir string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != cacheVersion || e.Key != key {
+		return nil, false
+	}
+	diags := make([]Diagnostic, 0, len(e.Diagnostics))
+	for _, d := range e.Diagnostics {
+		file := d.File
+		if file != "" && !filepath.IsAbs(file) {
+			file = filepath.Join(modDir, filepath.FromSlash(file))
+		}
+		diags = append(diags, Diagnostic{
+			Position: token.Position{Filename: file, Offset: d.Offset, Line: d.Line, Column: d.Column},
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return diags, true
+}
+
+// put stores diags under key, writing via a temp file and rename so a
+// crashed run never leaves a torn entry behind.
+func (c *Cache) put(key, modDir string, diags []Diagnostic) error {
+	e := cacheEntry{Version: cacheVersion, Key: key}
+	for _, d := range diags {
+		file := d.Position.Filename
+		if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		e.Diagnostics = append(e.Diagnostics, cachedDiag{
+			File:     file,
+			Offset:   d.Position.Offset,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lint: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return fmt.Errorf("lint: cache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lint: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lint: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lint: cache: %w", err)
+	}
+	return nil
+}
+
+// A Keyer computes cache keys for module packages without loading
+// them: file contents are hashed directly and imports are discovered
+// with parser.ImportsOnly, so keying a fully-cached module performs no
+// type-checking at all. Content hashes are memoized per Keyer.
+type Keyer struct {
+	l       *Loader
+	memo    map[string]string
+	walking map[string]bool
+}
+
+// NewKeyer returns a Keyer over the loader's module.
+func NewKeyer(l *Loader) *Keyer {
+	return &Keyer{l: l, memo: map[string]string{}, walking: map[string]bool{}}
+}
+
+// Key returns the cache key for linting the package at path with the
+// given analyzers and strictness.
+func (k *Keyer) Key(path string, analyzers []*Analyzer, strict bool) (string, error) {
+	content, err := k.contentHash(path)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", cacheVersion)
+	fmt.Fprintf(h, "go %s\n", runtime.Version())
+	fmt.Fprintf(h, "analyzers %s\n", strings.Join(names, ","))
+	fmt.Fprintf(h, "strict %v\n", strict)
+	// When the module being linted is this repo, the analyzers'
+	// behavior is defined by its own lint sources: fold them in so an
+	// analyzer edit invalidates the whole cache without a version bump.
+	for _, tool := range []string{k.l.ModulePath + "/internal/lint", k.l.ModulePath + "/cmd/vmtlint"} {
+		if _, ok := k.l.PackageDir(tool); !ok {
+			continue
+		}
+		th, err := k.contentHash(tool)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "tool %s %s\n", tool, th)
+	}
+	fmt.Fprintf(h, "pkg %s %s\n", path, content)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// contentHash hashes a package's non-test sources plus, recursively,
+// the content hashes of its module-local imports — the exact closure
+// whose edits can change the package's type information and therefore
+// its diagnostics.
+func (k *Keyer) contentHash(path string) (string, error) {
+	if h, ok := k.memo[path]; ok {
+		return h, nil
+	}
+	if k.walking[path] {
+		return "", fmt.Errorf("lint: import cycle through %q", path)
+	}
+	k.walking[path] = true
+	defer delete(k.walking, path)
+
+	dir, ok := k.l.PackageDir(path)
+	if !ok {
+		return "", fmt.Errorf("lint: unknown module package %q", path)
+	}
+	files, err := goFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	depSet := map[string]bool{}
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", fmt.Errorf("lint: cache: %w", err)
+		}
+		fmt.Fprintf(h, "file %s %d\n", filepath.Base(name), len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(token.NewFileSet(), name, data, parser.ImportsOnly)
+		if err != nil {
+			return "", fmt.Errorf("lint: cache: %w", err)
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if k.l.isModuleLocal(ip) && ip != path {
+				depSet[ip] = true
+			}
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for dep := range depSet { //vmtlint:allow maporder deps are sorted immediately below
+		deps = append(deps, dep)
+	}
+	sort.Strings(deps)
+	for _, dep := range deps {
+		dh, err := k.contentHash(dep)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", dep, dh)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	k.memo[path] = sum
+	return sum, nil
+}
+
+// A TypeCheckError reports that a package failed to type-check, which
+// the driver treats as a load failure rather than linting half-typed
+// code.
+type TypeCheckError struct {
+	Path string
+	Errs []error
+}
+
+func (e *TypeCheckError) Error() string {
+	return fmt.Sprintf("lint: type-checking %s failed: %v (%d errors)", e.Path, e.Errs[0], len(e.Errs))
+}
+
+// RunCached lints the named module packages, answering from cache
+// where the key matches and type-checking only the misses. With a nil
+// cache it degrades to the plain Run/RunStrict path. Diagnostics come
+// back in the driver's canonical order.
+func RunCached(l *Loader, cache *Cache, paths []string, analyzers []*Analyzer, strict bool) ([]Diagnostic, error) {
+	keyer := NewKeyer(l)
+	var all []Diagnostic
+	for _, path := range paths {
+		var key string
+		if cache != nil {
+			var err error
+			key, err = keyer.Key(path, analyzers, strict)
+			if err != nil {
+				return nil, err
+			}
+			if diags, ok := cache.get(key, l.ModuleDir); ok {
+				cache.hits++
+				all = append(all, diags...)
+				continue
+			}
+			cache.misses++
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, &TypeCheckError{Path: path, Errs: pkg.TypeErrors}
+		}
+		diags := runPackage(pkg, analyzers, true, strict)
+		sortDiagnostics(diags)
+		if cache != nil {
+			if err := cache.put(key, l.ModuleDir, diags); err != nil {
+				return nil, err
+			}
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -68,6 +68,7 @@ type Loader struct {
 	loading map[string]bool
 	gc      types.Importer
 	source  types.Importer
+	checked int
 }
 
 // NewLoader discovers the module rooted at moduleDir (the directory
@@ -188,6 +189,17 @@ func goFiles(dir string) ([]string, error) {
 	return files, nil
 }
 
+// PackageDir returns the directory of a discovered module package.
+func (l *Loader) PackageDir(path string) (string, bool) {
+	dir, ok := l.dirs[path]
+	return dir, ok
+}
+
+// Checked returns how many packages this loader has parsed and
+// type-checked. The diagnostics cache's contract is observable here: a
+// fully warm cached run never calls check, so Checked stays zero.
+func (l *Loader) Checked() int { return l.checked }
+
 // ModulePackages returns the sorted import paths of every package the
 // loader discovered in the module.
 func (l *Loader) ModulePackages() []string {
@@ -251,6 +263,7 @@ func (l *Loader) check(path, dir string, files []string, overlay map[string]stri
 	}
 	l.loading[path] = true
 	defer delete(l.loading, path)
+	l.checked++
 
 	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
 	for _, name := range files {

@@ -44,16 +44,27 @@ type Pack struct {
 // (or fully liquid if the initial temperature exceeds the melting
 // point) at initialTempC.
 func NewPack(m Material, volumeL, initialTempC float64) (*Pack, error) {
-	if err := m.Validate(); err != nil {
+	p := new(Pack)
+	if err := InitPack(p, m, volumeL, initialTempC); err != nil {
 		return nil, err
 	}
-	if volumeL <= 0 {
-		return nil, fmt.Errorf("pcm: volume must be positive, got %v L", volumeL)
-	}
-	p := &Pack{mat: m, massKg: volumeL * m.DensityKgPerL}
-	p.cv = curveFor(m, p.massKg)
-	p.Reset(initialTempC)
 	return p, nil
+}
+
+// InitPack initializes dst in place — the allocation-free companion of
+// NewPack for callers that keep packs in dense slices (the cluster's
+// estimator column). Any previous state of dst is overwritten.
+func InitPack(dst *Pack, m Material, volumeL, initialTempC float64) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if volumeL <= 0 {
+		return fmt.Errorf("pcm: volume must be positive, got %v L", volumeL)
+	}
+	*dst = Pack{mat: m, massKg: volumeL * m.DensityKgPerL}
+	dst.cv = curveFor(m, dst.massKg)
+	dst.Reset(initialTempC)
+	return nil
 }
 
 // Material returns the pack's material.

@@ -1,0 +1,93 @@
+package pcm
+
+import "fmt"
+
+// CurveParams is the exported view of the precomputed enthalpy-curve
+// segment parameters for one (material, volume) pair — the flat scalar
+// form the struct-of-arrays fleet store (internal/thermal.Fleet)
+// copies into its per-server parameter slices. The fields mirror the
+// internal curve exactly, so a consumer that replays the curve's
+// segment arithmetic (same expressions, same order) reproduces Pack
+// projections bit for bit.
+type CurveParams struct {
+	// MeltC is the physical melting temperature.
+	MeltC float64
+	// CapSolidJPerK and CapLiquidJPerK are the sensible heat
+	// capacities (mass × specific heat) of the two phases.
+	CapSolidJPerK  float64
+	CapLiquidJPerK float64
+	// LatentJ is the total heat of fusion (mass × latent heat).
+	LatentJ float64
+	// HMeltLoJ and HMeltHiJ are the breakpoint enthalpies: melting
+	// spans [HMeltLoJ, HMeltHiJ).
+	HMeltLoJ float64
+	HMeltHiJ float64
+	// InvCapSolidJPerK and InvCapLiquidJPerK are reciprocals of the
+	// sensible capacities, for integrator loops that multiply instead
+	// of divide. Melt fraction must keep true division by LatentJ so
+	// (h−HMeltLoJ)/LatentJ can never round above 1 inside the segment.
+	InvCapSolidJPerK  float64
+	InvCapLiquidJPerK float64
+}
+
+// CurveParamsFor returns the curve parameters for volumeL liters of m.
+// The values come from the same shared curve cache the packs use, so
+// they are bit-identical to what any Pack of the same pair projects
+// through.
+func CurveParamsFor(m Material, volumeL float64) (CurveParams, error) {
+	if err := m.Validate(); err != nil {
+		return CurveParams{}, err
+	}
+	if volumeL <= 0 {
+		return CurveParams{}, fmt.Errorf("pcm: volume must be positive, got %v L", volumeL)
+	}
+	cv := curveFor(m, volumeL*m.DensityKgPerL)
+	return CurveParams{
+		MeltC:             cv.meltC,
+		CapSolidJPerK:     cv.capSolidJPerK,
+		CapLiquidJPerK:    cv.capLiquidJPerK,
+		LatentJ:           cv.latentJ,
+		HMeltLoJ:          cv.hMeltLoJ,
+		HMeltHiJ:          cv.hMeltHiJ,
+		InvCapSolidJPerK:  cv.invCapSolidJPerK,
+		InvCapLiquidJPerK: cv.invCapLiquidJPerK,
+	}, nil
+}
+
+// EnthalpyAt inverts the curve at a phase-boundary state: fully solid
+// (or, above the melting point, fully liquid) at tempC. Identical
+// arithmetic to the internal curve's inversion, so initial states built
+// from CurveParams match Pack initial states bit for bit.
+func (p CurveParams) EnthalpyAt(tempC float64) float64 {
+	if tempC > p.MeltC {
+		return p.HMeltHiJ + p.CapLiquidJPerK*(tempC-p.MeltC)
+	}
+	return p.CapSolidJPerK * tempC
+}
+
+// State maps an enthalpy to (temperature, melt fraction) — the
+// exported twin of the internal curve's projection, expression for
+// expression.
+func (p CurveParams) State(h float64) (tempC, meltFrac float64) {
+	switch {
+	case h < p.HMeltLoJ:
+		return h * p.InvCapSolidJPerK, 0
+	case h >= p.HMeltHiJ:
+		return p.MeltC + (h-p.HMeltHiJ)*p.InvCapLiquidJPerK, 1
+	default:
+		return p.MeltC, (h - p.HMeltLoJ) / p.LatentJ
+	}
+}
+
+// TempAt is the temperature-only projection of State, for integrator
+// loops that only need the melt fraction once at the end.
+func (p CurveParams) TempAt(h float64) float64 {
+	switch {
+	case h < p.HMeltLoJ:
+		return h * p.InvCapSolidJPerK
+	case h >= p.HMeltHiJ:
+		return p.MeltC + (h-p.HMeltHiJ)*p.InvCapLiquidJPerK
+	default:
+		return p.MeltC
+	}
+}

@@ -1,0 +1,274 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmt/internal/pcm"
+)
+
+func newTestFleet(t *testing.T, n int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := f.Init(i, PaperServer(), pcm.CommercialParaffin(), 22); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestNewFleetRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewFleet(n); err == nil {
+			t.Errorf("NewFleet(%d) should fail", n)
+		}
+	}
+}
+
+func TestFleetInitValidates(t *testing.T) {
+	f, err := NewFleet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Init(-1, PaperServer(), pcm.CommercialParaffin(), 22); err == nil {
+		t.Error("negative index should fail")
+	}
+	if err := f.Init(2, PaperServer(), pcm.CommercialParaffin(), 22); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	bad := PaperServer()
+	bad.SubStep = 0
+	if err := f.Init(0, bad, pcm.CommercialParaffin(), 22); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	badMat := pcm.CommercialParaffin()
+	badMat.LatentHeatJPerKg = 0
+	if err := f.Init(0, PaperServer(), badMat, 22); err == nil {
+		t.Error("invalid material should fail")
+	}
+	if f.Initialized() {
+		t.Error("fleet should not report initialized")
+	}
+	if err := f.Init(0, PaperServer(), pcm.CommercialParaffin(), 22); err != nil {
+		t.Fatal(err)
+	}
+	if f.Initialized() {
+		t.Error("fleet with one uninitialized server should not report initialized")
+	}
+	if err := f.Init(1, PaperServer(), pcm.CommercialParaffin(), 22); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Initialized() {
+		t.Error("fully configured fleet should report initialized")
+	}
+}
+
+func TestFleetInitMatchesNode(t *testing.T) {
+	// Initial state must match NewNode bit for bit — including the
+	// Pack.Reset quirk of pinning the cached wax temperature verbatim.
+	for _, inlet := range []float64{22, 25.3, 40.1} {
+		f, err := NewFleet(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Init(0, PaperServer(), pcm.CommercialParaffin(), inlet); err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(PaperServer(), pcm.CommercialParaffin(), inlet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, wt := node.Pack().IntegratorState()
+		if math.Float64bits(f.waxHJ[0]) != math.Float64bits(h) {
+			t.Errorf("inlet %v: enthalpy %v != node %v", inlet, f.waxHJ[0], h)
+		}
+		if math.Float64bits(f.WaxTempC(0)) != math.Float64bits(wt) {
+			t.Errorf("inlet %v: wax temp %v != node %v", inlet, f.WaxTempC(0), wt)
+		}
+		if f.MeltFrac(0) != node.MeltFrac() {
+			t.Errorf("inlet %v: melt %v != node %v", inlet, f.MeltFrac(0), node.MeltFrac())
+		}
+		if f.AirTempC(0) != inlet || f.InletTempC(0) != inlet {
+			t.Errorf("inlet %v: air/inlet not pinned", inlet)
+		}
+		if math.Float64bits(f.EnthalpyJ(0, 22)) != math.Float64bits(node.Pack().EnthalpyJ(22)) {
+			t.Errorf("inlet %v: EnthalpyJ mismatch", inlet)
+		}
+	}
+}
+
+func TestFleetStepRejectsBadInput(t *testing.T) {
+	f := newTestFleet(t, 4)
+	power := make([]float64, 4)
+	if _, err := f.StepRange(0, 4, power, 0); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if _, err := f.StepRange(-1, 4, power, time.Minute); err == nil {
+		t.Error("negative lo should fail")
+	}
+	if _, err := f.StepRange(0, 5, power, time.Minute); err == nil {
+		t.Error("hi out of range should fail")
+	}
+	if _, err := f.StepRange(3, 2, power, time.Minute); err == nil {
+		t.Error("inverted range should fail")
+	}
+	power[2] = -5
+	idx, err := f.StepRange(0, 4, power, time.Minute)
+	if err == nil {
+		t.Fatal("negative power should fail")
+	}
+	if idx != 2 {
+		t.Errorf("error index = %d, want 2 (the offending server)", idx)
+	}
+}
+
+func TestFleetStepRequiresInit(t *testing.T) {
+	f, err := NewFleet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Init(0, PaperServer(), pcm.CommercialParaffin(), 22); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := f.StepRange(0, 3, make([]float64, 3), time.Minute)
+	if err == nil {
+		t.Fatal("stepping an uninitialized server should fail")
+	}
+	if idx != 1 {
+		t.Errorf("error index = %d, want 1 (first uninitialized)", idx)
+	}
+}
+
+func TestFleetViewAliasesState(t *testing.T) {
+	f := newTestFleet(t, 3)
+	v := f.View()
+	if len(v.AirTempC) != 3 || len(v.MeltFrac) != 3 || len(v.CoolingLoadW) != 3 ||
+		len(v.WaxFlowW) != 3 || len(v.WaxStoredJ) != 3 || len(v.Settled) != 3 {
+		t.Fatal("view slices must span the fleet")
+	}
+	power := []float64{400, 100, 250}
+	if _, err := f.StepRange(0, 3, power, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// The view is live: the same slices the step wrote.
+	for i := 0; i < 3; i++ {
+		if v.AirTempC[i] != f.AirTempC(i) || v.CoolingLoadW[i] != f.CoolingLoadW(i) {
+			t.Fatalf("server %d: view is not live", i)
+		}
+	}
+	if v.AirTempC[0] <= 22 {
+		t.Error("loaded server should have warmed above its inlet")
+	}
+}
+
+func TestFleetSetInletInvalidatesMemo(t *testing.T) {
+	f := newTestFleet(t, 1)
+	power := []float64{150}
+	// Settle to the memoized steady state. Reaching the bit-exact fixed
+	// point takes ~1000 minute-steps: the analog transient decays in a
+	// few time constants, but the last ulps of enthalpy drain
+	// geometrically.
+	for i := 0; i < 1500; i++ {
+		if _, err := f.StepRange(0, 1, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Settled(0) {
+		t.Fatal("server should settle under 25 h of constant load")
+	}
+	f.SetInletTempC(0, 27)
+	if f.InletTempC(0) != 27 {
+		t.Fatal("inlet not updated")
+	}
+	if _, err := f.StepRange(0, 1, power, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if f.Settled(0) {
+		t.Error("memo must not replay across an inlet change")
+	}
+	if f.AirTempC(0) <= 22+150/PaperServer().AirConductanceWPerK-1 {
+		t.Error("air temperature should drift toward the warmer inlet")
+	}
+}
+
+func TestFleetSpecMaterialAccessors(t *testing.T) {
+	f, err := NewFleet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PaperServer()
+	s.WaxVolumeL = 2.5
+	if err := f.Init(0, s, pcm.Inert(), 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Init(1, PaperServer(), pcm.CommercialParaffin(), 22); err != nil {
+		t.Fatal(err)
+	}
+	if f.Spec(0).WaxVolumeL != 2.5 || f.Material(0).Name != pcm.Inert().Name {
+		t.Error("server 0 spec/material not retained")
+	}
+	if f.Material(1).Name != pcm.CommercialParaffin().Name {
+		t.Error("server 1 material not retained")
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+}
+
+// TestFleetMeltFracBounds drives a server through full melt and
+// refreeze; the melt fraction must stay in [0,1] at every step.
+func TestFleetMeltFracBounds(t *testing.T) {
+	f := newTestFleet(t, 1)
+	check := func(phase string) {
+		t.Helper()
+		m := f.MeltFrac(0)
+		if m < 0 || m > 1 {
+			t.Fatalf("%s: melt fraction %v outside [0,1]", phase, m)
+		}
+	}
+	power := []float64{500}
+	for i := 0; i < 2000; i++ { // full melt and beyond
+		if _, err := f.StepRange(0, 1, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		check("melting")
+	}
+	if f.MeltFrac(0) != 1 {
+		t.Fatalf("peak load for 33 h should fully melt the wax, got %v", f.MeltFrac(0))
+	}
+	power[0] = 100
+	for i := 0; i < 2000; i++ {
+		if _, err := f.StepRange(0, 1, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		check("refreezing")
+	}
+	if f.MeltFrac(0) != 0 {
+		t.Fatalf("idle load for 33 h should refreeze the wax, got %v", f.MeltFrac(0))
+	}
+}
+
+// TestFleetEnergyConservation checks the ledger identity
+// input = ejected + wax-stored + air-node energy at every step.
+func TestFleetEnergyConservation(t *testing.T) {
+	f := newTestFleet(t, 2)
+	power := []float64{380, 120}
+	for step := 0; step < 500; step++ {
+		if _, err := f.StepRange(0, 2, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			l := f.Ledger(i)
+			balance := l.InputJ - l.EjectedJ - l.WaxStoredJ - f.AirEnergyJ(i)
+			if scale := math.Max(l.InputJ, 1); math.Abs(balance)/scale > 1e-9 {
+				t.Fatalf("step %d server %d: energy imbalance %v J of %v J input",
+					step, i, balance, l.InputJ)
+			}
+		}
+	}
+}

