@@ -186,8 +186,8 @@ func RunZonePlacementStudy(servers, zoneCount int, gv float64) (ZonePlacementStu
 	}
 	// Per-server cooling load ≈ KAir×(Tair−Tinlet); reuse the recorded
 	// air-temperature grid.
-	kAir := res.Config.Server.AirConductanceWPerK
-	inlet := res.Config.InletTempC
+	kAir := res.Config.Server.Value().AirConductanceWPerK
+	inlet := res.Config.InletTempC.Value()
 	loads := make([][]float64, len(res.AirTempGrid))
 	for i, snap := range res.AirTempGrid {
 		row := make([]float64, len(snap))

@@ -565,6 +565,30 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionStep runs the identical configuration through the
+// resumable Session, stepped tick-by-tick — the worst case for the
+// step/observe seam, since every tick pays the Step bookkeeping
+// (horizon clamp, context check, stream seal scan). The acceptance
+// bound against BenchmarkRun is ≤5% overhead.
+func BenchmarkSessionStep(b *testing.B) {
+	cfg := Scenario(benchServers, PolicyVMTTA, 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !s.Done() {
+			if err := s.Step(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunTraced runs the identical configuration with the full
 // telemetry stack attached — recording tracer plus metrics registry —
 // to quantify instrumentation overhead against BenchmarkRun.

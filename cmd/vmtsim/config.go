@@ -3,8 +3,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"vmt"
+	"vmt/internal/workload"
 )
 
 // simOptions carries the presentation knobs that ride alongside the
@@ -14,6 +16,9 @@ type simOptions struct {
 	Series bool
 	// Baseline also runs a round-robin baseline for the reduction row.
 	Baseline bool
+	// Serve opens a Session and drives it over the -debug-addr HTTP
+	// server (/observe, /step, /place) instead of running to completion.
+	Serve bool
 }
 
 // registerConfigFlags declares every simulation flag on fs and returns
@@ -34,21 +39,38 @@ func registerConfigFlags(fs *flag.FlagSet) func() (vmt.Config, simOptions, error
 	baseline := fs.Bool("baseline", true, "also run a round-robin baseline and report the peak reduction")
 	physicsWorkers := fs.Int("physics-workers", 0,
 		"per-tick physics goroutines (0 = auto: serial for small clusters, bounded by GOMAXPROCS otherwise); results are identical for any value")
+	source := fs.String("source", "",
+		`arrival source spec as JSON (e.g. '{"kind":"poisson","level":0.5,"events":30}'); replaces the two-day trace with a seeded open-loop generator`)
+	horizonMin := fs.Float64("horizon-min", 0,
+		"stop the simulation after this many minutes (0 = the source's natural length; required with -source unless -serve)")
+	serve := fs.Bool("serve", false,
+		"open a resumable session and drive it over the -debug-addr HTTP server (/observe, /step, /place) instead of running to completion")
 	return func() (vmt.Config, simOptions, error) {
 		cfg := vmt.Config{
 			Servers:        *servers,
 			Policy:         vmt.Policy(*policy),
 			GV:             *gv,
-			WaxThreshold:   *threshold,
+			WaxThreshold:   vmt.Some(*threshold),
 			InletStdevC:    *inletStdev,
 			Seed:           *seed,
 			JobStream:      *jobStream,
 			PhysicsWorkers: *physicsWorkers,
 		}
+		if *source != "" {
+			spec, err := workload.ParseSourceSpec([]byte(*source))
+			if err != nil {
+				return vmt.Config{}, simOptions{}, fmt.Errorf("-source: %w", err)
+			}
+			cfg.Source = spec
+		}
+		if *horizonMin < 0 {
+			return vmt.Config{}, simOptions{}, fmt.Errorf("-horizon-min must be non-negative, got %v", *horizonMin)
+		}
+		cfg.Horizon = time.Duration(*horizonMin * float64(time.Minute))
 		if err := cfg.Validate(); err != nil {
 			return vmt.Config{}, simOptions{}, fmt.Errorf("invalid configuration: %w", err)
 		}
-		return cfg, simOptions{Series: *series, Baseline: *baseline}, nil
+		return cfg, simOptions{Series: *series, Baseline: *baseline, Serve: *serve}, nil
 	}
 }
 

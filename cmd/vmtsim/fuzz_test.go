@@ -26,6 +26,11 @@ func FuzzBuildConfig(f *testing.F) {
 	f.Add("-unknown-flag x")
 	f.Add("--")
 	f.Add("-h")
+	f.Add(`-source {"kind":"poisson","level":0.5,"events":30} -horizon-min 60`)
+	f.Add(`-source {"kind":"bursty","level":0.3,"burst_util":0.8,"burst_prob":0.2,"epoch_min":15} -serve`)
+	f.Add(`-source {"kind":"nope"}`)
+	f.Add(`-source notjson`)
+	f.Add("-horizon-min -1")
 
 	f.Fuzz(func(t *testing.T, argv string) {
 		args := strings.Fields(argv)

@@ -7,6 +7,7 @@
 //	vmtsim -policy round-robin -servers 100 -series
 //	vmtsim -policy vmt-wa -gv 20 -threshold 0.95 -inlet-stdev 2 -seed 3
 //	vmtsim -servers 2048 -physics-workers 8
+//	vmtsim -source '{"kind":"bursty","level":0.3,"burst_util":0.8,"burst_prob":0.2,"epoch_min":15}' -horizon-min 120
 //
 // Observability (see internal/cliobs):
 //
@@ -20,13 +21,28 @@
 // With -debug-addr, /metrics serves Prometheus text exposition and
 // /fleet the latest fleet snapshot as JSON, both safe to scrape
 // mid-run.
+//
+// Serve mode hands the simulation clock to an external controller:
+//
+//	vmtsim -serve -debug-addr localhost:8080 \
+//	    -source '{"kind":"poisson","level":0.5,"events":30}'
+//
+// The process opens a resumable session and blocks; time advances only
+// when a client POSTs /step?n=N. GET /observe returns the current fleet
+// observation as JSON and POST /place?workload=W&server=I enqueues a
+// placement directive — the step/observe seam over HTTP. The session
+// ends when a step reaches the horizon (finite configs) or on SIGINT,
+// after which the usual summary is printed from whatever prefix ran.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vmt"
 	"vmt/internal/cliobs"
@@ -56,6 +72,11 @@ func run() (err error) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	if opts.Serve && obs.DebugAddr == "" {
+		fmt.Fprintf(os.Stderr, "vmtsim: -serve requires -debug-addr\n\n")
+		fs.Usage()
+		os.Exit(2)
+	}
 
 	if err := obs.Start(); err != nil {
 		return err
@@ -67,9 +88,50 @@ func run() (err error) {
 		}
 	}()
 
-	res, err := vmt.Run(cfg)
+	var res *vmt.Result
+	if opts.Serve {
+		res, err = serveSession(cfg, obs)
+	} else {
+		res, err = vmt.Run(cfg)
+	}
 	if err != nil {
 		return err
+	}
+	return printSummary(cfg, opts, res)
+}
+
+// serveSession opens a resumable session, exposes it on the cliobs
+// debug server, and blocks until a /step completes the horizon or the
+// process is interrupted. The partial (or full) result is returned for
+// the usual summary.
+func serveSession(cfg vmt.Config, obs *cliobs.Observability) (*vmt.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s, err := vmt.OpenCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss := cliobs.ServeSession(s)
+	fmt.Fprintf(os.Stderr, "vmtsim: serving session on %s (POST /step, GET /observe, POST /place)\n", obs.Addr())
+	select {
+	case <-ss.Done():
+		fmt.Fprintln(os.Stderr, "vmtsim: session reached its horizon")
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "vmtsim: interrupted; closing session")
+	}
+	res, err := s.Close()
+	// An interrupt is the expected way to end an open-ended session:
+	// keep the partial result and summarize what ran.
+	if errors.Is(err, context.Canceled) && res != nil {
+		err = nil
+	}
+	return res, err
+}
+
+func printSummary(cfg vmt.Config, opts simOptions, res *vmt.Result) error {
+	if res.CoolingLoadW.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "vmtsim: no ticks completed; nothing to summarize")
+		return nil
 	}
 	sum, err := res.CoolingSummary()
 	if err != nil {
@@ -77,7 +139,8 @@ func run() (err error) {
 	}
 
 	tb := report.Table{
-		Title:   fmt.Sprintf("%s on %d servers over the two-day trace", cfg.Policy, cfg.Servers),
+		Title: fmt.Sprintf("%s on %d servers over %.1f simulated hours", cfg.Policy, cfg.Servers,
+			res.CoolingLoadW.TimeAt(res.CoolingLoadW.Len()).Hours()),
 		Headers: []string{"Metric", "Value"},
 	}
 	tb.AddRow("Peak cooling load", fmt.Sprintf("%.1f kW at %.1f h", sum.PeakW/1000, sum.PeakAt.Hours()))
@@ -97,7 +160,7 @@ func run() (err error) {
 		tb.AddRow("Task arrivals / drops",
 			fmt.Sprintf("%d / %d", res.TaskArrivals, res.TaskDrops))
 	}
-	if opts.Baseline && cfg.Policy != vmt.PolicyRoundRobin {
+	if opts.Baseline && !opts.Serve && cfg.Policy != vmt.PolicyRoundRobin {
 		red, err := vmt.PeakReductionPct(cfg)
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)

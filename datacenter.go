@@ -38,9 +38,9 @@ type FacilityResult struct {
 }
 
 // RunFacility simulates every member cluster (in parallel), sums the
-// cooling load, and evaluates it against the given plant. A zero-value
+// cooling load, and evaluates it against the given plant. An unset
 // plant auto-sizes to the facility peak plus PlantMarginFrac.
-func RunFacility(f Facility, plant chiller.Plant) (*FacilityResult, error) {
+func RunFacility(f Facility, plantOpt Optional[chiller.Plant]) (*FacilityResult, error) {
 	if len(f.Clusters) == 0 {
 		return nil, fmt.Errorf("vmt: facility needs at least one cluster")
 	}
@@ -65,7 +65,8 @@ func RunFacility(f Facility, plant chiller.Plant) (*FacilityResult, error) {
 			pw.Values[i] += v
 		}
 	}
-	if plant == (chiller.Plant{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
+	plant := plantOpt.Value()
+	if !plantOpt.IsSet() {
 		plant, err = chiller.SizeForPeak(sum, f.PlantMarginFrac)
 		if err != nil {
 			return nil, err

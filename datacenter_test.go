@@ -16,7 +16,7 @@ func TestRunFacilityAggregates(t *testing.T) {
 		Clusters:        []Config{mk(PolicyRoundRobin, 0), mk(PolicyVMTTA, 22)},
 		PlantMarginFrac: 0.05,
 	}
-	res, err := RunFacility(fac, chiller.Plant{})
+	res, err := RunFacility(fac, Optional[chiller.Plant]{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,17 +44,17 @@ func TestRunFacilityAggregates(t *testing.T) {
 }
 
 func TestRunFacilityErrors(t *testing.T) {
-	if _, err := RunFacility(Facility{}, chiller.Plant{}); err == nil {
+	if _, err := RunFacility(Facility{}, Optional[chiller.Plant]{}); err == nil {
 		t.Fatal("empty facility should fail")
 	}
 	short := BaselineScenario(2)
 	short.Trace = smallTrace()
 	long := BaselineScenario(2) // full two-day default
-	if _, err := RunFacility(Facility{Clusters: []Config{short, long}}, chiller.Plant{}); err == nil {
+	if _, err := RunFacility(Facility{Clusters: []Config{short, long}}, Optional[chiller.Plant]{}); err == nil {
 		t.Fatal("mismatched trace lengths should fail")
 	}
 	bad := BaselineScenario(0)
-	if _, err := RunFacility(Facility{Clusters: []Config{bad}}, chiller.Plant{}); err == nil {
+	if _, err := RunFacility(Facility{Clusters: []Config{bad}}, Optional[chiller.Plant]{}); err == nil {
 		t.Fatal("invalid member should fail")
 	}
 }
@@ -63,7 +63,7 @@ func TestRunFacilityExplicitPlant(t *testing.T) {
 	c := BaselineScenario(4)
 	c.Trace = smallTrace()
 	tiny := chiller.PaperPlant(10) // absurdly small: every sample violates
-	res, err := RunFacility(Facility{Clusters: []Config{c}}, tiny)
+	res, err := RunFacility(Facility{Clusters: []Config{c}}, Some(tiny))
 	if err != nil {
 		t.Fatal(err)
 	}

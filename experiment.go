@@ -52,6 +52,8 @@ type hashableConfig struct {
 	Trace               trace.Spec
 	CustomTraceStep     time.Duration
 	CustomTraceSamples  []float64
+	Source              *workload.SourceSpec
+	Horizon             time.Duration
 	Mix                 []workload.MixEntry
 	Step                time.Duration
 	RecordGrids         bool
@@ -87,18 +89,20 @@ func configKey(cfg Config) (string, error) {
 		Servers:             r.Servers,
 		Policy:              r.Policy,
 		GV:                  r.GV,
-		WaxThreshold:        r.WaxThreshold,
+		WaxThreshold:        r.WaxThreshold.Value(),
 		OracleWaxState:      r.OracleWaxState,
 		MigrationBudgetFrac: r.MigrationBudgetFrac,
 		GVSchedule:          r.GVSchedule,
 		PreserveUntil:       r.PreserveUntil,
-		SacrificeFrac:       r.SacrificeFrac,
-		Server:              r.Server,
-		Material:            r.Material,
-		InletTempC:          r.InletTempC,
+		SacrificeFrac:       r.SacrificeFrac.Value(),
+		Server:              r.Server.Value(),
+		Material:            r.Material.Value(),
+		InletTempC:          r.InletTempC.Value(),
 		InletStdevC:         r.InletStdevC,
 		Seed:                r.Seed,
 		Trace:               r.Trace,
+		Source:              r.Source,
+		Horizon:             r.Horizon,
 		Mix:                 r.Mix.Entries(),
 		Step:                r.Step,
 		RecordGrids:         r.RecordGrids,
@@ -110,6 +114,11 @@ func configKey(cfg Config) (string, error) {
 		h.Trace = trace.Spec{}
 		h.CustomTraceStep = r.CustomTrace.Step()
 		h.CustomTraceSamples = r.CustomTrace.Values()
+	}
+	if r.Source != nil {
+		// A set Source replaces the trace entirely, so the trace spec
+		// is zeroed the same way a custom trace zeroes it.
+		h.Trace = trace.Spec{}
 	}
 	return experiment.Key(h)
 }
@@ -250,7 +259,8 @@ var settingKeys = []string{
 	"servers", "policy", "gv", "wax_threshold", "oracle_wax_state",
 	"migration_budget_frac", "inlet_c", "inlet_stdev_c", "seed",
 	"material", "pmt_c", "volume_l", "power_scale",
-	"trace", "custom_trace", "record_grids", "job_stream", "faults",
+	"trace", "custom_trace", "source", "horizon_min",
+	"record_grids", "job_stream", "faults",
 }
 
 // configFromSettings builds a Config from a spec's merged settings.
@@ -299,7 +309,11 @@ func applySetting(cfg *Config, key string, v any) error {
 	case "gv":
 		return settingFloat(key, v, &cfg.GV)
 	case "wax_threshold":
-		return settingFloat(key, v, &cfg.WaxThreshold)
+		var th float64
+		if err := settingFloat(key, v, &th); err != nil {
+			return err
+		}
+		cfg.WaxThreshold = Some(th)
 	case "oracle_wax_state":
 		b, ok := v.(bool)
 		if !ok {
@@ -309,7 +323,11 @@ func applySetting(cfg *Config, key string, v any) error {
 	case "migration_budget_frac":
 		return settingFloat(key, v, &cfg.MigrationBudgetFrac)
 	case "inlet_c":
-		return settingFloat(key, v, &cfg.InletTempC)
+		var inlet float64
+		if err := settingFloat(key, v, &inlet); err != nil {
+			return err
+		}
+		cfg.InletTempC = Some(inlet)
 	case "inlet_stdev_c":
 		return settingFloat(key, v, &cfg.InletStdevC)
 	case "seed":
@@ -328,9 +346,9 @@ func applySetting(cfg *Config, key string, v any) error {
 		}
 		switch str {
 		case "paper", "":
-			cfg.Material = pcm.Material{} // default commercial paraffin
+			cfg.Material = Optional[pcm.Material]{} // default commercial paraffin
 		case "inert":
-			cfg.Material = pcm.Inert()
+			cfg.Material = Some(pcm.Inert())
 		default:
 			return fmt.Errorf("vmt: unknown material %q (want paper or inert)", str)
 		}
@@ -339,33 +357,24 @@ func applySetting(cfg *Config, key string, v any) error {
 		if err := settingFloat(key, v, &pmt); err != nil {
 			return err
 		}
-		mat := cfg.Material
-		if mat == (pcm.Material{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-			mat = pcm.CommercialParaffin()
-		}
-		cfg.Material = mat.WithMeltTemp(pmt)
+		mat := cfg.Material.Or(pcm.CommercialParaffin())
+		cfg.Material = Some(mat.WithMeltTemp(pmt))
 	case "volume_l":
 		var vol float64
 		if err := settingFloat(key, v, &vol); err != nil {
 			return err
 		}
-		spec := cfg.Server
-		if spec == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-			spec = thermal.PaperServer()
-		}
+		spec := cfg.Server.Or(thermal.PaperServer())
 		spec.WaxVolumeL = vol
-		cfg.Server = spec
+		cfg.Server = Some(spec)
 	case "power_scale":
 		var scale float64
 		if err := settingFloat(key, v, &scale); err != nil {
 			return err
 		}
-		spec := cfg.Server
-		if spec == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-			spec = thermal.PaperServer()
-		}
+		spec := cfg.Server.Or(thermal.PaperServer())
 		spec.PowerScale = scale
-		cfg.Server = spec
+		cfg.Server = Some(spec)
 	case "trace":
 		spec, err := traceSpecFromSetting(v)
 		if err != nil {
@@ -378,6 +387,21 @@ func applySetting(cfg *Config, key string, v any) error {
 			return err
 		}
 		cfg.CustomTrace = tr
+	case "source":
+		spec, err := sourceSpecFromSetting(v)
+		if err != nil {
+			return err
+		}
+		cfg.Source = spec
+	case "horizon_min":
+		var min float64
+		if err := settingFloat(key, v, &min); err != nil {
+			return err
+		}
+		if min <= 0 {
+			return fmt.Errorf("vmt: setting horizon_min: want positive minutes, got %v", min)
+		}
+		cfg.Horizon = time.Duration(min * float64(time.Minute))
 	case "record_grids":
 		b, ok := v.(bool)
 		if !ok {
@@ -437,7 +461,11 @@ func settingInt(key string, v any) (int, error) {
 	case int:
 		return n, nil
 	case float64:
-		if n != math.Trunc(n) { //vmtlint:allow floateq exact integrality test on a decoded JSON number
+		// Exact integrality test on a decoded JSON number, phrased over
+		// the bit pattern (NaN/Inf pass through Trunc unchanged, so they
+		// are caught explicitly).
+		if math.IsNaN(n) || math.IsInf(n, 0) ||
+			math.Float64bits(n) != math.Float64bits(math.Trunc(n)) {
 			return 0, fmt.Errorf("vmt: setting %s: want integer, got %v", key, n)
 		}
 		return int(n), nil
@@ -538,6 +566,42 @@ func faultPlanFromSetting(v any) (*fault.Plan, error) {
 		return nil, err
 	}
 	return &p, nil
+}
+
+// sourceSetting converts a workload.SourceSpec into its nested
+// settings value: the spec's own canonical JSON object form, widened
+// to map[string]any, so specs built in Go expand (and hash)
+// identically to specs decoded from JSON files — the faultSetting
+// pattern applied to arrival sources.
+func sourceSetting(spec workload.SourceSpec) map[string]any {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("vmt: encoding source spec: %v", err))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		panic(fmt.Sprintf("vmt: round-tripping source spec: %v", err))
+	}
+	return m
+}
+
+// sourceSpecFromSetting decodes a source setting back into a
+// validated spec. Unknown keys are rejected so spec-file typos fail
+// loudly, like every other setting.
+func sourceSpecFromSetting(v any) (*workload.SourceSpec, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("vmt: setting source: want object, got %T", v)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("vmt: setting source: %w", err)
+	}
+	spec, err := workload.ParseSourceSpec(b)
+	if err != nil {
+		return nil, fmt.Errorf("vmt: setting source: %w", err)
+	}
+	return spec, nil
 }
 
 // customTraceSetting converts an externally supplied trace into its

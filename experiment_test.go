@@ -41,7 +41,7 @@ func TestConfigKeyCanonical(t *testing.T) {
 	}
 	// Explicit defaults hash like resolved zeros.
 	explicit := base
-	explicit.InletTempC = 22
+	explicit.InletTempC = Some(22.0)
 	explicit.Step = time.Minute
 	k3, err := configKey(explicit)
 	if err != nil {
@@ -311,8 +311,8 @@ func TestConfigFromSettingsErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cfg.Servers != 8 || cfg.Policy != PolicyVMTWA || cfg.GV != 22 ||
-		cfg.Material.MeltTempC != 37 || cfg.Server.WaxVolumeL != 5 ||
-		cfg.Server.PowerScale != 1.1 || cfg.Seed != 3 || !cfg.RecordGrids {
+		cfg.Material.Value().MeltTempC != 37 || cfg.Server.Value().WaxVolumeL != 5 ||
+		cfg.Server.Value().PowerScale != 1.1 || cfg.Seed != 3 || !cfg.RecordGrids {
 		t.Fatalf("settings lost: %+v", cfg)
 	}
 	if cfg.Trace.Days != 1 {

@@ -194,7 +194,7 @@ func GVMapping(servers int, gvs []float64) ([]GVMappingRow, error) {
 			if frac > 1e-4 {
 				row.Melts = true
 				row.VMTTempC = baseline.MeanAirTempC.Values[i]
-				row.DeltaPMTC = row.VMTTempC - res.Config.Material.MeltTempC
+				row.DeltaPMTC = row.VMTTempC - res.Config.Material.Value().MeltTempC
 				break
 			}
 		}
@@ -434,8 +434,8 @@ func GVMappingFusion(servers int, deltas, gvGrid []float64) ([]FusionMappingRow,
 				frac = 1
 			}
 			cfg := BaselineScenario(servers)
-			cfg.Material = mat.WithMeltTemp(pmt).
-				WithLatentHeat(mat.LatentHeatJPerKg * frac)
+			cfg.Material = Some(mat.WithMeltTemp(pmt).
+				WithLatentHeat(mat.LatentHeatJPerKg * frac))
 			res, err := Run(cfg)
 			if err != nil {
 				return nil, err

@@ -37,10 +37,10 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Policy:       r.Config.Policy,
 		Servers:      r.Config.Servers,
 		GV:           r.Config.GV,
-		WaxThreshold: r.Config.WaxThreshold,
+		WaxThreshold: r.Config.WaxThreshold.Value(),
 		StepSeconds:  r.Config.Step.Seconds(),
 		Seed:         r.Config.Seed,
-		InletTempC:   r.Config.InletTempC,
+		InletTempC:   r.Config.InletTempC.Value(),
 		InletStdevC:  r.Config.InletStdevC,
 		TaskArrivals: r.TaskArrivals,
 		TaskDrops:    r.TaskDrops,
@@ -89,10 +89,10 @@ func ReadResultJSON(r io.Reader) (*Result, error) {
 			Policy:       in.Policy,
 			Servers:      in.Servers,
 			GV:           in.GV,
-			WaxThreshold: in.WaxThreshold,
+			WaxThreshold: Some(in.WaxThreshold),
 			Step:         step,
 			Seed:         in.Seed,
-			InletTempC:   in.InletTempC,
+			InletTempC:   Some(in.InletTempC),
 			InletStdevC:  in.InletStdevC,
 		},
 		CoolingLoadW:  mk("cooling_load_w"),

@@ -1,0 +1,155 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vmt"
+	"vmt/internal/workload"
+)
+
+// TestServeSession drives the HTTP step/observe seam end to end: an
+// open-ended source session served on an ephemeral debug port,
+// advanced and inspected purely through the endpoints.
+func TestServeSession(t *testing.T) {
+	o := &Observability{DebugAddr: "127.0.0.1:0"}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	cfg := vmt.Scenario(4, vmt.PolicyVMTTA, 22)
+	cfg.Step = 2 * time.Minute
+	cfg.Source = &workload.SourceSpec{Kind: "poisson", Level: 0.5, Events: 30}
+	s, err := vmt.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ServeSession(s)
+	base := "http://" + o.Addr()
+
+	var obs vmt.Observation
+	getJSON := func(resp *http.Response, err error) vmt.Observation {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var o vmt.Observation
+		if err := json.Unmarshal(body, &o); err != nil {
+			t.Fatalf("not an observation: %v\n%.300s", err, body)
+		}
+		return o
+	}
+
+	// Before any step: tick 0, no server state yet.
+	obs = getJSON(http.Get(base + "/observe"))
+	if obs.Tick != 0 || len(obs.Servers) != 0 {
+		t.Fatalf("pre-step observation: %+v", obs)
+	}
+
+	// GET /step is refused; the clock only moves on POST.
+	resp, err := http.Get(base + "/step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /step status %d", resp.StatusCode)
+	}
+
+	obs = getJSON(http.Post(base+"/step?n=3", "", nil))
+	if obs.Tick != 3 || len(obs.Servers) != 4 {
+		t.Fatalf("after /step?n=3: tick=%d servers=%d", obs.Tick, len(obs.Servers))
+	}
+	if obs.TotalPowerW <= 0 {
+		t.Fatalf("aggregates not populated: %+v", obs)
+	}
+
+	// A placement directive funnels the next matching arrival.
+	resp, err = http.Post(fmt.Sprintf("%s/place?workload=%s&server=2",
+		base, workload.WebSearch.Name), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST /place status %d", resp.StatusCode)
+	}
+	obs = getJSON(http.Post(base+"/step", "", nil))
+	if obs.Tick != 4 {
+		t.Fatalf("default step count: tick=%d", obs.Tick)
+	}
+	if obs.PlacementsOverridden != 1 {
+		t.Fatalf("placements overridden = %d, want 1", obs.PlacementsOverridden)
+	}
+
+	// Bad requests come back as client errors, not panics.
+	resp, err = http.Post(base+"/step?n=bogus", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/place?workload=nope&server=0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown workload") {
+		t.Fatalf("bad place: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestServeSessionDone checks the finite-horizon path: a /step that
+// reaches the horizon closes Done() so the serving process can exit.
+func TestServeSessionDone(t *testing.T) {
+	o := &Observability{DebugAddr: "127.0.0.1:0"}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	cfg := vmt.Scenario(3, vmt.PolicyRoundRobin, 0)
+	cfg.Step = 2 * time.Minute
+	cfg.Source = &workload.SourceSpec{Kind: "poisson", Level: 0.4, Events: 20}
+	cfg.Horizon = 10 * time.Minute // 5 ticks
+	s, err := vmt.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ss := ServeSession(s)
+
+	resp, err := http.Post("http://"+o.Addr()+"/step?n=999", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var obs vmt.Observation
+	if err := json.Unmarshal(body, &obs); err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Done || obs.Tick != 5 {
+		t.Fatalf("clamped step: %+v", obs)
+	}
+	select {
+	case <-ss.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Done() not closed after the horizon step")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"vmt/internal/cluster"
 	"vmt/internal/stats"
 	"vmt/internal/telemetry"
-	"vmt/internal/trace"
 	"vmt/internal/workload"
 )
 
@@ -30,7 +29,7 @@ import (
 type StreamManager struct {
 	c     *cluster.Cluster
 	mix   *workload.Mix
-	tr    *trace.Trace
+	src   workload.JobSource
 	sched Scheduler
 	rng   *stats.RNG
 
@@ -82,10 +81,10 @@ func DefaultTaskDurations() map[string]time.Duration {
 // NewStreamManager builds a query-level load manager. seed drives the
 // arrival and duration draws; identical seeds reproduce identical
 // streams.
-func NewStreamManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace,
+func NewStreamManager(c *cluster.Cluster, mix *workload.Mix, src workload.JobSource,
 	s Scheduler, durations map[string]time.Duration, seed uint64) (*StreamManager, error) {
-	if c == nil || mix == nil || tr == nil || s == nil {
-		return nil, fmt.Errorf("sched: stream manager needs cluster, mix, trace, and scheduler")
+	if c == nil || mix == nil || src == nil || s == nil {
+		return nil, fmt.Errorf("sched: stream manager needs cluster, mix, job source, and scheduler")
 	}
 	for name, d := range durations {
 		if d <= 0 {
@@ -95,7 +94,7 @@ func NewStreamManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace,
 	return &StreamManager{
 		c:           c,
 		mix:         mix,
-		tr:          tr,
+		src:         src,
 		sched:       s,
 		rng:         stats.NewRNG(seed ^ 0x9e3779b97f4a7c15),
 		durations:   durations,
@@ -151,7 +150,7 @@ func (m *StreamManager) Reconcile(now time.Duration) error {
 		if m.isTask(e.Workload) {
 			continue
 		}
-		target := int(math.Round(m.tr.At(now) * e.Share * float64(m.c.TotalCores())))
+		target := int(math.Round(m.src.At(now) * e.Share * float64(m.c.TotalCores())))
 		if err := m.resizeFluid(e.Workload, target, now); err != nil {
 			return err
 		}
@@ -239,7 +238,7 @@ func (m *StreamManager) resizeFluid(w workload.Workload, target int, now time.Du
 // arrivals draws the interval's Poisson arrivals per task workload and
 // places them.
 func (m *StreamManager) arrivals(now, dt time.Duration) error {
-	u := m.tr.At(now)
+	u := m.src.At(now)
 	for _, e := range m.mix.Entries() {
 		if !m.isTask(e.Workload) {
 			continue
@@ -271,28 +270,11 @@ func (m *StreamManager) arrivals(now, dt time.Duration) error {
 	return nil
 }
 
-// poisson draws a Poisson deviate with the given mean using inversion
-// for small means and a normal approximation for large ones.
+// poisson draws a Poisson deviate with the given mean. It delegates to
+// the shared stats implementation, which consumes the identical RNG
+// call sequence the in-package version did.
 func (m *StreamManager) poisson(lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda > 64 {
-		n := int(m.rng.Normal(lambda, math.Sqrt(lambda)) + 0.5)
-		if n < 0 {
-			return 0
-		}
-		return n
-	}
-	l := math.Exp(-lambda)
-	k, p := 0, 1.0
-	for {
-		p *= m.rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-	}
+	return m.rng.Poisson(lambda)
 }
 
 // Evacuate moves every job off a crashed server through the normal

@@ -8,19 +8,19 @@ import (
 
 	"vmt/internal/cluster"
 	"vmt/internal/telemetry"
-	"vmt/internal/trace"
 	"vmt/internal/workload"
 )
 
-// LoadManager reconciles the cluster's job population with the load
-// trace: once per scheduling period it computes each workload's target
+// LoadManager reconciles the cluster's job population with the job
+// source: once per scheduling period it computes each workload's target
 // job count (utilization × share × total cores) and asks the bound
 // scheduler where to add or evict the difference. This is the
-// cluster-level job scheduling loop of Section IV-A.
+// cluster-level job scheduling loop of Section IV-A. The source can be
+// the paper's finite trace or any open-loop generator.
 type LoadManager struct {
 	c     *cluster.Cluster
 	mix   *workload.Mix
-	tr    *trace.Trace
+	src   workload.JobSource
 	sched Scheduler
 	// entries and shares cache the mix decomposition (entry order and
 	// Share lookups are invariant per run), and counts caches the
@@ -42,10 +42,11 @@ func (m *LoadManager) SetMetrics(r *telemetry.Registry) {
 	m.evictions = r.Counter("sched_evictions")
 }
 
-// NewLoadManager binds a cluster, workload mix, trace, and scheduler.
-func NewLoadManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace, s Scheduler) (*LoadManager, error) {
-	if c == nil || mix == nil || tr == nil || s == nil {
-		return nil, fmt.Errorf("sched: load manager needs cluster, mix, trace, and scheduler")
+// NewLoadManager binds a cluster, workload mix, job source, and
+// scheduler.
+func NewLoadManager(c *cluster.Cluster, mix *workload.Mix, src workload.JobSource, s Scheduler) (*LoadManager, error) {
+	if c == nil || mix == nil || src == nil || s == nil {
+		return nil, fmt.Errorf("sched: load manager needs cluster, mix, job source, and scheduler")
 	}
 	entries := mix.Entries()
 	shares := make([]float64, len(entries))
@@ -55,7 +56,7 @@ func NewLoadManager(c *cluster.Cluster, mix *workload.Mix, tr *trace.Trace, s Sc
 	return &LoadManager{
 		c:       c,
 		mix:     mix,
-		tr:      tr,
+		src:     src,
 		sched:   s,
 		entries: entries,
 		shares:  shares,
@@ -68,7 +69,7 @@ func (m *LoadManager) Scheduler() Scheduler { return m.sched }
 
 // TargetCores returns the per-workload core target at time now.
 func (m *LoadManager) TargetCores(now time.Duration, w workload.Workload) int {
-	u := m.tr.At(now)
+	u := m.src.At(now)
 	return int(math.Round(u * m.mix.Share(w.Name) * float64(m.c.TotalCores())))
 }
 
@@ -79,7 +80,7 @@ func (m *LoadManager) TargetCores(now time.Duration, w workload.Workload) int {
 // the cached shares change no decisions.
 func (m *LoadManager) Reconcile(now time.Duration) error {
 	m.sched.Tick(now)
-	u := m.tr.At(now)
+	u := m.src.At(now)
 	totalCores := float64(m.c.TotalCores())
 	for k, e := range m.entries {
 		target := int(math.Round(u * m.shares[k] * totalCores))

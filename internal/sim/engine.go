@@ -217,45 +217,103 @@ func (e *Engine) Cancel(id EventID) {
 	}
 }
 
+// NextAt returns the timestamp of the next live event in the queue.
+// ok is false when the queue holds no dispatchable event (empty, or
+// only canceled husks awaiting collection).
+func (e *Engine) NextAt() (at time.Duration, ok bool) {
+	// Canceled events are collected lazily at dispatch; peek past them
+	// here so the reported timestamp is one that will actually fire.
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if !next.canceled {
+			return next.at, true
+		}
+		heap.Pop(&e.queue)
+		e.retire(next)
+	}
+	return 0, false
+}
+
+// StepEvent dispatches the single next event if it fires at or before
+// limit, advancing the clock to its timestamp. It reports whether an
+// event fired; when none did (queue empty, or the next event lies
+// strictly beyond limit) the clock is left untouched so the caller
+// decides where it settles. StepEvent is the re-entrant core RunUntil
+// loops over: dispatching events one at a time through any sequence of
+// limits produces exactly the dispatch order of one monolithic run,
+// because order depends only on the queue, never on the chunking.
+func (e *Engine) StepEvent(limit time.Duration) (bool, error) {
+	if limit < e.now {
+		return false, fmt.Errorf("sim: limit %v before now %v", limit, e.now)
+	}
+	for {
+		next, ok := e.peek()
+		if !ok || next.at > limit {
+			return false, nil
+		}
+		heap.Pop(&e.queue)
+		e.dispatch(next)
+		return true, nil
+	}
+}
+
+// peek returns the next live event, lazily collecting canceled ones.
+func (e *Engine) peek() (*event, bool) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if !next.canceled {
+			return next, true
+		}
+		heap.Pop(&e.queue)
+		e.retire(next)
+	}
+	return nil, false
+}
+
+// dispatch fires ev (already popped), advances the clock to its
+// timestamp, and requeues it when periodic.
+func (e *Engine) dispatch(ev *event) {
+	e.now = ev.at
+	e.fired++
+	if m := e.metrics; m != nil {
+		m.dispatched.Inc()
+		start := time.Now() //vmtlint:allow detrand observational: per-band wall-time metric only
+		ev.fn(e.now)
+		band, ok := m.bandNanos[ev.priority]
+		if !ok {
+			band = m.otherNanos
+		}
+		band.Add(uint64(time.Since(start))) //vmtlint:allow detrand observational: per-band wall-time metric only
+	} else {
+		ev.fn(e.now)
+	}
+	if ev.interval > 0 && !ev.canceled {
+		ev.at += ev.interval
+		e.nextSeq++
+		ev.seq = e.nextSeq
+		heap.Push(&e.queue, ev)
+	} else {
+		// Fired one-shot, or a periodic event canceled mid-dispatch.
+		e.retire(ev)
+	}
+}
+
 // RunUntil dispatches events in order until the queue empties or the
 // next event lies strictly beyond end. The clock finishes at end.
+// Calling RunUntil repeatedly with an increasing end is equivalent to
+// one call with the final end: the engine is re-entrant, which is what
+// lets a Session advance the same run tick by tick.
 func (e *Engine) RunUntil(end time.Duration) error {
 	if end < e.now {
 		return fmt.Errorf("sim: end %v before now %v", end, e.now)
 	}
-	for e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.at > end {
+	for {
+		next, ok := e.peek()
+		if !ok || next.at > end {
 			break
 		}
 		heap.Pop(&e.queue)
-		if next.canceled {
-			e.retire(next)
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		if m := e.metrics; m != nil {
-			m.dispatched.Inc()
-			start := time.Now() //vmtlint:allow detrand observational: per-band wall-time metric only
-			next.fn(e.now)
-			band, ok := m.bandNanos[next.priority]
-			if !ok {
-				band = m.otherNanos
-			}
-			band.Add(uint64(time.Since(start))) //vmtlint:allow detrand observational: per-band wall-time metric only
-		} else {
-			next.fn(e.now)
-		}
-		if next.interval > 0 && !next.canceled {
-			next.at += next.interval
-			e.nextSeq++
-			next.seq = e.nextSeq
-			heap.Push(&e.queue, next)
-		} else {
-			// Fired one-shot, or a periodic event canceled mid-dispatch.
-			e.retire(next)
-		}
+		e.dispatch(next)
 	}
 	e.now = end
 	return nil

@@ -284,6 +284,151 @@ func TestInstrumentedEngineCountsAndOrder(t *testing.T) {
 	}
 }
 
+// buildMixedEngine loads an engine with the cluster pipeline's shape:
+// periodic bands at mixed priorities, one-shots, a mid-run cancel, and
+// a handler that schedules more work. Each dispatch appends (tag, now)
+// so two engines' traces can be compared exactly.
+func buildMixedEngine(log *[]string) *Engine {
+	e := NewEngine()
+	rec := func(tag string) Handler {
+		return func(now time.Duration) { *log = append(*log, tag+"@"+now.String()) }
+	}
+	e.Every(0, time.Minute, PriorityScheduler, rec("sched"))
+	e.Every(time.Minute, time.Minute, PriorityModel, rec("model"))
+	e.Every(time.Minute, time.Minute, PriorityMetrics, rec("metrics"))
+	e.At(90*time.Second, PriorityFault, rec("fault"))
+	cancelID, _ := e.Every(0, 2*time.Minute, PriorityFault, rec("periodic-fault"))
+	e.At(5*time.Minute+time.Second, PriorityModel, func(now time.Duration) {
+		e.Cancel(cancelID)
+		*log = append(*log, "cancel@"+now.String())
+		e.After(30*time.Second, PriorityScheduler, rec("late"))
+	})
+	return e
+}
+
+// Property: advancing the same event load through arbitrary ragged
+// RunUntil chunks dispatches the identical sequence as one monolithic
+// RunUntil, with the same final clock and fired count.
+func TestChunkedRunUntilMatchesMonolithic(t *testing.T) {
+	const end = 10 * time.Minute
+	var mono []string
+	me := buildMixedEngine(&mono)
+	if err := me.RunUntil(end); err != nil {
+		t.Fatal(err)
+	}
+
+	f := func(raw []uint8) bool {
+		var chunked []string
+		ce := buildMixedEngine(&chunked)
+		at := time.Duration(0)
+		for _, r := range raw {
+			at += time.Duration(r) * time.Second
+			if at > end {
+				at = end
+			}
+			if err := ce.RunUntil(at); err != nil {
+				return false
+			}
+		}
+		if err := ce.RunUntil(end); err != nil {
+			return false
+		}
+		if ce.Now() != me.Now() || ce.Fired() != me.Fired() {
+			return false
+		}
+		if len(chunked) != len(mono) {
+			return false
+		}
+		for i := range mono {
+			if chunked[i] != mono[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stepping one event at a time via StepEvent replays the monolithic
+// dispatch sequence exactly, and NextAt agrees with what fires next.
+func TestStepEventMatchesMonolithic(t *testing.T) {
+	const end = 10 * time.Minute
+	var mono []string
+	me := buildMixedEngine(&mono)
+	if err := me.RunUntil(end); err != nil {
+		t.Fatal(err)
+	}
+
+	var stepped []string
+	se := buildMixedEngine(&stepped)
+	for {
+		at, ok := se.NextAt()
+		if !ok || at > end {
+			break
+		}
+		fired, err := se.StepEvent(end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fired {
+			t.Fatalf("NextAt said %v fires but StepEvent dispatched nothing", at)
+		}
+		if se.Now() != at {
+			t.Fatalf("StepEvent advanced clock to %v, NextAt promised %v", se.Now(), at)
+		}
+	}
+	// One more StepEvent at the boundary must be a no-op.
+	if fired, err := se.StepEvent(end); err != nil || fired {
+		t.Fatalf("StepEvent past drain: fired=%v err=%v", fired, err)
+	}
+	if se.Fired() != me.Fired() {
+		t.Fatalf("Fired = %d, monolithic fired %d", se.Fired(), me.Fired())
+	}
+	if len(stepped) != len(mono) {
+		t.Fatalf("dispatched %d events, monolithic dispatched %d", len(stepped), len(mono))
+	}
+	for i := range mono {
+		if stepped[i] != mono[i] {
+			t.Fatalf("dispatch %d = %q, monolithic %q", i, stepped[i], mono[i])
+		}
+	}
+}
+
+func TestStepEventRejectsPastLimit(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(time.Second, PriorityModel, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StepEvent(time.Second); err == nil {
+		t.Fatal("StepEvent with limit before now should fail")
+	}
+}
+
+func TestNextAtSkipsCanceled(t *testing.T) {
+	e := NewEngine()
+	id, err := e.At(time.Second, PriorityModel, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(2*time.Second, PriorityModel, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(id)
+	at, ok := e.NextAt()
+	if !ok || at != 2*time.Second {
+		t.Fatalf("NextAt = %v, %v; want 2s, true", at, ok)
+	}
+	e2 := NewEngine()
+	if _, ok := e2.NextAt(); ok {
+		t.Fatal("NextAt on empty engine should report no event")
+	}
+}
+
 // find reports whether the registry snapshot has the named counter.
 func find(reg *telemetry.Registry, name string) (uint64, bool) {
 	for _, c := range reg.Snapshot().Counters {

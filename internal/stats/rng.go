@@ -64,6 +64,41 @@ func (r *RNG) Normal(mean, stdev float64) float64 {
 	}
 }
 
+// Poisson draws a Poisson deviate with the given mean using inversion
+// for small means and a normal approximation for large ones.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(r.Normal(lambda, math.Sqrt(lambda)) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Mix64 applies the SplitMix64 finalizer to x: a bijective avalanche
+// mix. Callers use it to derive decorrelated substream seeds from
+// (seed, index) pairs — the basis of random-access generators whose
+// value at index i is a pure function of the seed, independent of how
+// many other indices were evaluated first.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Shuffle permutes the integers [0,n) uniformly (Fisher–Yates) and
 // returns the permutation.
 func (r *RNG) Shuffle(n int) []int {

@@ -207,6 +207,23 @@ func (ts *TimeSeries) sealLocked() {
 	}
 }
 
+// SealThrough seals the open window if the given tick is at or past
+// the last tick the window covers — every observation the window could
+// ever receive has arrived, so it can reach the sink now instead of
+// waiting for the next observation (or end-of-run Flush) to close it.
+// The sealed record is identical either way; only the emission time
+// moves. Partial windows stay open. Nil-safe.
+func (ts *TimeSeries) SealThrough(tick int64) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.open && (ts.cur.Index+1)*ts.windowTicks-1 <= tick {
+		ts.sealLocked()
+	}
+}
+
 // Flush seals the open window, if any, so a finished run's trailing
 // partial window reaches the sink.
 func (ts *TimeSeries) Flush() {
@@ -362,6 +379,20 @@ func (s *Stream) Flush() {
 	}
 	for _, ts := range s.sorted() {
 		ts.Flush()
+	}
+}
+
+// SealThrough asks every series to seal windows wholly covered by
+// ticks ≤ tick (see TimeSeries.SealThrough) — the incremental flush a
+// stepped session calls on step boundaries so completed windows reach
+// the sink while the session is paused. Series order is deterministic
+// (sorted by name). Nil-safe.
+func (s *Stream) SealThrough(tick int64) {
+	if s == nil {
+		return
+	}
+	for _, ts := range s.sorted() {
+		ts.SealThrough(tick)
 	}
 }
 

@@ -51,6 +51,53 @@ func TestTimeSeriesFlushSealsPartialWindow(t *testing.T) {
 	}
 }
 
+func TestTimeSeriesSealThrough(t *testing.T) {
+	ts := NewTimeSeries("load", 10, 4, nil)
+	for tick := int64(0); tick < 10; tick++ {
+		ts.Observe(tick, float64(tick))
+	}
+	// Window 0 covers ticks [0,9]; tick 8 leaves it incomplete.
+	ts.SealThrough(8)
+	if _, ok := ts.Last(); ok {
+		t.Fatal("SealThrough sealed an incomplete window")
+	}
+	ts.SealThrough(9)
+	w, ok := ts.Last()
+	if !ok || w.Index != 0 || w.Count != 10 || w.Min != 0 || w.Max != 9 {
+		t.Fatalf("SealThrough(9) did not seal window 0: %+v, ok=%v", w, ok)
+	}
+	// The record matches what a boundary-crossing Observe would have
+	// sealed, and the next Observe opens window 1 cleanly.
+	ts.Observe(10, 42)
+	ts.Flush()
+	ws := ts.Windows()
+	if len(ws) != 2 || ws[1].Index != 1 || ws[1].Count != 1 || ws[1].Min != 42 {
+		t.Fatalf("post-seal observation mishandled: %+v", ws)
+	}
+	// Nil receiver and no-open-window cases are no-ops.
+	var nilTS *TimeSeries
+	nilTS.SealThrough(100)
+	ts.SealThrough(100)
+}
+
+func TestStreamSealThrough(t *testing.T) {
+	var recs []WindowRecord
+	sink := windowSinkFunc(func(rec WindowRecord) { recs = append(recs, rec) })
+	s := NewStream(StreamOptions{WindowTicks: 5, Sink: sink})
+	a := s.Series("a")
+	b := s.Series("b")
+	for tick := int64(0); tick < 5; tick++ {
+		a.Observe(tick, 1)
+		b.Observe(tick, 2)
+	}
+	s.SealThrough(4)
+	if len(recs) != 2 || recs[0].Series != "a" || recs[1].Series != "b" {
+		t.Fatalf("SealThrough emitted %+v, want one window per series in name order", recs)
+	}
+	var nilStream *Stream
+	nilStream.SealThrough(4)
+}
+
 // TestTimeSeriesBoundedMemory is the bounded-memory contract: after
 // observing 10x more windows than the ring retains (and far more ticks
 // than that), retained state is O(ring + reservoir), not O(ticks).

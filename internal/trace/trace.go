@@ -221,6 +221,10 @@ func (t *Trace) Duration() time.Duration {
 	return time.Duration(len(t.samples)-1) * t.step
 }
 
+// Horizon returns the trace's end time, satisfying workload.JobSource:
+// a finite trace is a job source that runs out.
+func (t *Trace) Horizon() time.Duration { return t.Duration() }
+
 // At returns the utilization at time d, linearly interpolating between
 // samples and clamping beyond the ends.
 func (t *Trace) At(d time.Duration) float64 {

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzSourceSpecJSON drives the job-source spec decoder the same way
+// FuzzPlanJSON drives fault plans: arbitrary bytes must either be
+// rejected or decode to a spec whose canonical re-encoding is a fixed
+// point, and whose generator produces finite in-range utilizations.
+func FuzzSourceSpecJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"poisson","level":0.6,"events":25}`))
+	f.Add([]byte(`{"kind":"poisson","seed":7,"step_s":30,"level":0.95,"events":4}`))
+	f.Add([]byte(`{"kind":"bursty","level":0.3,"burst_util":0.9,"burst_prob":0.2,"epoch_min":15}`))
+	f.Add([]byte(`{"kind":"flashcrowd","seed":5,"level":0.2,"spike_util":0.6,"spike_every_min":60,"spike_decay_min":10}`))
+	f.Add([]byte(`{"kind":"diurnal"}`))
+	f.Add([]byte(`{"kind":"poisson","level":1e999,"events":10}`))
+	f.Add([]byte(`{"kind":"poisson","level":0.5,"events":10,"burst_prob":0.1}`))
+	f.Add([]byte(`{"kind":"bursty","level":0.3,"burst_util":0.9,"burst_prob":-0.2,"epoch_min":15}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSourceSpec(data)
+		if err != nil {
+			return // malformed or invalid specs are rejected, never panic
+		}
+		// Valid specs round-trip bit-identically.
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		spec2, err := ParseSourceSpec(b)
+		if err != nil {
+			t.Fatalf("re-decoding a valid spec: %v", err)
+		}
+		// Canonical-form fixpoint: the re-encoded spec must match the
+		// first encoding byte for byte — the property the run-cache key
+		// depends on.
+		b2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("re-encoding: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("canonical form unstable:\n first: %s\nsecond: %s", b, b2)
+		}
+		// A valid spec must build a working generator.
+		src, err := spec.New()
+		if err != nil {
+			t.Fatalf("valid spec rejected by New: %v", err)
+		}
+		for _, at := range []time.Duration{0, spec.Step(), time.Hour, 48 * time.Hour} {
+			u := src.At(at)
+			if math.IsNaN(u) || u < 0 || u > 1 {
+				t.Fatalf("At(%v) = %v, out of [0,1]", at, u)
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"vmt/internal/stats"
+)
+
+// JobSource supplies the cluster's target utilization over time. It is
+// the seam between load generation and placement: the finite diurnal
+// trace satisfies it, and so do the open-loop generators below, so the
+// schedulers never know whether they are replaying the paper's two-day
+// trace or absorbing a synthetic arrival stream.
+//
+// Implementations must be deterministic pure functions of their
+// configuration: At(d) returns the same value no matter how many other
+// instants were evaluated first. That property is what lets a stepped
+// session resume mid-run bit-identically to a monolithic one.
+type JobSource interface {
+	// At returns the target fleet utilization in [0,1] at simulation
+	// time now.
+	At(now time.Duration) float64
+	// Horizon returns the time at which the source is exhausted. Zero
+	// means open-ended: the source generates load forever and the
+	// caller decides when to stop.
+	Horizon() time.Duration
+}
+
+// Substream salts keep the generators' per-index RNG streams disjoint
+// even under identical seeds.
+const (
+	saltPoisson    = 0x706f6973736f6e31 // "poisson1"
+	saltBursty     = 0x6275727374793131 // "bursty11"
+	saltFlashCrowd = 0x666c617368637231 // "flashcr1"
+)
+
+// subRNG returns a generator whose stream is a pure function of
+// (seed, salt, index): random access into a family of decorrelated
+// substreams, one per tick or epoch.
+func subRNG(seed, salt, index uint64) *stats.RNG {
+	return stats.NewRNG(stats.Mix64(seed ^ (salt + 0x9e3779b97f4a7c15*index)))
+}
+
+// PoissonSource models steady traffic with shot noise: each step-long
+// tick draws an independent Poisson count of arrival events around a
+// configured mean, so utilization fluctuates around Level with
+// relative noise 1/sqrt(Events). Open-ended.
+type PoissonSource struct {
+	seed   uint64
+	step   time.Duration
+	level  float64 // mean target utilization in (0,1]
+	events float64 // mean arrival events per step; larger = smoother
+}
+
+// NewPoissonSource builds a shot-noise source around mean utilization
+// level with the given mean events per step. step is the sampling
+// granularity; the same (seed, step) pair reproduces the same stream.
+func NewPoissonSource(seed uint64, step time.Duration, level, events float64) *PoissonSource {
+	return &PoissonSource{seed: seed, step: step, level: level, events: events}
+}
+
+// At returns the tick's utilization: Level scaled by the tick's Poisson
+// event count over its mean.
+func (s *PoissonSource) At(now time.Duration) float64 {
+	if now < 0 {
+		now = 0
+	}
+	i := uint64(now / s.step)
+	n := subRNG(s.seed, saltPoisson, i).Poisson(s.events)
+	return stats.Clamp(s.level*float64(n)/s.events, 0, 1)
+}
+
+// Horizon reports the source as open-ended.
+func (s *PoissonSource) Horizon() time.Duration { return 0 }
+
+// BurstySource is a two-state modulated process (an MMPP in discrete
+// time): load sits at a calm Level, but each epoch independently flips
+// into a burst at BurstUtil with probability BurstProb. Epochs are
+// EpochMin minutes long, so bursts arrive in sustained squalls rather
+// than single-tick spikes — the pattern that stresses wax budgeting,
+// because a burst can outlast the melt headroom. Open-ended.
+type BurstySource struct {
+	seed      uint64
+	epoch     time.Duration
+	level     float64
+	burstUtil float64
+	burstProb float64
+}
+
+// NewBurstySource builds an on-off burst source. Each epoch of the
+// given length runs at burstUtil with probability burstProb, else at
+// level.
+func NewBurstySource(seed uint64, epoch time.Duration, level, burstUtil, burstProb float64) *BurstySource {
+	return &BurstySource{seed: seed, epoch: epoch, level: level, burstUtil: burstUtil, burstProb: burstProb}
+}
+
+// At returns the epoch's state: burst or calm.
+func (s *BurstySource) At(now time.Duration) float64 {
+	if now < 0 {
+		now = 0
+	}
+	e := uint64(now / s.epoch)
+	if subRNG(s.seed, saltBursty, e).Float64() < s.burstProb {
+		return stats.Clamp(s.burstUtil, 0, 1)
+	}
+	return stats.Clamp(s.level, 0, 1)
+}
+
+// Horizon reports the source as open-ended.
+func (s *BurstySource) Horizon() time.Duration { return 0 }
+
+// FlashCrowdSource models viral traffic: a calm base Level plus
+// recurring flash crowds. Each window of SpikeEvery length launches one
+// spike at a seeded uniform offset within the window; a spike raises
+// utilization by SpikeUtil instantly and decays exponentially with
+// time constant SpikeDecay, so late spikes ride on the tails of
+// earlier ones. Open-ended.
+type FlashCrowdSource struct {
+	seed       uint64
+	level      float64
+	spikeUtil  float64
+	spikeEvery time.Duration
+	spikeDecay time.Duration
+	// lookback is how many past windows can still contribute: tails are
+	// truncated at 8 decay constants (exp(-8) ≈ 3e-4 of the spike), so
+	// At stays a bounded pure function of now.
+	lookback int64
+}
+
+// NewFlashCrowdSource builds a flash-crowd source over base utilization
+// level: one spike of amplitude spikeUtil per window of spikeEvery,
+// decaying with time constant spikeDecay.
+func NewFlashCrowdSource(seed uint64, level, spikeUtil float64, spikeEvery, spikeDecay time.Duration) *FlashCrowdSource {
+	lb := int64(8*spikeDecay/spikeEvery) + 1
+	return &FlashCrowdSource{
+		seed: seed, level: level, spikeUtil: spikeUtil,
+		spikeEvery: spikeEvery, spikeDecay: spikeDecay, lookback: lb,
+	}
+}
+
+// At sums the base level and the decayed tails of every spike launched
+// within the lookback horizon.
+func (s *FlashCrowdSource) At(now time.Duration) float64 {
+	if now < 0 {
+		now = 0
+	}
+	u := s.level
+	widx := int64(now / s.spikeEvery)
+	for k := int64(0); k <= s.lookback; k++ {
+		w := widx - k
+		if w < 0 {
+			break
+		}
+		off := subRNG(s.seed, saltFlashCrowd, uint64(w)).Float64()
+		t0 := time.Duration(w)*s.spikeEvery + time.Duration(off*float64(s.spikeEvery))
+		if t0 > now {
+			continue
+		}
+		u += s.spikeUtil * math.Exp(-float64(now-t0)/float64(s.spikeDecay))
+	}
+	return stats.Clamp(u, 0, 1)
+}
+
+// Horizon reports the source as open-ended.
+func (s *FlashCrowdSource) Horizon() time.Duration { return 0 }

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Every generator must be a pure function of (config, now): evaluating
+// instants in any order, with repeats, yields the same values as a
+// fresh source evaluated in ascending order. This is the property that
+// makes stepped sessions resumable.
+func TestSourcesAreRandomAccess(t *testing.T) {
+	sources := map[string]func() JobSource{
+		"poisson": func() JobSource { return NewPoissonSource(7, time.Minute, 0.6, 25) },
+		"bursty":  func() JobSource { return NewBurstySource(7, 15*time.Minute, 0.3, 0.9, 0.2) },
+		"flashcrowd": func() JobSource {
+			return NewFlashCrowdSource(7, 0.3, 0.5, 30*time.Minute, 10*time.Minute)
+		},
+	}
+	for name, mk := range sources {
+		t.Run(name, func(t *testing.T) {
+			ordered := mk()
+			want := make([]float64, 200)
+			for i := range want {
+				want[i] = ordered.At(time.Duration(i) * 37 * time.Second)
+			}
+			f := func(perm []uint8) bool {
+				scattered := mk()
+				// Evaluate a scattered subset first, then re-check the
+				// full ascending sweep bit for bit.
+				for _, p := range perm {
+					scattered.At(time.Duration(p) * 37 * time.Second)
+				}
+				for i := range want {
+					got := scattered.At(time.Duration(i) * 37 * time.Second)
+					if math.Float64bits(got) != math.Float64bits(want[i]) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSourcesStayInRange(t *testing.T) {
+	sources := []JobSource{
+		NewPoissonSource(3, time.Minute, 0.95, 4), // few events: high relative noise
+		NewBurstySource(3, time.Minute, 0.05, 1.0, 0.9),
+		NewFlashCrowdSource(3, 0.8, 1.0, 5*time.Minute, 20*time.Minute), // stacking tails
+	}
+	for _, src := range sources {
+		for i := 0; i < 10000; i++ {
+			u := src.At(time.Duration(i) * 30 * time.Second)
+			if math.IsNaN(u) || u < 0 || u > 1 {
+				t.Fatalf("%T.At(tick %d) = %v, out of [0,1]", src, i, u)
+			}
+		}
+		if src.Horizon() != 0 {
+			t.Fatalf("%T.Horizon() = %v, want open-ended 0", src, src.Horizon())
+		}
+	}
+}
+
+func TestPoissonSourceTracksLevel(t *testing.T) {
+	src := NewPoissonSource(11, time.Minute, 0.5, 100)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += src.At(time.Duration(i) * time.Minute)
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Fatalf("mean utilization %v, want ≈0.5", mean)
+	}
+}
+
+func TestBurstySourceBurstFraction(t *testing.T) {
+	src := NewBurstySource(11, 10*time.Minute, 0.2, 0.9, 0.25)
+	bursts, epochs := 0, 2000
+	for e := 0; e < epochs; e++ {
+		u := src.At(time.Duration(e) * 10 * time.Minute)
+		switch {
+		case u > 0.85:
+			bursts++
+		case u > 0.25:
+			t.Fatalf("epoch %d utilization %v is neither calm nor burst", e, u)
+		}
+	}
+	frac := float64(bursts) / float64(epochs)
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("burst fraction %v, want ≈0.25", frac)
+	}
+}
+
+func TestFlashCrowdSpikesAndDecays(t *testing.T) {
+	src := NewFlashCrowdSource(5, 0.2, 0.6, time.Hour, 10*time.Minute)
+	// Scan a day at fine resolution: must see at least one clear spike
+	// above base, and the long-run minimum must return near base.
+	peak, trough := 0.0, 1.0
+	for i := 0; i < 24*60; i++ {
+		u := src.At(time.Duration(i) * time.Minute)
+		peak = math.Max(peak, u)
+		trough = math.Min(trough, u)
+	}
+	if peak < 0.5 {
+		t.Fatalf("peak %v: spikes not visible above base 0.2", peak)
+	}
+	if trough > 0.25 {
+		t.Fatalf("trough %v: spikes never decay back toward base 0.2", trough)
+	}
+}
+
+func TestSourceSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SourceSpec
+		ok   bool
+	}{
+		{"poisson ok", SourceSpec{Kind: "poisson", Level: 0.6, Events: 25}, true},
+		{"bursty ok", SourceSpec{Kind: "bursty", Level: 0.3, BurstUtil: 0.9, BurstProb: 0.2, EpochMin: 15}, true},
+		{"flashcrowd ok", SourceSpec{Kind: "flashcrowd", Level: 0.3, SpikeUtil: 0.5, SpikeEveryMin: 30, SpikeDecayMin: 10}, true},
+		{"unknown kind", SourceSpec{Kind: "diurnal", Level: 0.5}, false},
+		{"empty kind", SourceSpec{}, false},
+		{"poisson no events", SourceSpec{Kind: "poisson", Level: 0.6}, false},
+		{"poisson level over 1", SourceSpec{Kind: "poisson", Level: 1.5, Events: 10}, false},
+		{"poisson nan events", SourceSpec{Kind: "poisson", Level: 0.5, Events: math.NaN()}, false},
+		{"poisson inf level", SourceSpec{Kind: "poisson", Level: math.Inf(1), Events: 10}, false},
+		{"cross-kind field", SourceSpec{Kind: "poisson", Level: 0.6, Events: 25, BurstProb: 0.1}, false},
+		{"bursty with spike", SourceSpec{Kind: "bursty", Level: 0.3, BurstUtil: 0.9, BurstProb: 0.2, EpochMin: 15, SpikeUtil: 0.5}, false},
+		{"bad step", SourceSpec{Kind: "poisson", Level: 0.6, Events: 25, StepS: -1}, false},
+		{"burst prob over 1", SourceSpec{Kind: "bursty", Level: 0.3, BurstUtil: 0.9, BurstProb: 1.2, EpochMin: 15}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if c.ok {
+				src, err := c.spec.New()
+				if err != nil || src == nil {
+					t.Fatalf("New() = %v, %v", src, err)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSourceSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSourceSpec([]byte(`{"kind":"poisson","level":0.5,"events":10,"typo":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	spec, err := ParseSourceSpec([]byte(`{"kind":"poisson","level":0.5,"events":10,"step_s":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Step() != 30*time.Second {
+		t.Fatalf("Step() = %v, want 30s", spec.Step())
+	}
+	if (&SourceSpec{Kind: "poisson", Level: 0.5, Events: 10}).Step() != time.Minute {
+		t.Fatal("default step should be one minute")
+	}
+}

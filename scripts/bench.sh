@@ -6,12 +6,13 @@
 # Usage: scripts/bench.sh [count] [out.json]
 #
 #   count     repetitions per benchmark (go test -count; default 5)
-#   out.json  output path (default BENCH_PR7.json in the repo root)
+#   out.json  output path (default BENCH_PR8.json in the repo root)
 #
 # Medians over several -count repetitions are the comparison currency:
 # single runs on shared machines swing tens of percent. Compare the
-# committed BENCH_PR7.json against a fresh run on the same host, not
-# across hosts.
+# committed BENCH_PR8.json against a fresh run on the same host, not
+# across hosts. The BenchmarkSessionStep median vs BenchmarkRun is the
+# session-seam overhead bound (acceptance: ≤5%).
 #
 # A/B baseline: unless BENCH_NO_BASE=1, the shared benchmarks also run
 # in a scratch worktree of $BASE (default: HEAD) and land in the same
@@ -23,7 +24,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT=${1:-5}
-OUT=${2:-BENCH_PR7.json}
+OUT=${2:-BENCH_PR8.json}
 TMP=$(mktemp)
 BASETREE=
 cleanup() {
@@ -40,7 +41,7 @@ run_bench() {
     go test -run '^$' -bench "$2" -benchtime "$3" -count "$COUNT" "$1" >>"$TMP"
 }
 
-run_bench .                   '^(BenchmarkRun|BenchmarkRunTraced|BenchmarkRunStreamed|BenchmarkRunFullObservability)$'                                  20x
+run_bench .                   '^(BenchmarkRun|BenchmarkSessionStep|BenchmarkRunTraced|BenchmarkRunStreamed|BenchmarkRunFullObservability)$'            20x
 run_bench .                   '^BenchmarkAblationStudy(Cached|Uncached)$'                            5x
 run_bench .                   '^BenchmarkAdaptiveGVStudy(Cached|Uncached)$'                          3x
 run_bench ./internal/pcm/     'BenchmarkPackApply|BenchmarkEstimatorUpdate|BenchmarkCurveProjection' 2000000x

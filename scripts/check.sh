@@ -38,6 +38,13 @@ echo "== spec round-trip (encode -> decode -> execute)"
 go test -count=1 -run 'TestSpecRoundTripExecute|TestSpecJSONRoundTrip' \
     . ./internal/experiment/
 
+echo "== stepped-vs-monolith equivalence (session golden stage)"
+# A session stepped tick-by-tick and in ragged chunks must be
+# bit-identical to the monolithic Run — the contract that lets Run be a
+# thin wrapper over Session without re-blessing any golden fixture.
+go test -count=1 \
+    -run 'TestSessionStepToCompletionMatchesRun|TestSessionStepped|TestSessionHorizonBoundsSource' .
+
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
     ./internal/sched/ ./internal/fault/ \
@@ -46,7 +53,8 @@ go test -race -short ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs|TestFleetStoreInvariants' -count=1
 go test -race ./internal/thermal/ \
     -run 'TestFleetOracleChunkedStepping|TestFleetViewAliasesState|TestSnapshotRoundTripBitIdentical' -count=1
-go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded|TestSession' -count=1
+go test -race ./internal/workload/ -count=1
 
 echo "== vmtdiff self-check (determinism, end to end)"
 # Two identical runs must diff clean; a one-value mutation must be

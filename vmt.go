@@ -29,7 +29,6 @@ import (
 	"vmt/internal/fault"
 	"vmt/internal/pcm"
 	"vmt/internal/sched"
-	"vmt/internal/sim"
 	"vmt/internal/stats"
 	"vmt/internal/telemetry"
 	"vmt/internal/thermal"
@@ -66,8 +65,8 @@ type Config struct {
 	// ignored by the baselines.
 	GV float64
 	// WaxThreshold is VMT-WA's "fully melted" cutoff on the reported
-	// melt fraction; zero selects the paper's 0.98.
-	WaxThreshold float64
+	// melt fraction; unset selects the paper's 0.98.
+	WaxThreshold Optional[float64]
 	// OracleWaxState lets VMT-WA read ground-truth melt state instead
 	// of the per-server estimator (ablation only).
 	OracleWaxState bool
@@ -82,16 +81,16 @@ type Config struct {
 	// PreserveUntil and SacrificeFrac configure PolicyVMTPreserve:
 	// until PreserveUntil, hot load concentrates on SacrificeFrac of
 	// the hot group so the rest keeps its wax solid for the later
-	// peak. Zero values select hour 30 (after day one's peak) and 0.4.
+	// peak. Unset values select hour 30 (after day one's peak) and 0.4.
 	PreserveUntil time.Duration
-	SacrificeFrac float64
-	// Server, Material: hardware and PCM; zero values select the
+	SacrificeFrac Optional[float64]
+	// Server, Material: hardware and PCM; unset values select the
 	// calibrated paper server and commercial 35.7 °C paraffin.
-	Server   thermal.ServerSpec
-	Material pcm.Material
-	// InletTempC is the mean inlet temperature (zero → 22 °C) and
+	Server   Optional[thermal.ServerSpec]
+	Material Optional[pcm.Material]
+	// InletTempC is the mean inlet temperature (unset → 22 °C) and
 	// InletStdevC the per-server variation for Figures 19–20.
-	InletTempC  float64
+	InletTempC  Optional[float64]
 	InletStdevC float64
 	// Seed drives every stochastic element (inlet draw; trace noise
 	// adds its own seed from the trace spec).
@@ -102,6 +101,16 @@ type Config struct {
 	// CustomTrace overrides Trace with an externally supplied series
 	// (see trace.FromReader) — the hook for production traces.
 	CustomTrace *trace.Trace
+	// Source, when non-nil, replaces the finite trace with a seeded
+	// open-loop arrival generator (workload.SourceSpec: poisson,
+	// bursty, flashcrowd). Generators are open-ended, so pair with
+	// Horizon for batch runs; without one, only a stepped Session can
+	// drive the run. Mutually exclusive with CustomTrace.
+	Source *workload.SourceSpec
+	// Horizon bounds the simulated duration. Zero selects the job
+	// source's natural length: the trace duration for trace-driven
+	// runs, open-ended for generator-driven ones.
+	Horizon time.Duration
 	// Mix is the workload mix; nil selects the five-workload paper
 	// mix (≈60% hot).
 	Mix *workload.Mix
@@ -192,17 +201,17 @@ func BaselineScenario(servers int) Config {
 
 // withDefaults resolves zero values to the paper's configuration.
 func (c Config) withDefaults() Config {
-	if c.Server == (thermal.ServerSpec{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-		c.Server = thermal.PaperServer()
+	if !c.Server.IsSet() {
+		c.Server = Some(thermal.PaperServer())
 	}
-	if c.Material == (pcm.Material{}) { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-		c.Material = pcm.CommercialParaffin()
+	if !c.Material.IsSet() {
+		c.Material = Some(pcm.CommercialParaffin())
 	}
-	if c.InletTempC == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-		c.InletTempC = 22
+	if !c.InletTempC.IsSet() {
+		c.InletTempC = Some(22.0)
 	}
-	if c.WaxThreshold == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-		c.WaxThreshold = core.DefaultWaxThreshold
+	if !c.WaxThreshold.IsSet() {
+		c.WaxThreshold = Some(core.DefaultWaxThreshold)
 	}
 	if c.Trace.Days == 0 {
 		c.Trace = trace.PaperTwoDay()
@@ -216,8 +225,8 @@ func (c Config) withDefaults() Config {
 	if c.PreserveUntil == 0 {
 		c.PreserveUntil = 30 * time.Hour // past day one's peak and trough
 	}
-	if c.SacrificeFrac == 0 { //vmtlint:allow floateq zero-value "unset" sentinel, exact by construction
-		c.SacrificeFrac = 0.4
+	if !c.SacrificeFrac.IsSet() {
+		c.SacrificeFrac = Some(0.4)
 	}
 	return c
 }
@@ -245,6 +254,15 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.ValidateFor(c.Servers); err != nil {
 		return err
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("vmt: negative horizon %v", c.Horizon)
+	}
+	if c.Source != nil {
+		if c.CustomTrace != nil {
+			return fmt.Errorf("vmt: Source and CustomTrace are mutually exclusive")
+		}
+		return c.Source.Validate()
 	}
 	if c.CustomTrace != nil {
 		if c.CustomTrace.Len() < 2 {
@@ -338,377 +356,23 @@ type reconciler interface {
 // stops at the next tick boundary and the run returns ctx.Err(). The
 // result is still deterministic when it completes — cancellation can
 // only abort a run, never change what a completed run returns.
+//
+// RunCtx is a thin wrapper over Session: it opens one, steps it to
+// the horizon in a single engine pass, and closes it — so batch runs
+// and stepped sessions share every line of the pipeline, and the
+// wrapper adds no per-tick work.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
-	cfg = cfg.withDefaults().withDefaultObservability()
-
-	cl, err := cluster.New(cluster.Config{
-		NumServers:     cfg.Servers,
-		Server:         cfg.Server,
-		Material:       cfg.Material,
-		InletTempC:     cfg.InletTempC,
-		InletStdevC:    cfg.InletStdevC,
-		Seed:           cfg.Seed,
-		PhysicsWorkers: cfg.PhysicsWorkers,
-	})
+	s, err := OpenCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	scheduler, err := newScheduler(cfg, cl)
+	if err := s.StepAll(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	res, err := s.Close()
 	if err != nil {
 		return nil, err
-	}
-	tr := cfg.CustomTrace
-	if tr == nil {
-		// Cached: sweeps rerun the same spec hundreds of times, and
-		// generated traces are immutable, so every run of a batch
-		// shares one decode.
-		tr, err = trace.Cached(cfg.Trace, cfg.Step)
-		if err != nil {
-			return nil, err
-		}
-	}
-	var reconcile reconciler
-	var stream *sched.StreamManager
-	if cfg.JobStream {
-		durations := cfg.TaskDurations
-		if durations == nil {
-			durations = sched.DefaultTaskDurations()
-		}
-		stream, err = sched.NewStreamManager(cl, cfg.Mix, tr, scheduler, durations, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.Metrics != nil {
-			stream.SetMetrics(cfg.Metrics)
-		}
-		reconcile = stream
-	} else {
-		lm, err := sched.NewLoadManager(cl, cfg.Mix, tr, scheduler)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.Metrics != nil {
-			lm.SetMetrics(cfg.Metrics)
-		}
-		reconcile = lm
-	}
-
-	// Fault injection: the injector interposes sensors at construction
-	// and ticks on the engine's fault band (after physics, before the
-	// scheduler). Nil plan → nil injector → zero overhead.
-	var injector *fault.Injector
-	if cfg.Faults != nil && !cfg.Faults.Empty() {
-		injector = fault.NewInjector(cfg.Faults, cl, reconcile, cfg.Metrics)
-	}
-
-	// One sample lands per step over the trace; preallocating the
-	// series keeps the sample phase free of append reallocations.
-	nSamples := int(tr.Duration() / cfg.Step)
-	res := &Result{
-		Config:       cfg,
-		CoolingLoadW: stats.NewSeriesCap(cfg.Step, nSamples),
-		TotalPowerW:  stats.NewSeriesCap(cfg.Step, nSamples),
-		MeanAirTempC: stats.NewSeriesCap(cfg.Step, nSamples),
-		MeanMeltFrac: stats.NewSeriesCap(cfg.Step, nSamples),
-		WaxEnergyJ:   stats.NewSeriesCap(cfg.Step, nSamples),
-		MaxCPUTempC:  stats.NewSeriesCap(cfg.Step, nSamples),
-	}
-	grouper, hasGroups := scheduler.(hotGrouper)
-	if hasGroups {
-		res.HotGroupTempC = stats.NewSeriesCap(cfg.Step, nSamples)
-		res.HotGroupSize = stats.NewSeriesCap(cfg.Step, nSamples)
-	}
-
-	eng := sim.NewEngine()
-	eng.Instrument(cfg.Metrics)
-	var runErr error
-	fail := func(err error) {
-		if runErr == nil {
-			runErr = err
-		}
-	}
-
-	// Tracing and band profiling: span wraps a phase handler so each
-	// tick emits one span event with wall timings and the gauges args
-	// samples at close, and (with ProfileBands) brackets the handler
-	// with the band profiler so wall/alloc deltas land on the band
-	// counters and the allocation delta rides on the span event. With a
-	// nil tracer and no profiler the handler is returned untouched, so
-	// the uninstrumented hot path is unchanged.
-	tracer := cfg.Tracer
-	var profiler *telemetry.BandProfiler
-	if cfg.ProfileBands {
-		profiler = telemetry.NewBandProfiler(cfg.Metrics) // nil registry → nil profiler
-	}
-	var wall0 time.Time
-	if tracer != nil {
-		wall0 = time.Now() //vmtlint:allow detrand observational: span wall-clock origin, never read by the simulation
-	}
-	span := func(name string, fn sim.Handler, args func() map[string]float64) sim.Handler {
-		if tracer == nil && profiler == nil {
-			return fn
-		}
-		band := profiler.Band(name) // nil profiler → nil band, whose methods no-op
-		return func(now time.Duration) {
-			var t0 time.Time
-			if tracer != nil {
-				t0 = time.Now() //vmtlint:allow detrand observational: span timing feeds the tracer only
-			}
-			band.Begin()
-			fn(now)
-			_, alloc := band.End()
-			if tracer == nil {
-				return
-			}
-			ev := telemetry.SpanEvent{
-				Name:       name,
-				At:         now,
-				WallStart:  t0.Sub(wall0),
-				Wall:       time.Since(t0), //vmtlint:allow detrand observational: span timing feeds the tracer only
-				AllocBytes: alloc,
-			}
-			if args != nil {
-				ev.Args = args()
-			}
-			tracer.Emit(ev)
-		}
-	}
-
-	// Streaming series handles, resolved once so the sample band does
-	// no map lookups. A nil Stream hands out nil series whose Observe
-	// is a no-op — the unstreamed run pays one nil check per series.
-	var (
-		stCooling = cfg.Stream.Series("cooling_load_w")
-		stPower   = cfg.Stream.Series("total_power_w")
-		stAirTemp = cfg.Stream.Series("mean_air_temp_c")
-		stMelt    = cfg.Stream.Series("mean_melt_frac")
-		stMaxCPU  = cfg.Stream.Series("max_cpu_temp_c")
-		stHotSize *telemetry.TimeSeries
-	)
-	if hasGroups {
-		stHotSize = cfg.Stream.Series("hot_group_size")
-	}
-
-	// Thermal/PCM instruments, sampled in the metrics band: the fleet
-	// melt-fraction distribution and accumulated server-seconds above
-	// the wax's physical melting temperature.
-	var (
-		meltHist  = cfg.Metrics.Histogram("pcm_melt_frac", telemetry.LinearBounds(0, 1, 10)...)
-		abovePMT  = cfg.Metrics.Counter("thermal_above_pmt_server_s")
-		runTicks  = cfg.Metrics.Counter("run_ticks")
-		settledG  = cfg.Metrics.Gauge("cluster_settled_servers")
-		pmtC      = cfg.Material.MeltTempC
-		stepSecs  = uint64(cfg.Step.Seconds())
-		hasMetric = cfg.Metrics != nil
-	)
-
-	// Physics: advance the cluster by one period. Skipped at t=0 (no
-	// elapsed time yet); the scheduler places the initial load first.
-	var lastSample cluster.Sample
-	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityModel, span("physics", func(time.Duration) {
-		if runErr != nil {
-			return
-		}
-		if done != nil {
-			select {
-			case <-done:
-				fail(ctx.Err())
-				return
-			default:
-			}
-		}
-		s, err := cl.Step(cfg.Step)
-		if err != nil {
-			fail(err)
-			return
-		}
-		lastSample = s
-	}, func() map[string]float64 {
-		return map[string]float64{
-			"cooling_load_w":  lastSample.CoolingLoadW,
-			"mean_air_temp_c": lastSample.MeanAirTempC,
-			"mean_melt_frac":  lastSample.MeanMeltFrac,
-		}
-	})); err != nil {
-		return nil, err
-	}
-
-	// Faults: crashes, repairs, and stochastic draws land between the
-	// physics settling and the scheduler's reaction, in server-ID
-	// order on the engine's single goroutine. A crash scheduled at
-	// at_min lands on the first fault tick at or after it.
-	if injector != nil {
-		if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityFault, span("fault", func(now time.Duration) {
-			if runErr != nil {
-				return
-			}
-			if err := injector.Tick(now, cfg.Step); err != nil {
-				fail(err)
-			}
-		}, nil)); err != nil {
-			return nil, err
-		}
-	}
-
-	// Scheduling: reconcile the job population with the trace.
-	if _, err := eng.Every(0, cfg.Step, sim.PriorityScheduler, span("schedule", func(now time.Duration) {
-		if runErr != nil {
-			return
-		}
-		if err := reconcile.Reconcile(now); err != nil {
-			fail(err)
-		}
-	}, func() map[string]float64 {
-		args := map[string]float64{"total_power_w": lastSample.TotalPowerW}
-		if hasGroups {
-			args["hot_group_size"] = float64(grouper.HotGroupSize())
-		}
-		return args
-	})); err != nil {
-		return nil, err
-	}
-
-	// Metrics: sample the settled state each period (after the first
-	// physics step so the series align with elapsed intervals).
-	if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityMetrics, span("sample", func(now time.Duration) {
-		if runErr != nil {
-			return
-		}
-		if hasMetric {
-			runTicks.Inc()
-			// How much of the fleet the physics memo is coasting
-			// through — observational only, no control decisions.
-			settledG.Set(float64(lastSample.SettledServers))
-			for i, f := range lastSample.MeltFrac {
-				meltHist.Observe(f)
-				if lastSample.AirTempC[i] >= pmtC {
-					abovePMT.Add(stepSecs)
-				}
-			}
-		}
-		res.CoolingLoadW.Append(lastSample.CoolingLoadW)
-		res.TotalPowerW.Append(lastSample.TotalPowerW)
-		res.MeanAirTempC.Append(lastSample.MeanAirTempC)
-		res.MeanMeltFrac.Append(lastSample.MeanMeltFrac)
-		res.MaxCPUTempC.Append(lastSample.MaxCPUTempC)
-		if lastSample.ThrottlingServers > 0 {
-			res.ThrottleMinutes++
-		}
-		// The cluster accumulates the fleet wax ledger during its own
-		// reduction (same ID-order sum this loop used to run).
-		res.WaxEnergyJ.Append(lastSample.WaxEnergyJ)
-		if hasGroups {
-			size := grouper.HotGroupSize()
-			res.HotGroupSize.Append(float64(size))
-			var sum float64
-			for i := 0; i < size; i++ {
-				sum += lastSample.AirTempC[i]
-			}
-			if size > 0 {
-				res.HotGroupTempC.Append(sum / float64(size))
-			} else {
-				res.HotGroupTempC.Append(lastSample.MeanAirTempC)
-			}
-		}
-		if cfg.RecordGrids {
-			air := make([]float64, len(lastSample.AirTempC))
-			copy(air, lastSample.AirTempC)
-			melt := make([]float64, len(lastSample.MeltFrac))
-			copy(melt, lastSample.MeltFrac)
-			res.AirTempGrid = append(res.AirTempGrid, air)
-			res.MeltFracGrid = append(res.MeltFracGrid, melt)
-		}
-		// Streamed telemetry: one observation per series per tick, fed
-		// into the bounded-memory window samplers. Ticks are 1-based
-		// (the first sample lands after one elapsed step).
-		if cfg.Stream != nil || cfg.Fleet != nil {
-			tick := int64(now / cfg.Step)
-			stCooling.Observe(tick, lastSample.CoolingLoadW)
-			stPower.Observe(tick, lastSample.TotalPowerW)
-			stAirTemp.Observe(tick, lastSample.MeanAirTempC)
-			stMelt.Observe(tick, lastSample.MeanMeltFrac)
-			stMaxCPU.Observe(tick, lastSample.MaxCPUTempC)
-			if hasGroups {
-				stHotSize.Observe(tick, float64(grouper.HotGroupSize()))
-			}
-			if cfg.Fleet != nil {
-				// A fresh immutable snapshot per tick: readers of the
-				// live view may hold the previous one indefinitely.
-				snap := &telemetry.FleetSnapshot{
-					Tick:         tick,
-					SimNS:        int64(now),
-					CoolingLoadW: lastSample.CoolingLoadW,
-					TotalPowerW:  lastSample.TotalPowerW,
-					Servers:      make([]telemetry.ServerState, len(lastSample.AirTempC)),
-				}
-				hot := 0
-				if hasGroups {
-					hot = grouper.HotGroupSize()
-				}
-				for i := range snap.Servers {
-					st := telemetry.ServerState{
-						ID:       i,
-						AirTempC: lastSample.AirTempC[i],
-						MeltFrac: lastSample.MeltFrac[i],
-						Crashed:  cl.Server(i).Failed(),
-					}
-					if hasGroups {
-						if i < hot {
-							st.Group = "hot"
-						} else {
-							st.Group = "cold"
-						}
-					}
-					snap.Servers[i] = st
-				}
-				cfg.Fleet.Publish(snap)
-			}
-		}
-	}, func() map[string]float64 {
-		args := map[string]float64{"max_cpu_temp_c": lastSample.MaxCPUTempC}
-		if n := res.WaxEnergyJ.Len(); n > 0 {
-			args["wax_energy_j"] = res.WaxEnergyJ.Values[n-1]
-		}
-		return args
-	})); err != nil {
-		return nil, err
-	}
-	res.CoolingLoadW.Start = cfg.Step
-	res.TotalPowerW.Start = cfg.Step
-	res.MeanAirTempC.Start = cfg.Step
-	res.MeanMeltFrac.Start = cfg.Step
-	res.WaxEnergyJ.Start = cfg.Step
-	res.MaxCPUTempC.Start = cfg.Step
-	if hasGroups {
-		res.HotGroupTempC.Start = cfg.Step
-		res.HotGroupSize.Start = cfg.Step
-	}
-
-	if err := eng.RunUntil(tr.Duration()); err != nil {
-		return nil, err
-	}
-	if runErr != nil {
-		return nil, runErr
-	}
-	// Seal trailing partial windows so the stream's sink holds the
-	// complete run. Nil-safe.
-	cfg.Stream.Flush()
-	if stream != nil {
-		res.TaskArrivals = stream.Arrived()
-		res.TaskDrops = stream.Dropped()
-	}
-	if injector != nil {
-		res.FaultCrashes = injector.Crashes()
-		res.FaultRepairs = injector.Repairs()
-		res.EvacuatedJobs = injector.Evacuated()
-		res.LostJobs = injector.Lost()
 	}
 	return res, nil
 }
@@ -717,7 +381,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 func newScheduler(cfg Config, cl *cluster.Cluster) (sched.Scheduler, error) {
 	coreCfg := core.Config{
 		GV:                  cfg.GV,
-		WaxThreshold:        cfg.WaxThreshold,
+		WaxThreshold:        cfg.WaxThreshold.Value(),
 		OracleWaxState:      cfg.OracleWaxState,
 		MigrationBudgetFrac: cfg.MigrationBudgetFrac,
 		Metrics:             cfg.Metrics,
@@ -736,7 +400,7 @@ func newScheduler(cfg Config, cl *cluster.Cluster) (sched.Scheduler, error) {
 	case PolicyVMTWA:
 		s, err = core.NewWaxAware(cl, coreCfg)
 	case PolicyVMTPreserve:
-		s, err = core.NewPreserving(cl, coreCfg, cfg.PreserveUntil, cfg.SacrificeFrac)
+		s, err = core.NewPreserving(cl, coreCfg, cfg.PreserveUntil, cfg.SacrificeFrac.Value())
 	default:
 		return nil, fmt.Errorf("vmt: unknown policy %q", cfg.Policy)
 	}
