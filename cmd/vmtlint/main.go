@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	vmtlint [-list] [-strict] [-cache dir] [-cachestats] [pattern ...]
+//	vmtlint [-list] [-strict] [-json] [-cache dir] [-cachestats] [pattern ...]
 //
 // Patterns are package directories relative to the working directory:
 // "./..." (or no arguments) lints every package in the module,
@@ -21,8 +21,12 @@
 // several-second module reload that dominated each invocation.
 // -cachestats reports hits/misses/type-checks to stderr.
 //
-// Diagnostics print as "file:line: [analyzer] message". Exit status is
-// 0 for a clean tree, 1 if any unsuppressed diagnostic was reported,
+// Diagnostics print as "file:line: [analyzer] message". With -json
+// they print as NDJSON instead — one
+// {"file","line","col","analyzer","message","allowed"} object per line
+// — and include suppressed findings with "allowed": true, so CI can
+// track the waiver inventory. Exit status is 0 for a clean tree, 1 if
+// any unsuppressed diagnostic was reported (in either output mode),
 // and 2 for usage or load errors. Suppress a finding with a trailing
 // or preceding comment:
 //
@@ -50,10 +54,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	strict := flag.Bool("strict", false, "also report //vmtlint:allow directives that suppress nothing")
+	jsonOut := flag.Bool("json", false, "print diagnostics as NDJSON (includes allowed findings)")
 	cacheDir := flag.String("cache", "", "cache per-package diagnostics in `dir`, keyed by content hash")
 	cacheStats := flag.Bool("cachestats", false, "report cache hits/misses and type-check count to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [-strict] [-cache dir] [-cachestats] [pattern ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vmtlint [-list] [-strict] [-json] [-cache dir] [-cachestats] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,13 +75,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vmtlint:", err)
 		os.Exit(2)
 	}
-	os.Exit(run(cwd, flag.Args(), *strict, *cacheDir, *cacheStats, os.Stdout, os.Stderr))
+	os.Exit(run(cwd, flag.Args(), *strict, *jsonOut, *cacheDir, *cacheStats, os.Stdout, os.Stderr))
 }
 
 // run is the testable driver body: lint the packages of the module
 // containing dir that match the patterns, print diagnostics to out,
 // and return the process exit code.
-func run(dir string, patterns []string, strict bool, cacheDir string, cacheStats bool, out, errOut io.Writer) int {
+func run(dir string, patterns []string, strict, jsonOut bool, cacheDir string, cacheStats bool, out, errOut io.Writer) int {
 	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
 		fmt.Fprintln(errOut, "vmtlint:", err)
@@ -123,14 +128,32 @@ func run(dir string, patterns []string, strict bool, cacheDir string, cacheStats
 		fmt.Fprintf(errOut, "vmtlint: cache %d hits, %d misses, %d packages type-checked\n",
 			cache.Hits(), cache.Misses(), loader.Checked())
 	}
-	for _, d := range diags {
-		file := d.Position.Filename
-		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+	// RunCached returns suppressed findings too (Allowed=true): the
+	// JSON stream keeps them for CI, the text view and the exit code
+	// see only live ones.
+	live := lint.Live(diags)
+	if jsonOut {
+		rel := make([]lint.Diagnostic, len(diags))
+		for i, d := range diags {
+			rel[i] = d
+			if r, err := filepath.Rel(dir, d.Position.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel[i].Position.Filename = r
+			}
 		}
-		fmt.Fprintf(out, "%s:%d: [%s] %s\n", file, d.Position.Line, d.Analyzer, d.Message)
+		if err := lint.WriteJSON(out, rel); err != nil {
+			fmt.Fprintln(errOut, "vmtlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range live {
+			file := d.Position.Filename
+			if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Fprintf(out, "%s:%d: [%s] %s\n", file, d.Position.Line, d.Analyzer, d.Message)
+		}
 	}
-	if len(diags) > 0 {
+	if len(live) > 0 {
 		return 1
 	}
 	return 0

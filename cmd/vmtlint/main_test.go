@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"vmt/internal/lint"
 )
 
 // writeModule lays out a throwaway module on disk so the tests can
@@ -37,7 +39,7 @@ func TestRunCleanTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if code := run(cwd, []string{"./..."}, true, "", false, &out, &errOut); code != 0 {
+	if code := run(cwd, []string{"./..."}, true, false, "", false, &out, &errOut); code != 0 {
 		t.Fatalf("run(./...) = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	if out.Len() != 0 {
@@ -58,7 +60,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./..."}, false, "", false, &out, &errOut); code != 1 {
+	if code := run(dir, []string{"./..."}, false, false, "", false, &out, &errOut); code != 1 {
 		t.Fatalf("run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	// Diagnostic contract: file:line: [analyzer] message, path relative
@@ -86,7 +88,7 @@ func Stamp() int64 { return time.Now().UnixNano() }
 `,
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./..."}, false, "", false, &out, &errOut); code != 0 {
+	if code := run(dir, []string{"./..."}, false, false, "", false, &out, &errOut); code != 0 {
 		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 }
@@ -103,12 +105,12 @@ func Stamp() int64 { return 42 }
 `,
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./..."}, false, "", false, &out, &errOut); code != 0 {
+	if code := run(dir, []string{"./..."}, false, false, "", false, &out, &errOut); code != 0 {
 		t.Fatalf("default run = %d, want 0 (stale allows only matter under -strict)\nstdout:\n%s", code, out.String())
 	}
 	out.Reset()
 	errOut.Reset()
-	if code := run(dir, []string{"./..."}, true, "", false, &out, &errOut); code != 1 {
+	if code := run(dir, []string{"./..."}, true, false, "", false, &out, &errOut); code != 1 {
 		t.Fatalf("strict run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
 	re := regexp.MustCompile(`(?m)^internal[/\\]sim[/\\]clean\.go:3: \[allow\] unused vmtlint:allow detrand`)
@@ -123,7 +125,7 @@ func TestRunBadPattern(t *testing.T) {
 		"main.go": "package vmt\n",
 	})
 	var out, errOut bytes.Buffer
-	if code := run(dir, []string{"./nonexistent/..."}, false, "", false, &out, &errOut); code != 2 {
+	if code := run(dir, []string{"./nonexistent/..."}, false, false, "", false, &out, &errOut); code != 2 {
 		t.Fatalf("run(bad pattern) = %d, want 2", code)
 	}
 	if !strings.Contains(errOut.String(), "matched no packages") {
@@ -148,14 +150,14 @@ func Stamp() int64 { return time.Now().UnixNano() }
 	})
 	cacheDir := filepath.Join(t.TempDir(), "lintcache")
 	var coldOut, coldErr bytes.Buffer
-	if code := run(dir, []string{"./..."}, false, cacheDir, true, &coldOut, &coldErr); code != 1 {
+	if code := run(dir, []string{"./..."}, false, false, cacheDir, true, &coldOut, &coldErr); code != 1 {
 		t.Fatalf("cold run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, coldOut.String(), coldErr.String())
 	}
 	if !strings.Contains(coldErr.String(), "cache 0 hits, 2 misses") {
 		t.Errorf("cold stats missing, stderr:\n%s", coldErr.String())
 	}
 	var warmOut, warmErr bytes.Buffer
-	if code := run(dir, []string{"./..."}, false, cacheDir, true, &warmOut, &warmErr); code != 1 {
+	if code := run(dir, []string{"./..."}, false, false, cacheDir, true, &warmOut, &warmErr); code != 1 {
 		t.Fatalf("warm run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, warmOut.String(), warmErr.String())
 	}
 	if !strings.Contains(warmErr.String(), "cache 2 hits, 0 misses, 0 packages type-checked") {
@@ -169,7 +171,78 @@ func Stamp() int64 { return time.Now().UnixNano() }
 func TestRunOutsideModule(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut bytes.Buffer
-	if code := run(dir, nil, false, "", false, &out, &errOut); code != 2 {
+	if code := run(dir, nil, false, false, "", false, &out, &errOut); code != 2 {
 		t.Fatalf("run outside a module = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+}
+
+// TestRunJSON pins the CLI side of the NDJSON contract: one object per
+// line, paths relative to the working directory, suppressed findings
+// kept with allowed:true, and the exit code still driven by live
+// diagnostics only.
+func TestRunJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmt\n\ngo 1.24\n",
+		"internal/sim/clock.go": `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Waived() int64 { return time.Now().UnixNano() } //vmtlint:allow detrand scratch module: exercising json output
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./..."}, false, true, "", false, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	diags, err := lint.ReadJSON(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output is not valid NDJSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one live, one allowed):\n%s", len(diags), out.String())
+	}
+	var live, allowed int
+	for _, d := range diags {
+		if d.Analyzer != "detrand" {
+			t.Errorf("analyzer = %q, want detrand", d.Analyzer)
+		}
+		if filepath.IsAbs(d.Position.Filename) || strings.Contains(d.Position.Filename, dir) {
+			t.Errorf("path should be relative to the working directory: %q", d.Position.Filename)
+		}
+		if d.Allowed {
+			allowed++
+		} else {
+			live++
+		}
+	}
+	if live != 1 || allowed != 1 {
+		t.Errorf("got %d live + %d allowed, want 1 + 1:\n%s", live, allowed, out.String())
+	}
+}
+
+// TestRunJSONCleanExitZero: a tree whose only finding is suppressed
+// still streams that finding but exits 0.
+func TestRunJSONCleanExitZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vmt\n\ngo 1.24\n",
+		"internal/sim/clock.go": `package sim
+
+import "time"
+
+func Waived() int64 { return time.Now().UnixNano() } //vmtlint:allow detrand scratch module: waiver-only tree
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := run(dir, []string{"./..."}, false, true, "", false, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	diags, err := lint.ReadJSON(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !diags[0].Allowed {
+		t.Fatalf("want exactly one allowed finding in the stream, got: %+v", diags)
 	}
 }

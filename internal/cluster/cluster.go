@@ -200,12 +200,16 @@ func (c *Cluster) SetPhysicsWorkers(n int) {
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Len returns the number of servers.
+//
+//vmt:hotpath
 func (c *Cluster) Len() int { return len(c.servers) }
 
 // Server returns server i.
 func (c *Cluster) Server(i int) *Server { return c.servers[i] }
 
 // Servers returns the server slice (shared; do not reorder).
+//
+//vmt:hotpath
 func (c *Cluster) Servers() []*Server { return c.servers }
 
 // MarkFailed crashes server i: it stops drawing power and offering
@@ -247,8 +251,10 @@ func (c *Cluster) BusyCores() int {
 // WorkloadIndex returns the registry index for w (assigning one if w
 // is new to the cluster). Schedulers resolve the index once per scan
 // and use Server.JobsAt for hash-free count reads.
+//
+//vmt:hotpath
 func (c *Cluster) WorkloadIndex(w workload.Workload) int {
-	return c.reg.intern(w)
+	return c.reg.intern(w) //vmtlint:allow hotpath interning miss is once per workload name; steady-state scans hit the memo
 }
 
 // JobCount returns the cluster-wide job count for workload w.
@@ -438,6 +444,8 @@ func (c *Cluster) stepPhysics(dt time.Duration) error {
 // temperatures. Estimators are per-server independent, so running all
 // of a chunk's updates after its physics (rather than interleaved
 // per-server) changes no values.
+//
+//vmt:hotpath
 func (c *Cluster) updateEstimators(lo, hi int, dt time.Duration) {
 	v := c.fleet.View()
 	// Walk the dense estimator column directly (servers[i].est aliases

@@ -79,11 +79,15 @@ func (s *Server) ID() int { return s.id }
 func (s *Server) Cores() int { return s.cores }
 
 // BusyCores returns the number of occupied cores.
+//
+//vmt:hotpath
 func (s *Server) BusyCores() int { return s.busyCores }
 
 // FreeCores returns the number of unoccupied cores. A failed server
 // has none, which keeps every scheduler scan loop from placing onto
 // it without any policy-side special-casing.
+//
+//vmt:hotpath
 func (s *Server) FreeCores() int {
 	if s.failed {
 		return 0
@@ -92,6 +96,8 @@ func (s *Server) FreeCores() int {
 }
 
 // Failed reports whether the server is currently crashed.
+//
+//vmt:hotpath
 func (s *Server) Failed() bool { return s.failed }
 
 // Estimator exposes the server's melt-fraction estimator so fault
@@ -110,6 +116,8 @@ func (s *Server) Jobs(w workload.Workload) int {
 // JobsAt returns the job count for the workload with the given
 // registry index (see Cluster.WorkloadIndex) — the allocation- and
 // hash-free fast path the schedulers' scan loops use.
+//
+//vmt:hotpath
 func (s *Server) JobsAt(i int) int {
 	if i < 0 || i >= len(s.counts) {
 		return 0

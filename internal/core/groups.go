@@ -95,6 +95,8 @@ func (g *groups) sizeForAlive(target int) int {
 // closure (capturing the comparison state) was a measurable share of
 // whole-run CPU. Each scan over a non-empty range advances the cursor
 // by exactly one.
+//
+//vmt:hotpath
 func (g *groups) leastBusy(lo, hi int, w workload.Workload, keep func(*cluster.Server) bool) *cluster.Server {
 	wi := g.c.WorkloadIndex(w)
 	n := hi - lo
@@ -154,6 +156,8 @@ func (g *groups) leastBusy(lo, hi int, w workload.Workload, keep func(*cluster.S
 // mostBusyWith returns the server in [lo,hi) running w with the most
 // jobs of w (ties rotating), optionally filtered by keep. Direct loop
 // for the same reason as leastBusy.
+//
+//vmt:hotpath
 func (g *groups) mostBusyWith(lo, hi int, w workload.Workload, keep func(*cluster.Server) bool) *cluster.Server {
 	wi := g.c.WorkloadIndex(w)
 	n := hi - lo

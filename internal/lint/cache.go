@@ -40,7 +40,7 @@ import (
 
 // cacheVersion names the on-disk entry format and the key recipe. Bump
 // it when either changes shape.
-const cacheVersion = "vmtlint-cache-v1"
+const cacheVersion = "vmtlint-cache-v2"
 
 // Cache is a directory of per-package diagnostic entries keyed by
 // content hash. The zero value is not usable; OpenCache creates the
@@ -76,6 +76,7 @@ type cachedDiag struct {
 	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed,omitempty"`
 }
 
 // cacheEntry is the on-disk record for one (package, key) pair.
@@ -111,6 +112,7 @@ func (c *Cache) get(key, modDir string) ([]Diagnostic, bool) {
 			Position: token.Position{Filename: file, Offset: d.Offset, Line: d.Line, Column: d.Column},
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
+			Allowed:  d.Allowed,
 		})
 	}
 	return diags, true
@@ -132,6 +134,7 @@ func (c *Cache) put(key, modDir string, diags []Diagnostic) error {
 			Column:   d.Position.Column,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
+			Allowed:  d.Allowed,
 		})
 	}
 	data, err := json.MarshalIndent(e, "", "  ")
@@ -280,7 +283,8 @@ func (e *TypeCheckError) Error() string {
 // RunCached lints the named module packages, answering from cache
 // where the key matches and type-checking only the misses. With a nil
 // cache it degrades to the plain Run/RunStrict path. Diagnostics come
-// back in the driver's canonical order.
+// back in the driver's canonical order and include suppressed findings
+// (Allowed=true) — filter with Live for the exit-code view.
 func RunCached(l *Loader, cache *Cache, paths []string, analyzers []*Analyzer, strict bool) ([]Diagnostic, error) {
 	keyer := NewKeyer(l)
 	var all []Diagnostic

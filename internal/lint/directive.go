@@ -1,0 +1,216 @@
+package lint
+
+// Annotation syntax. Alongside the //vmtlint: suppression namespace,
+// the analyzers read a //vmt: namespace of positive annotations:
+//
+//	//vmt:hotpath
+//	    On a function's doc comment: the function body must be free of
+//	    alloc-prone constructs (the hotpath analyzer's contract).
+//
+//	//vmt:kernel <group> <oracle|mirror>
+//	    On a function's doc comment: the whole body is a kernel region
+//	    of <group>.
+//
+//	//vmt:kernel <group> <oracle|mirror> begin
+//	//vmt:kernel end
+//	    Inside a function body: the statements between the two markers
+//	    (within one block) form a kernel region of <group>.
+//
+// Every group must have exactly one oracle; every mirror must be
+// structurally equivalent to it under the kernelparity analyzer's
+// name-normalizing comparison.
+//
+// Like the suppression grammar, the annotation grammar is strict and
+// typo-hostile: a malformed //vmt: comment is a diagnostic from the
+// always-on, unsuppressable "allow" pseudo-analyzer, so a misspelled
+// role can never silently drop a function out of the discipline it
+// claims.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+const vmtMarker = "vmt:"
+
+// kernelRoleOracle and kernelRoleMirror are the two kernel roles.
+const (
+	kernelRoleOracle = "oracle"
+	kernelRoleMirror = "mirror"
+)
+
+// KernelDirective is one parsed //vmt:kernel comment.
+type KernelDirective struct {
+	// Group names the kernel family ("substep"). Empty for end markers.
+	Group string
+	// Role is "oracle" or "mirror". Empty for end markers.
+	Role string
+	// Region is true for begin/end marker forms (a statement region
+	// inside a body), false for the whole-function doc-comment form.
+	Region bool
+	// End is true for the closing "//vmt:kernel end" marker.
+	End bool
+}
+
+// vmtBody extracts the directive body of a raw comment: the text after
+// the "vmt:" marker. ok is false for comments that are not //vmt:
+// directives at all. A block comment or a space before the marker is
+// directive material with a syntax error, mirroring ParseAllowComment.
+func vmtBody(raw string) (body string, ok bool, err error) {
+	var inner string
+	var block bool
+	switch {
+	case strings.HasPrefix(raw, "//"):
+		inner = raw[2:]
+	case strings.HasPrefix(raw, "/*"):
+		inner = strings.TrimSuffix(raw[2:], "*/")
+		block = true
+	default:
+		return "", false, nil
+	}
+	trimmed := strings.TrimSpace(inner)
+	if !strings.HasPrefix(trimmed, vmtMarker) {
+		return "", false, nil
+	}
+	if block {
+		return "", true, fmt.Errorf("vmt directive must be a line comment (//%s...), not a block comment", vmtMarker)
+	}
+	if !strings.HasPrefix(inner, vmtMarker) {
+		return "", true, fmt.Errorf("malformed vmt directive: no space allowed between // and %q", vmtMarker)
+	}
+	return strings.TrimPrefix(inner, vmtMarker), true, nil
+}
+
+// vmtVerb splits a directive body into its verb and the remainder.
+func vmtVerb(body string) (verb, rest string) {
+	verb = body
+	if i := strings.IndexFunc(body, isSpace); i >= 0 {
+		verb, rest = body[:i], body[i:]
+	}
+	return verb, rest
+}
+
+// ParseHotpathComment parses one raw comment as a //vmt:hotpath
+// directive. nil means the comment is a well-formed hotpath
+// annotation; ErrNotDirective means it is an ordinary comment or some
+// other //vmt: verb; any other error describes a malformed hotpath
+// directive.
+func ParseHotpathComment(raw string) error {
+	body, ok, err := vmtBody(raw)
+	if !ok {
+		return ErrNotDirective
+	}
+	if err != nil {
+		return err
+	}
+	verb, rest := vmtVerb(body)
+	if verb != "hotpath" {
+		return ErrNotDirective
+	}
+	if strings.TrimSpace(rest) != "" {
+		return fmt.Errorf("vmt:hotpath takes no arguments (got %q); the annotation is the whole contract", strings.TrimSpace(rest))
+	}
+	return nil
+}
+
+// ParseKernelComment parses one raw comment as a //vmt:kernel
+// directive. ErrNotDirective means the comment is ordinary or some
+// other //vmt: verb; any other error describes a malformed kernel
+// directive.
+func ParseKernelComment(raw string) (KernelDirective, error) {
+	body, ok, err := vmtBody(raw)
+	if !ok {
+		return KernelDirective{}, ErrNotDirective
+	}
+	if err != nil {
+		return KernelDirective{}, err
+	}
+	verb, rest := vmtVerb(body)
+	if verb != "kernel" {
+		return KernelDirective{}, ErrNotDirective
+	}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return KernelDirective{}, fmt.Errorf("vmt:kernel needs arguments: \"<group> <oracle|mirror> [begin]\" or \"end\"")
+	case len(fields) == 1 && fields[0] == "end":
+		return KernelDirective{Region: true, End: true}, nil
+	case len(fields) == 1:
+		return KernelDirective{}, fmt.Errorf("vmt:kernel %s is missing a role (oracle or mirror)", fields[0])
+	}
+	group, role := fields[0], fields[1]
+	if group == "end" {
+		return KernelDirective{}, fmt.Errorf("vmt:kernel group may not be named %q (reserved for the end marker)", "end")
+	}
+	if !validKernelGroup(group) {
+		return KernelDirective{}, fmt.Errorf("vmt:kernel group %q must be letters, digits, '_' or '-'", group)
+	}
+	if role != kernelRoleOracle && role != kernelRoleMirror {
+		return KernelDirective{}, fmt.Errorf("vmt:kernel %s has unknown role %q (want oracle or mirror)", group, role)
+	}
+	switch {
+	case len(fields) == 2:
+		return KernelDirective{Group: group, Role: role}, nil
+	case len(fields) == 3 && fields[2] == "begin":
+		return KernelDirective{Group: group, Role: role, Region: true}, nil
+	default:
+		return KernelDirective{}, fmt.Errorf("vmt:kernel %s %s: trailing %q (only \"begin\" may follow the role)", group, role, strings.Join(fields[2:], " "))
+	}
+}
+
+func validKernelGroup(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// collectVmtDiags scans a package's comments for malformed //vmt:
+// directives — including unknown verbs, so a typo can never silently
+// drop an annotation. Well-formed directives produce nothing here;
+// the analyzers that consume them do their own semantic validation.
+func collectVmtDiags(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				body, ok, err := vmtBody(c.Text)
+				var msg string
+				switch {
+				case !ok:
+					continue
+				case err != nil:
+					msg = err.Error()
+				default:
+					verb, _ := vmtVerb(body)
+					switch verb {
+					case "hotpath":
+						if herr := ParseHotpathComment(c.Text); herr != nil && !errors.Is(herr, ErrNotDirective) {
+							msg = herr.Error()
+						}
+					case "kernel":
+						if _, kerr := ParseKernelComment(c.Text); kerr != nil && !errors.Is(kerr, ErrNotDirective) {
+							msg = kerr.Error()
+						}
+					default:
+						msg = fmt.Sprintf("unknown vmt directive %q (hotpath and kernel exist)", verb)
+					}
+				}
+				if msg == "" {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Position: pkg.Fset.Position(c.Pos()),
+					Analyzer: AllowAnalyzerName,
+					Message:  msg,
+				})
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+)
+
+// NDJSON diagnostics for CI consumption: one JSON object per line, so
+// a consumer can stream, grep, or `jq -c` without buffering the whole
+// report. The stream includes suppressed findings with "allowed": true
+// — CI dashboards want to see what was waived, not just what fired.
+
+// jsonDiag is the wire form of one Diagnostic. Offset is omitted
+// deliberately: it is a byte position into a FileSet the consumer
+// doesn't have, and keeping it out makes the round trip exact.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
+}
+
+// WriteJSON writes diagnostics as NDJSON, one object per line.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline NDJSON needs
+	for _, d := range diags {
+		jd := jsonDiag{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Allowed:  d.Allowed,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes an NDJSON diagnostics stream written by WriteJSON.
+// Blank lines are skipped; anything else that fails to decode is an
+// error naming the offending line.
+func ReadJSON(r io.Reader) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var jd jsonDiag
+		if err := json.Unmarshal(line, &jd); err != nil {
+			return nil, fmt.Errorf("lint: NDJSON line %d: %w", lineNo, err)
+		}
+		diags = append(diags, Diagnostic{
+			Position: token.Position{Filename: jd.File, Line: jd.Line, Column: jd.Col},
+			Analyzer: jd.Analyzer,
+			Message:  jd.Message,
+			Allowed:  jd.Allowed,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading NDJSON: %w", err)
+	}
+	return diags, nil
+}

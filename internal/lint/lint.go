@@ -22,7 +22,7 @@ type Analyzer struct {
 
 // Analyzers is the registry the driver and the //vmtlint:allow
 // validator share. Order is presentation order for `vmtlint -list`.
-var Analyzers = []*Analyzer{Detrand, MapOrder, FloatEq, FloatKey, CacheKey}
+var Analyzers = []*Analyzer{Detrand, MapOrder, FloatEq, FloatKey, CacheKey, Hotpath, KernelParity}
 
 // AllowAnalyzerName is the pseudo-analyzer that owns diagnostics about
 // the suppression comments themselves (malformed directive, unknown
@@ -50,6 +50,10 @@ type Diagnostic struct {
 	Position token.Position
 	Analyzer string
 	Message  string
+	// Allowed marks a finding suppressed by a //vmtlint:allow directive.
+	// The public Run entry points drop allowed diagnostics; the cache
+	// and the -json output keep them so CI can see what was waived.
+	Allowed bool
 }
 
 func (d Diagnostic) String() string {
@@ -77,17 +81,28 @@ func RunStrict(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 func runAll(pkgs []*Package, analyzers []*Analyzer, strict bool) []Diagnostic {
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, analyzers, true, strict)...)
+		all = append(all, Live(runPackage(pkg, analyzers, true, strict))...)
 	}
 	sortDiagnostics(all)
 	return all
+}
+
+// Live filters diagnostics down to the unsuppressed ones.
+func Live(diags []Diagnostic) []Diagnostic {
+	live := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if !d.Allowed {
+			live = append(live, d)
+		}
+	}
+	return live
 }
 
 // RunUnscoped is Run for a single package with Scope rules ignored —
 // the fixture-test entry point, where a testdata package stands in for
 // a real one.
 func RunUnscoped(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	diags := runPackage(pkg, analyzers, false, false)
+	diags := Live(runPackage(pkg, analyzers, false, false))
 	sortDiagnostics(diags)
 	return diags
 }
@@ -95,13 +110,17 @@ func RunUnscoped(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // RunUnscopedStrict is RunUnscoped with unused-allow detection, for
 // fixtures that pin strict mode's diagnostics.
 func RunUnscopedStrict(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	diags := runPackage(pkg, analyzers, false, true)
+	diags := Live(runPackage(pkg, analyzers, false, true))
 	sortDiagnostics(diags)
 	return diags
 }
 
+// runPackage returns every diagnostic of one package, suppressed ones
+// included (marked Allowed rather than dropped, so the cache and the
+// -json output retain them).
 func runPackage(pkg *Package, analyzers []*Analyzer, useScope, strict bool) []Diagnostic {
 	allows, diags := collectAllows(pkg)
+	diags = append(diags, collectVmtDiags(pkg)...)
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		if useScope && a.Scope != nil && !a.Scope(pkg.Path) {
@@ -111,17 +130,15 @@ func runPackage(pkg *Package, analyzers []*Analyzer, useScope, strict bool) []Di
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 		a.Run(pass)
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if d.Analyzer != AllowAnalyzerName && allows.covers(d) {
-			continue
+	for i := range diags {
+		if diags[i].Analyzer != AllowAnalyzerName && allows.covers(diags[i]) {
+			diags[i].Allowed = true
 		}
-		kept = append(kept, d)
 	}
 	if strict {
-		kept = append(kept, allows.unused(ran)...)
+		diags = append(diags, allows.unused(ran)...)
 	}
-	return kept
+	return diags
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -50,6 +50,11 @@ type Package struct {
 	// means the loader's import environment is broken — the driver
 	// treats it as a hard failure rather than linting half-typed code.
 	TypeErrors []error
+
+	// loader is the Loader that type-checked this package; the
+	// module-wide analyzers (detrand taint, hotpath) reach through it
+	// for facts about the packages this one's identifiers resolve into.
+	loader *Loader
 }
 
 // Loader discovers and type-checks the packages of one Go module
@@ -69,6 +74,7 @@ type Loader struct {
 	gc      types.Importer
 	source  types.Importer
 	checked int
+	mod     *moduleInfo
 }
 
 // NewLoader discovers the module rooted at moduleDir (the directory
@@ -265,7 +271,7 @@ func (l *Loader) check(path, dir string, files []string, overlay map[string]stri
 	defer delete(l.loading, path)
 	l.checked++
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, loader: l}
 	for _, name := range files {
 		var src any
 		if overlay != nil {
@@ -314,6 +320,12 @@ func (l *Loader) isModuleLocal(path string) bool {
 // paths from the loader's memoized packages, everything else from the
 // gc importer (compiled export data, fast) with a from-source fallback.
 func (l *Loader) importFor(path string) (*types.Package, error) {
+	// Anything already loaded under this path wins — this lets one
+	// testdata fixture import another that was loaded into the same
+	// loader under a synthetic path.
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
 	if l.isModuleLocal(path) {
 		p, err := l.Load(path)
 		if err != nil {

@@ -28,10 +28,11 @@ func deadline(t time.Time) time.Duration {
 }
 
 // Referencing the function without calling it is still a wall-clock
-// dependency.
+// dependency, and the function-typed variable it lands in is tainted:
+// calling it later is diagnosed too.
 func alias() time.Time {
 	clock := time.Now // want "time.Now reads the wall clock"
-	return clock()
+	return clock()    // want "clock transitively reaches time.Now"
 }
 
 // Negatives: simulation-time arithmetic and look-alike methods on

@@ -1,0 +1,39 @@
+// Package detrandtaint is the scoped half of the interprocedural taint
+// fixture: references into detrandtaintdep helpers that transitively
+// reach the wall clock are diagnosed here, at the reference site, with
+// the call chain in the message.
+package detrandtaint
+
+import (
+	"time"
+
+	dep "fixture/detrandtaintdep"
+)
+
+func direct() time.Time {
+	return dep.Stamp() // want "detrandtaintdep.Stamp transitively reaches time.Now"
+}
+
+func indirect(t0 time.Time) time.Duration {
+	return dep.Elapsed(t0) // want "detrandtaintdep.Elapsed transitively reaches time.Since"
+}
+
+// A method value carries its method's taint.
+func methodValue(p *dep.Profiler) func() time.Duration {
+	return p.Lap // want "detrandtaintdep.Profiler.Lap transitively reaches time.Since"
+}
+
+// A function-typed field assigned from a tainted function is tainted.
+func fieldCall(p *dep.Profiler) time.Time {
+	return p.Begin() // want "Begin transitively reaches time.Now"
+}
+
+// Deterministic dependency helpers are not diagnosed.
+func clean(d time.Duration) time.Duration {
+	return dep.Scale(d)
+}
+
+// The allow machinery covers transitive findings like any other.
+func sanctioned() time.Time {
+	return dep.Stamp() //vmtlint:allow detrand fixture: observational timing only
+}

@@ -1,0 +1,28 @@
+// Package detrandtaintdep is the unscoped half of the interprocedural
+// taint fixture: helpers here read the wall clock, and detrandtaint
+// (the scoped consumer) must see that taint at its reference sites.
+// Nothing in this package is linted directly.
+package detrandtaintdep
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Scale is deterministic; references to it must stay clean.
+func Scale(d time.Duration) time.Duration { return 2 * d }
+
+// Profiler carries wall-clock taint in a function-typed field and a
+// method.
+type Profiler struct {
+	Begin func() time.Time
+}
+
+// NewProfiler seeds Begin with the tainted Stamp.
+func NewProfiler() *Profiler { return &Profiler{Begin: Stamp} }
+
+// Lap reads the wall clock through time.Since and the Begin field.
+func (p *Profiler) Lap() time.Duration { return time.Since(p.Begin()) }

@@ -1,0 +1,21 @@
+// Package directivebad is a vmtlint fixture: malformed //vmt:
+// directives are diagnostics from the always-on, unsuppressable allow
+// pseudo-analyzer, so a typo can never silently drop an annotation.
+package directivebad
+
+/* want "vmt:hotpath takes no arguments" */ //vmt:hotpath always
+/* want "vmt:kernel needs arguments" */ //vmt:kernel
+/* want "missing a role" */ //vmt:kernel substep
+/* want `may not be named "end"` */ //vmt:kernel end oracle
+/* want "must be letters, digits" */ //vmt:kernel sub.step oracle
+/* want `unknown role "driver"` */ //vmt:kernel substep driver
+/* want `trailing "begin now"` */ //vmt:kernel substep oracle begin now
+/* want `unknown vmt directive "teleport"` */ //vmt:teleport
+/* want "no space allowed" */ // vmt:hotpath
+/* want "must be a line comment" */ /* vmt:hotpath */
+
+// Well-formed directives produce nothing here; the analyzers that
+// consume them do their own semantic validation.
+//
+//vmt:hotpath
+func fine() {}

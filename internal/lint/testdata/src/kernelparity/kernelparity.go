@@ -1,0 +1,129 @@
+// Package kernelparity is a vmtlint fixture: //vmt:kernel groups that
+// must verify (α-renamed scalar↔slot forms, op= against its desugared
+// spelling), a mirror that genuinely diverges, and every structural
+// misuse of the directive grammar.
+package kernelparity
+
+// The passing region form: the mirror writes slot expressions and the
+// plain-assignment spelling of the oracle's op=; both serialize to the
+// same canonical stream.
+func scaleOracle(acc, k float64) float64 {
+	//vmt:kernel scale oracle begin
+	acc += k * 2
+	//vmt:kernel end
+	return acc
+}
+
+func scaleMirror(v []float64, j int, kk float64) {
+	//vmt:kernel scale mirror begin
+	v[j] = v[j] + kk*2
+	//vmt:kernel end
+}
+
+// The passing whole-function form, scalar against slots.
+//
+//vmt:kernel proj oracle
+func projOracle(h, lo, inv float64) float64 {
+	if h < lo {
+		return h * inv
+	}
+	return lo
+}
+
+// projMirror is projOracle lane-for-lane.
+//
+//vmt:kernel proj mirror
+func projMirror(hv []float64, lov, invv []float64, j int) float64 {
+	if hv[j] < lov[j] {
+		return hv[j] * invv[j]
+	}
+	return lov[j]
+}
+
+// A real divergence: the mirror adds a where the oracle adds b. The
+// diagnostic lands on the exact divergent token.
+func saxpyOracle(a, x, b float64) float64 {
+	var y, out float64
+	//vmt:kernel saxpy oracle begin
+	y = a*x + b
+	out = y
+	//vmt:kernel end
+	return out
+}
+
+func saxpyMirror(a, x, b float64) float64 {
+	var y, out float64
+	//vmt:kernel saxpy mirror begin
+	y = a*x + a // want `kernel group "saxpy" diverges from oracle: "v2" here, "v4" in the oracle`
+	out = y
+	//vmt:kernel end
+	return out
+}
+
+// Lane discipline: one region may use only one lane index.
+func lanesOracle(acc, d float64) float64 {
+	//vmt:kernel lanes oracle begin
+	acc += d
+	//vmt:kernel end
+	return acc
+}
+
+func lanesMirror(v, w []float64, j, k int) {
+	//vmt:kernel lanes mirror begin
+	v[j] = v[j] + w[k] // want "uses a second lane index \"k\""
+	//vmt:kernel end
+}
+
+// Constructs the serializer does not understand are conservative
+// errors, never silent passes.
+func weirdOracle(ch chan int) {
+	//vmt:kernel weird oracle begin
+	ch <- 1 // want "oracle: unsupported statement"
+	//vmt:kernel end
+}
+
+func weirdMirror(ch chan int) {
+	//vmt:kernel weird mirror begin
+	ch <- 1
+	//vmt:kernel end
+}
+
+// Group-structure misuses.
+func noOracle(x float64) float64 {
+	/* want "has no oracle in this package" */ //vmt:kernel orphangroup mirror begin
+	x += 1
+	//vmt:kernel end
+	return x
+}
+
+func noMirror(x float64) float64 {
+	/* want "has no mirror; nothing to verify" */ //vmt:kernel lonely oracle begin
+	x += 1
+	//vmt:kernel end
+	return x
+}
+
+func dupOracle(x float64) float64 {
+	/* want "has no mirror; nothing to verify" */ //vmt:kernel dup oracle begin
+	x += 1
+	//vmt:kernel end
+	/* want `duplicate oracle for kernel group "dup"` */ //vmt:kernel dup oracle begin
+	x += 1
+	//vmt:kernel end
+	return x
+}
+
+// Marker misuses.
+func markerMisuse(x float64) float64 {
+	/* want "end without a matching begin" */ //vmt:kernel end
+	/* want "has no mirror" */ //vmt:kernel nest1 oracle begin
+	/* want "regions cannot nest in one block" */ //vmt:kernel nest2 oracle begin
+	x += 1
+	//vmt:kernel end
+	/* want "empty vmt:kernel region" */ //vmt:kernel empty oracle begin
+	//vmt:kernel end
+	/* want "must be a function's doc comment" */ //vmt:kernel stray oracle
+	return x
+}
+
+/* want "marker outside any function body" */ //vmt:kernel end

@@ -59,6 +59,8 @@ func (cv *curve) enthalpyAt(tempC float64) float64 {
 // state maps an enthalpy to (temperature, melt fraction). Inside the
 // melting segment the temperature is pinned exactly at the melting
 // point and the fraction interpolates linearly across the latent span.
+//
+//vmt:hotpath
 func (cv *curve) state(h float64) (tempC, meltFrac float64) {
 	switch {
 	case h < cv.hMeltLoJ:
@@ -73,6 +75,8 @@ func (cv *curve) state(h float64) (tempC, meltFrac float64) {
 // tempAt is the temperature-only projection of state, for integrator
 // loops that advance enthalpy many substeps per reporting interval and
 // only need the melt fraction once at the end.
+//
+//vmt:hotpath
 func (cv *curve) tempAt(h float64) float64 {
 	switch {
 	case h < cv.hMeltLoJ:

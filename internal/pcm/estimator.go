@@ -133,6 +133,8 @@ func tableFor(hAWPerK float64) []float64 {
 // lookup returns the tabulated heat flow for the given temperature
 // difference, rounding to the nearest bucket center and clamping
 // out-of-range differences to the table edges.
+//
+//vmt:hotpath
 func (e *Estimator) lookup(deltaC float64) float64 {
 	i := int((deltaC-e.minDeltaC)*e.invBucketWidthC + 0.5)
 	if i < 0 {
@@ -148,6 +150,8 @@ func (e *Estimator) lookup(deltaC float64) float64 {
 // at the wax. Call once per model period (the paper uses one minute).
 // The update subdivides internally so the shadow state stays stable
 // even though the wax time constant is shorter than the period.
+//
+//vmt:hotpath
 func (e *Estimator) Update(airTempC float64, dt time.Duration) {
 	const subStep = 10 * time.Second
 	if e.sensor != nil {

@@ -74,9 +74,13 @@ func (p *Pack) Material() Material { return p.mat }
 func (p *Pack) MassKg() float64 { return p.massKg }
 
 // TempC returns the current wax temperature.
+//
+//vmt:hotpath
 func (p *Pack) TempC() float64 { return p.tempC }
 
 // MeltFrac returns the melted fraction in [0,1].
+//
+//vmt:hotpath
 func (p *Pack) MeltFrac() float64 { return p.meltFrac }
 
 // LatentCapacityJ returns the total latent storage capacity (mass ×
@@ -113,16 +117,22 @@ func (p *Pack) AddEnergyJ(energy float64) {
 // integrator loop (thermal.Node) can advance the pack on locals and
 // commit once via SetEnthalpyJ — the per-substep cost is then one
 // addition plus one TempAtEnthalpyJ projection.
+//
+//vmt:hotpath
 func (p *Pack) IntegratorState() (hJ, tempC float64) { return p.hJ, p.tempC }
 
 // TempAtEnthalpyJ projects an enthalpy through the pack's curve to a
 // temperature without touching pack state — the per-substep companion
 // of IntegratorState.
+//
+//vmt:hotpath
 func (p *Pack) TempAtEnthalpyJ(h float64) float64 { return p.cv.tempAt(h) }
 
 // SetEnthalpyJ commits an externally integrated enthalpy and refreshes
 // the cached temperature and melt fraction. Equivalent to AddEnergyJ
 // of the accumulated delta.
+//
+//vmt:hotpath
 func (p *Pack) SetEnthalpyJ(h float64) {
 	p.hJ = h
 	p.tempC, p.meltFrac = p.cv.state(h)

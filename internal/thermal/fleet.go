@@ -230,21 +230,23 @@ func (f *Fleet) Initialized() bool {
 //
 // Ranges that do not overlap may be stepped concurrently: the kernel
 // reads and writes only index i of every slice while on server i.
+//
+//vmt:hotpath
 func (f *Fleet) StepRange(lo, hi int, power []float64, dt time.Duration) (int, error) {
 	if lo < 0 || hi > f.n || lo > hi {
-		return lo, fmt.Errorf("thermal: fleet range [%d,%d) out of bounds [0,%d)", lo, hi, f.n)
+		return lo, fmt.Errorf("thermal: fleet range [%d,%d) out of bounds [0,%d)", lo, hi, f.n) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	if dt <= 0 {
-		return lo, fmt.Errorf("thermal: non-positive step %v", dt)
+		return lo, fmt.Errorf("thermal: non-positive step %v", dt) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	sec := dt.Seconds()
 	for i := lo; i < hi; i++ {
 		if !f.init[i] {
-			return i, fmt.Errorf("thermal: fleet server %d not initialized", i)
+			return i, fmt.Errorf("thermal: fleet server %d not initialized", i) //vmtlint:allow hotpath error path, off the steady-state path
 		}
 		powerW := power[i]
 		if powerW < 0 {
-			return i, fmt.Errorf("thermal: negative power %v", powerW)
+			return i, fmt.Errorf("thermal: negative power %v", powerW) //vmtlint:allow hotpath error path, off the steady-state path
 		}
 
 		airC0 := f.airC[i]
@@ -301,6 +303,7 @@ func (f *Fleet) StepRange(lo, hi int, power []float64, dt time.Duration) (int, e
 		nFull := int(dt / sub)
 		partial := dt - time.Duration(nFull)*sub
 		for k := 0; k < nFull; k++ {
+			//vmt:kernel substep mirror begin
 			toRoom := kAir * (airC - inlet)
 			toWax := hWax * (airC - waxT)
 			airC += subSec * (powerW - toRoom - toWax) * invCAir
@@ -316,15 +319,18 @@ func (f *Fleet) StepRange(lo, hi int, power []float64, dt time.Duration) (int, e
 			}
 			ejected += toRoom * subSec
 			stored += toWax * subSec
+			//vmt:kernel end
 		}
 		if partial > 0 {
 			psec := partial.Seconds()
+			//vmt:kernel substep-tail mirror begin
 			toRoom := kAir * (airC - inlet)
 			toWax := hWax * (airC - waxT)
 			airC += psec * (powerW - toRoom - toWax) * invCAir
 			waxH += toWax * psec
 			ejected += toRoom * psec
 			stored += toWax * psec
+			//vmt:kernel end
 		}
 
 		f.airC[i] = airC
@@ -381,12 +387,14 @@ const vecLanes = 8
 // lane hits its step-transition memo (replay is already cheap), or
 // when lanes disagree on substep length (the substep loop needs one
 // trip count).
+//
+//vmt:hotpath
 func (f *Fleet) StepRangeVec(lo, hi int, power []float64, dt time.Duration) (int, error) {
 	if lo < 0 || hi > f.n || lo > hi {
-		return lo, fmt.Errorf("thermal: fleet range [%d,%d) out of bounds [0,%d)", lo, hi, f.n)
+		return lo, fmt.Errorf("thermal: fleet range [%d,%d) out of bounds [0,%d)", lo, hi, f.n) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	if dt <= 0 {
-		return lo, fmt.Errorf("thermal: non-positive step %v", dt)
+		return lo, fmt.Errorf("thermal: non-positive step %v", dt) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	sec := dt.Seconds()
 	for g := lo; g < hi; {
@@ -410,6 +418,8 @@ func (f *Fleet) StepRangeVec(lo, hi int, power []float64, dt time.Duration) (int
 // vecEligible reports whether servers [g, g+vecLanes) can take the
 // substep-major path: all initialized, non-negative power, a shared
 // substep length, and no pending memo replay.
+//
+//vmt:hotpath
 func (f *Fleet) vecEligible(g int, power []float64, dt time.Duration) bool {
 	sub := f.subStep[g]
 	for j := 0; j < vecLanes; j++ {
@@ -433,10 +443,14 @@ func (f *Fleet) vecEligible(g int, power []float64, dt time.Duration) bool {
 }
 
 // stepGroup integrates servers [g, g+vecLanes) substep-major. Every
-// statement in the lane body is the corresponding StepRange statement
-// verbatim on gathered locals — expression for expression, in the same
-// order — so each lane's result is bit-identical to the scalar loop's.
-// The caller (StepRangeVec) has already validated every lane.
+// statement in the lane body is the corresponding Node.Step statement
+// on lane slots — expression for expression, in the same order — so
+// each lane's result is bit-identical to the scalar loop's. The
+// kernelparity analyzer verifies the marked regions against the
+// oracle's structurally. The caller (StepRangeVec) has already
+// validated every lane.
+//
+//vmt:hotpath
 func (f *Fleet) stepGroup(g int, power []float64, sec float64, dt time.Duration) {
 	var (
 		airV, waxHV, waxTV                [vecLanes]float64
@@ -470,35 +484,35 @@ func (f *Fleet) stepGroup(g int, power []float64, sec float64, dt time.Duration)
 	partial := dt - time.Duration(nFull)*sub
 	for k := 0; k < nFull; k++ {
 		for j := 0; j < vecLanes; j++ {
-			airC := airV[j]
-			waxT := waxTV[j]
-			toRoom := kAirV[j] * (airC - inletV[j])
-			toWax := hWaxV[j] * (airC - waxT)
-			airV[j] = airC + subSec*(powV[j]-toRoom-toWax)*invCAirV[j]
-			waxH := waxHV[j] + toWax*subSec
-			waxHV[j] = waxH
+			//vmt:kernel substep mirror begin
+			toRoom := kAirV[j] * (airV[j] - inletV[j])
+			toWax := hWaxV[j] * (airV[j] - waxTV[j])
+			airV[j] += subSec * (powV[j] - toRoom - toWax) * invCAirV[j]
+			waxHV[j] += toWax * subSec
 			switch {
-			case waxH < hLoV[j]:
-				waxTV[j] = waxH * invSolV[j]
-			case waxH >= hHiV[j]:
-				waxTV[j] = mCV[j] + (waxH-hHiV[j])*invLiqV[j]
+			case waxHV[j] < hLoV[j]:
+				waxTV[j] = waxHV[j] * invSolV[j]
+			case waxHV[j] >= hHiV[j]:
+				waxTV[j] = mCV[j] + (waxHV[j]-hHiV[j])*invLiqV[j]
 			default:
 				waxTV[j] = mCV[j]
 			}
 			ejV[j] += toRoom * subSec
 			stV[j] += toWax * subSec
+			//vmt:kernel end
 		}
 	}
 	if partial > 0 {
 		psec := partial.Seconds()
 		for j := 0; j < vecLanes; j++ {
-			airC := airV[j]
-			toRoom := kAirV[j] * (airC - inletV[j])
-			toWax := hWaxV[j] * (airC - waxTV[j])
-			airV[j] = airC + psec*(powV[j]-toRoom-toWax)*invCAirV[j]
+			//vmt:kernel substep-tail mirror begin
+			toRoom := kAirV[j] * (airV[j] - inletV[j])
+			toWax := hWaxV[j] * (airV[j] - waxTV[j])
+			airV[j] += psec * (powV[j] - toRoom - toWax) * invCAirV[j]
 			waxHV[j] += toWax * psec
 			ejV[j] += toRoom * psec
 			stV[j] += toWax * psec
+			//vmt:kernel end
 		}
 	}
 	for j := 0; j < vecLanes; j++ {
@@ -532,6 +546,8 @@ func (f *Fleet) stepGroup(g int, power []float64, sec float64, dt time.Duration)
 // cached temperature and melt-fraction projections (curve.state,
 // inlined — melt fraction keeps true division by the latent heat so it
 // can never round above 1 inside the segment).
+//
+//vmt:hotpath
 func (f *Fleet) commitWax(i int, h float64) {
 	f.waxHJ[i] = h
 	switch {
@@ -569,6 +585,8 @@ type View struct {
 
 // View returns the fleet's live per-server slices for fixed-order
 // reductions.
+//
+//vmt:hotpath
 func (f *Fleet) View() View {
 	return View{
 		AirTempC:     f.airC,

@@ -23,6 +23,11 @@ type Node struct {
 	// instead of divides.
 	cAirJPerK    float64
 	invCAirPerJK float64
+	// curve caches the pack's enthalpy-curve segment parameters so the
+	// substep loop can inline the temperature projection (the same
+	// switch commitWax and the fleet kernels use) instead of calling
+	// through the pack.
+	curve pcm.CurveParams
 	// cumulative energy accounting, used by conservation tests and
 	// the cooling metrics
 	inputJ  float64
@@ -77,12 +82,17 @@ func NewNode(spec ServerSpec, mat pcm.Material, inletC float64) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	curve, err := pcm.CurveParamsFor(mat, spec.WaxVolumeL)
+	if err != nil {
+		return nil, err
+	}
 	cAir := spec.AirHeatCapacityJPerK()
 	return &Node{
 		spec:         spec,
 		inletC:       inletC,
 		airC:         inletC,
 		pack:         pack,
+		curve:        curve,
 		cAirJPerK:    cAir,
 		invCAirPerJK: 1 / cAir,
 	}, nil
@@ -133,12 +143,18 @@ type StepResult struct {
 // substep conserves energy exactly:
 //
 //	P·dt = CAir·ΔTair + KAir·(Tair−Tin)·dt + HWax·(Tair−Twax)·dt
+//
+// Step is the scalar oracle the fleet kernels (StepRange, stepGroup)
+// must reproduce bit for bit; the kernelparity analyzer verifies their
+// substep bodies against the regions marked below.
+//
+//vmt:hotpath
 func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	if dt <= 0 {
-		return StepResult{}, fmt.Errorf("thermal: non-positive step %v", dt)
+		return StepResult{}, fmt.Errorf("thermal: non-positive step %v", dt) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	if powerW < 0 {
-		return StepResult{}, fmt.Errorf("thermal: negative power %v", powerW)
+		return StepResult{}, fmt.Errorf("thermal: negative power %v", powerW) //vmtlint:allow hotpath error path, off the steady-state path
 	}
 	pack := n.pack
 	waxH, waxT := pack.IntegratorState()
@@ -173,28 +189,45 @@ func (n *Node) Step(powerW float64, dt time.Duration) (StepResult, error) {
 	airC := airC0
 	sub := n.spec.SubStep
 	subSec := sub.Seconds()
+	mC := n.curve.MeltC
+	hLo := n.curve.HMeltLoJ
+	hHi := n.curve.HMeltHiJ
+	invSol := n.curve.InvCapSolidJPerK
+	invLiq := n.curve.InvCapLiquidJPerK
 	// Counted loop over the full substeps plus one explicit trailing
 	// partial: the same sequence of substep lengths the countdown form
 	// produced, without per-iteration duration bookkeeping.
 	nFull := int(dt / sub)
 	partial := dt - time.Duration(nFull)*sub
 	for i := 0; i < nFull; i++ {
+		//vmt:kernel substep oracle begin
 		toRoom := kAir * (airC - inlet)
 		toWax := hWax * (airC - waxT)
 		airC += subSec * (powerW - toRoom - toWax) * invCAir
 		waxH += toWax * subSec
-		waxT = pack.TempAtEnthalpyJ(waxH)
+		// curve.TempAt, inlined on the hoisted segment parameters.
+		switch {
+		case waxH < hLo:
+			waxT = waxH * invSol
+		case waxH >= hHi:
+			waxT = mC + (waxH-hHi)*invLiq
+		default:
+			waxT = mC
+		}
 		ejected += toRoom * subSec
 		stored += toWax * subSec
+		//vmt:kernel end
 	}
 	if partial > 0 {
 		sec := partial.Seconds()
+		//vmt:kernel substep-tail oracle begin
 		toRoom := kAir * (airC - inlet)
 		toWax := hWax * (airC - waxT)
 		airC += sec * (powerW - toRoom - toWax) * invCAir
 		waxH += toWax * sec
 		ejected += toRoom * sec
 		stored += toWax * sec
+		//vmt:kernel end
 	}
 	pack.SetEnthalpyJ(waxH)
 	n.airC = airC

@@ -80,4 +80,42 @@ if ! grep -q 'tick 100.*cooling_load_w' "$tmp/diff.out"; then
     exit 1
 fi
 
+echo "== vmtlint warm cache (answers every package from disk)"
+# The strict run above populated .vmtlint-cache; an immediate re-run
+# over the unchanged tree must answer everything from disk without
+# type-checking a single package.
+warmstats=$(go run ./cmd/vmtlint -strict -cache .vmtlint-cache -cachestats ./... 2>&1 >/dev/null)
+case "$warmstats" in
+*"0 misses, 0 packages type-checked"*) ;;
+*)
+    echo "warm vmtlint run re-type-checked packages: $warmstats" >&2
+    exit 1
+    ;;
+esac
+
+echo "== kernelparity self-check (one-token kernel drift is pinpointed)"
+# Flip a single token in stepGroup's mirror lane body and demand
+# kernelparity fail the build naming the exact divergent position —
+# the guarantee the scalar/SoA bit-identity story rests on.
+mutdir="$tmp/kernelmut"
+mkdir -p "$mutdir"
+tar cf - --exclude ./.git --exclude ./.vmtlint-cache --exclude ./results \
+    --exclude ./vmt.test . | (cd "$mutdir" && tar xf -)
+awk '!done && sub(/toWax \* subSec/, "toRoom * subSec") { done = 1 } { print }' \
+    internal/thermal/fleet.go > "$mutdir/internal/thermal/fleet.go"
+mutline=$(grep -n 'toRoom \* subSec' "$mutdir/internal/thermal/fleet.go" | head -1 | cut -d: -f1)
+go build -o "$tmp/vmtlint" ./cmd/vmtlint
+status=0
+(cd "$mutdir" && "$tmp/vmtlint" ./internal/thermal/) > "$tmp/kernel.out" 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "vmtlint on a mutated kernel exited $status, want 1:" >&2
+    cat "$tmp/kernel.out" >&2
+    exit 1
+fi
+if ! grep -q "internal/thermal/fleet.go:$mutline: \[kernelparity\].*diverges from oracle" "$tmp/kernel.out"; then
+    echo "kernelparity did not pinpoint the mutated line $mutline:" >&2
+    cat "$tmp/kernel.out" >&2
+    exit 1
+fi
+
 echo "ok"

@@ -280,9 +280,9 @@ func OpenCtx(ctx context.Context, cfg Config) (*Session, error) {
 			if tracer != nil {
 				t0 = time.Now() //vmtlint:allow detrand observational: span timing feeds the tracer only
 			}
-			band.Begin()
+			band.Begin() //vmtlint:allow detrand observational: band profiler wall/alloc deltas feed telemetry only
 			fn(now)
-			_, alloc := band.End()
+			_, alloc := band.End() //vmtlint:allow detrand observational: band profiler wall/alloc deltas feed telemetry only
 			if tracer == nil {
 				return
 			}
