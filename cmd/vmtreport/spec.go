@@ -89,6 +89,7 @@ func emitSpecFiles(dir string, servers int) error {
 		vmt.VolumeSweepSpec(servers, []float64{1, 2, 3, 4, 5, 6, 8}, []float64{18, 20, 22, 24, 26}),
 		vmt.CoolingLoadSpec(servers, vmt.PolicyVMTTA, []float64{20, 22, 24}),
 		vmt.FaultStudySpec(servers, []float64{0, 0.002, 0.01, 0.05}, 22, 1),
+		vmt.CorrelatedFaultStudySpec(60, 22, 1),
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vmt"
+	"vmt/internal/fault"
 	"vmt/internal/workload"
 )
 
@@ -41,6 +42,8 @@ func registerConfigFlags(fs *flag.FlagSet) func() (vmt.Config, simOptions, error
 		"per-tick physics goroutines (0 = auto: serial for small clusters, bounded by GOMAXPROCS otherwise); results are identical for any value")
 	source := fs.String("source", "",
 		`arrival source spec as JSON (e.g. '{"kind":"poisson","level":0.5,"events":30}'); replaces the two-day trace with a seeded open-loop generator`)
+	faults := fs.String("faults", "",
+		`fault plan as JSON (e.g. '{"crashes":[{"server":3,"at_min":120,"repair_after_min":60}]}'); crashes, sensor faults, correlated domain trips, byzantine reports`)
 	horizonMin := fs.Float64("horizon-min", 0,
 		"stop the simulation after this many minutes (0 = the source's natural length; required with -source unless -serve)")
 	serve := fs.Bool("serve", false,
@@ -62,6 +65,13 @@ func registerConfigFlags(fs *flag.FlagSet) func() (vmt.Config, simOptions, error
 				return vmt.Config{}, simOptions{}, fmt.Errorf("-source: %w", err)
 			}
 			cfg.Source = spec
+		}
+		if *faults != "" {
+			plan, err := fault.ParsePlan([]byte(*faults))
+			if err != nil {
+				return vmt.Config{}, simOptions{}, fmt.Errorf("-faults: %w", err)
+			}
+			cfg.Faults = plan
 		}
 		if *horizonMin < 0 {
 			return vmt.Config{}, simOptions{}, fmt.Errorf("-horizon-min must be non-negative, got %v", *horizonMin)

@@ -31,6 +31,12 @@ func FuzzBuildConfig(f *testing.F) {
 	f.Add(`-source {"kind":"nope"}`)
 	f.Add(`-source notjson`)
 	f.Add("-horizon-min -1")
+	f.Add(`-faults {"crashes":[{"server":3,"at_min":120,"repair_after_min":60}]}`)
+	f.Add(`-faults {"topology":{"servers_per_rack":6,"racks_per_row":5,"rows_per_zone":1},"domains":[{"kind":"rack","index":1,"at_min":360,"repair_after_min":180}]}`)
+	f.Add(`-faults {"byzantine":[{"server":0,"kind":"melt","start_min":60,"bias":0.5}]}`)
+	f.Add(`-faults {"domains":[{"kind":"rack","index":0,"at_min":5}]}`)
+	f.Add(`-faults {"crashes":[{"server":500,"at_min":1}]} -servers 10`)
+	f.Add(`-faults notjson`)
 
 	f.Fuzz(func(t *testing.T, argv string) {
 		args := strings.Fields(argv)

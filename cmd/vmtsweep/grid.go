@@ -60,7 +60,7 @@ func gvGrid(from, to, step float64) ([]float64, error) {
 // sweepArgs or returns an error, never a panic and never a partial
 // sweep.
 func registerSweepFlags(fs *flag.FlagSet) func() (sweepArgs, error) {
-	kind := fs.String("kind", "gv", "sweep kind: gv, threshold, inlet, pmt, volume, fault")
+	kind := fs.String("kind", "gv", "sweep kind: gv, threshold, inlet, pmt, volume, fault, corr")
 	policy := fs.String("policy", "vmt-ta", "policy for gv/inlet sweeps: vmt-ta or vmt-wa")
 	servers := fs.Int("servers", 100, "cluster size")
 	gv := fs.Float64("gv", 22, "grouping value (threshold sweep)")
@@ -96,7 +96,7 @@ func registerSweepFlags(fs *flag.FlagSet) func() (sweepArgs, error) {
 				return sweepArgs{}, err
 			}
 			a.Grid = grid
-		case "threshold", "pmt", "volume", "fault":
+		case "threshold", "pmt", "volume", "fault", "corr":
 		case "inlet":
 			if a.Runs < 1 {
 				return sweepArgs{}, fmt.Errorf("-runs must be at least 1, got %d", a.Runs)

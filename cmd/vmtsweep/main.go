@@ -65,6 +65,8 @@ func main() {
 		err = sweepInlet(vmt.Policy(args.Policy), args.Servers, args.Runs)
 	case args.Kind == "fault":
 		err = sweepFault(args.Servers, args.GV)
+	case args.Kind == "corr":
+		err = sweepCorrelated(args.Servers, args.GV)
 	default: // pmt, volume — buildSweep rejected everything else
 		err = sweepMaterial(args.Servers, args.Kind)
 	}
@@ -210,6 +212,25 @@ func sweepFault(servers int, gv float64) error {
 			fmt.Sprintf("%.2f", r.ReductionPct), fmt.Sprintf("%.3f", r.DropPct),
 			fmt.Sprintf("%d", r.Crashes), fmt.Sprintf("%d", r.EvacuatedJobs),
 			fmt.Sprintf("%d", r.LostJobs))
+	}
+	return tb.Render(os.Stdout)
+}
+
+func sweepCorrelated(servers int, gv float64) error {
+	rows, err := vmt.RunCorrelatedFaultStudy(servers, gv, 1)
+	if err != nil {
+		return err
+	}
+	tb := report.Table{
+		Title: fmt.Sprintf("Peak reduction under correlated domain failures and Byzantine reports (GV=%g, %d servers)",
+			gv, servers),
+		Headers: []string{"Correlation", "Policy", "Reduction (%)", "Drops (%)", "Crashes", "Domain trips", "Lost", "Quarantined"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.Correlation, string(r.Policy),
+			fmt.Sprintf("%.2f", r.ReductionPct), fmt.Sprintf("%.3f", r.DropPct),
+			fmt.Sprintf("%d", r.Crashes), fmt.Sprintf("%d", r.DomainTrips),
+			fmt.Sprintf("%d", r.LostJobs), fmt.Sprintf("%d", r.ReportsQuarantined))
 	}
 	return tb.Render(os.Stdout)
 }

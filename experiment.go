@@ -182,6 +182,8 @@ func resultFingerprint(v any) uint64 {
 	mix(r.FaultRepairs)
 	mix(r.EvacuatedJobs)
 	mix(r.LostJobs)
+	mix(r.DomainTrips)
+	mix(r.ReportsQuarantined)
 	return h
 }
 

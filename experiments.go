@@ -511,6 +511,66 @@ func RunFaultStudy(servers int, rates []float64, gv float64, seed uint64) ([]Fau
 	return rows, nil
 }
 
+// CorrelatedFaultRow is one (correlation degree, policy) sample of
+// the correlated fault study.
+type CorrelatedFaultRow struct {
+	// Correlation names the fault shape: none, independent, rack,
+	// zone-derate, stochastic-rack, byzantine, rack-byzantine.
+	Correlation string
+	Policy      Policy
+	// ReductionPct is the peak cooling reduction against a round-robin
+	// baseline suffering the identical fault plan.
+	ReductionPct float64
+	// DropPct is the share of task arrivals dropped.
+	DropPct            float64
+	Crashes            uint64
+	DomainTrips        uint64
+	LostJobs           uint64
+	ReportsQuarantined uint64
+}
+
+// RunCorrelatedFaultStudy measures where the paper's peak reduction
+// holds or collapses when failures are correlated (rack-atomic PDU
+// trips, cooling-zone derates) or the schedulers are fed Byzantine
+// utilization/melt reports — the robustness counterpart of
+// RunFaultStudy's independent-crash model. Every policy at a given
+// correlation degree faces the identical injected history, and the
+// round-robin baseline suffers it too.
+func RunCorrelatedFaultStudy(servers int, gv float64, seed uint64) ([]CorrelatedFaultRow, error) {
+	spec := CorrelatedFaultStudySpec(servers, gv, seed)
+	sr, err := RunSpecResults(spec, BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cases := spec.Axes[0].Cases
+	policies := []Policy{PolicyVMTTA, PolicyVMTWA}
+	rows := make([]CorrelatedFaultRow, 0, len(cases)*len(policies))
+	for ci, cs := range cases {
+		for pi, pol := range policies {
+			i := ci*len(policies) + pi
+			res := sr.Results[i]
+			red, err := cooling.PeakReductionPct(sr.BaselineFor(i).CoolingLoadW, res.CoolingLoadW)
+			if err != nil {
+				return nil, err
+			}
+			row := CorrelatedFaultRow{
+				Correlation:        cs.Name,
+				Policy:             pol,
+				ReductionPct:       red,
+				Crashes:            res.FaultCrashes,
+				DomainTrips:        res.DomainTrips,
+				LostJobs:           res.LostJobs,
+				ReportsQuarantined: res.ReportsQuarantined,
+			}
+			if res.TaskArrivals > 0 {
+				row.DropPct = float64(res.TaskDrops) / float64(res.TaskArrivals) * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
 // MaterialSweepPoint is one sample of a wax design-space sweep.
 type MaterialSweepPoint struct {
 	// Value is the swept quantity: melting temperature (°C) or volume

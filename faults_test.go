@@ -11,6 +11,7 @@ import (
 
 	"vmt/internal/fault"
 	"vmt/internal/telemetry"
+	"vmt/internal/topology"
 )
 
 // testFaultPlan is the shared exercise plan: a scheduled crash with
@@ -34,6 +35,33 @@ func faultScenario(policy Policy) Config {
 	cfg.Trace = smallTrace()
 	cfg.JobStream = true
 	cfg.Faults = testFaultPlan()
+	return cfg
+}
+
+// correlatedFaultPlan exercises every correlated and Byzantine fault
+// path at once: a scheduled rack trip, a cooling-zone derate, sparse
+// stochastic rack trips, and lying utilization and melt reports.
+func correlatedFaultPlan() *fault.Plan {
+	return &fault.Plan{
+		Seed:     11,
+		Topology: &topology.Spec{ServersPerRack: 3, RacksPerRow: 2, RowsPerZone: 2},
+		Domains: []fault.DomainFault{
+			{Kind: topology.DomainRack, Index: 1, AtMin: 240, RepairAfterMin: 180},
+			{Kind: topology.DomainZone, Index: 0, Mode: fault.ModeDerate, AtMin: 600, RepairAfterMin: 120, DerateInletDeltaC: 5},
+		},
+		StochasticDomains: &fault.StochasticDomains{Kind: topology.DomainRack, RatePerHour: 0.02, RepairAfterMin: 120},
+		Byzantine: []fault.ByzantineFault{
+			{Server: 0, Kind: fault.ByzUtil, StartMin: 60, Bias: -0.5, Jitter: 0.02},
+			{Server: 2, Kind: fault.ByzMelt, StartMin: 120, EndMin: 600, Bias: 0.6, Jitter: 0.05},
+		},
+	}
+}
+
+func correlatedScenario(policy Policy) Config {
+	cfg := Scenario(8, policy, 22)
+	cfg.Trace = smallTrace()
+	cfg.JobStream = true
+	cfg.Faults = correlatedFaultPlan()
 	return cfg
 }
 
@@ -183,6 +211,116 @@ func TestFaultTelemetryCounters(t *testing.T) {
 	}
 	if got := reg.Counter("sched_migrations").Value(); got < res.EvacuatedJobs {
 		t.Errorf("sched_migrations = %d, want at least the %d evacuations", got, res.EvacuatedJobs)
+	}
+}
+
+// TestCorrelatedFaultRunBitIdentical extends the determinism
+// acceptance bar to the correlated and Byzantine fault machinery: the
+// same Config and plan — rack trips, zone derates, stochastic domain
+// draws, lying reports, quarantine decisions and all — produce
+// bit-identical series for PhysicsWorkers 1/2/8 and with the run
+// cache off, missed, and replayed.
+func TestCorrelatedFaultRunBitIdentical(t *testing.T) {
+	for _, policy := range []Policy{PolicyVMTTA, PolicyVMTWA} {
+		base := correlatedScenario(policy)
+		var ref *Result
+		for _, workers := range []int{1, 2, 8} {
+			cfg := base
+			cfg.PhysicsWorkers = workers
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", policy, workers, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if d := identicalSeries(ref, res); d != "" {
+				t.Fatalf("%s workers=%d: %s", policy, workers, d)
+			}
+			if res.DomainTrips != ref.DomainTrips || res.ReportsQuarantined != ref.ReportsQuarantined ||
+				res.FaultCrashes != ref.FaultCrashes || res.LostJobs != ref.LostJobs {
+				t.Fatalf("%s workers=%d: correlated fault totals diverged", policy, workers)
+			}
+		}
+		if ref.DomainTrips == 0 {
+			t.Fatalf("%s: the scheduled rack trip at 240 min never landed", policy)
+		}
+
+		cache := RunCache()
+		cache.Reset()
+		cache.SetEnabled(false)
+		uncached, err := RunManyCached([]Config{base}, BatchOptions{})
+		cache.SetEnabled(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := RunManyCached([]Config{base}, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := RunManyCached([]Config{base}, BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := identicalSeries(ref, uncached[0]); d != "" {
+			t.Fatalf("%s cache off: %s", policy, d)
+		}
+		if d := identicalSeries(ref, fresh[0]); d != "" {
+			t.Fatalf("%s cache miss: %s", policy, d)
+		}
+		if replay[0] != fresh[0] {
+			t.Fatalf("%s: replay should hand back the cached result", policy)
+		}
+		cache.Reset()
+	}
+}
+
+// TestCorrelatedFaultTelemetryCounters: the domain-trip, quarantine,
+// and load-shedding counters all fire under the correlated plan and
+// agree with the Result totals.
+func TestCorrelatedFaultTelemetryCounters(t *testing.T) {
+	cfg := correlatedScenario(PolicyVMTWA)
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("fault_domain_trips").Value(); got == 0 || got != res.DomainTrips {
+		t.Errorf("fault_domain_trips = %d, Result says %d (want both > 0)", got, res.DomainTrips)
+	}
+	if got := reg.Counter("sched_reports_quarantined").Value(); got == 0 || got != res.ReportsQuarantined {
+		t.Errorf("sched_reports_quarantined = %d, Result says %d (want both > 0)", got, res.ReportsQuarantined)
+	}
+	if reg.Counter("sched_jobs_shed").Value() == 0 {
+		t.Error("losing a rack of 3 servers out of 8 should shed stream load")
+	}
+}
+
+// TestCorrelatedFaultFreeRunIdentical: a plan that declares topology
+// but no faults is the fault-free run bit for bit — geometry alone
+// must not perturb anything.
+func TestCorrelatedFaultFreeRunIdentical(t *testing.T) {
+	cfg := Scenario(6, PolicyVMTWA, 22)
+	cfg.Trace = smallTrace()
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = &fault.Plan{
+		Seed:     3,
+		Topology: &topology.Spec{ServersPerRack: 2, RacksPerRow: 3, RowsPerZone: 1},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := identicalSeries(ref, res); d != "" {
+		t.Fatalf("topology-only plan changed the run: %s", d)
+	}
+	if res.DomainTrips != 0 || res.ReportsQuarantined != 0 {
+		t.Fatal("topology-only plan reported fault totals")
 	}
 }
 

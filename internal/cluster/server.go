@@ -49,6 +49,32 @@ type Server struct {
 	// power and offers no capacity until repaired, but its physics
 	// keeps stepping so the wax refreezes realistically.
 	failed bool
+
+	// filter interposes on the server's *reported* telemetry
+	// (utilization, melt fraction) without touching the authoritative
+	// bookkeeping — the seam Byzantine fault injection uses to make a
+	// server lie to the scheduler while physics and placement stay
+	// truthful.
+	filter ReportFilter
+
+	// quarantined marks a server whose reports the defense layer has
+	// flagged as implausible: schedulers should ignore its telemetry
+	// and fall back to trust-free placement for it.
+	quarantined bool
+}
+
+// ReportFilter rewrites a server's reported telemetry before the
+// scheduler sees it. Implementations must be pure functions of state
+// updated only on the sequential fault band: report accessors may be
+// called several times per tick by scheduler scans, so a filter that
+// consumed randomness per call would break bit-identity across worker
+// counts.
+type ReportFilter interface {
+	// FilterUtilization maps the true utilization to the reported one.
+	FilterUtilization(trueUtil float64) float64
+	// FilterMeltFrac maps the estimator's melt fraction to the
+	// reported one.
+	FilterMeltFrac(estFrac float64) float64
 }
 
 // newServer wires server id into the cluster's dense stores: its
@@ -226,8 +252,40 @@ func (s *Server) MeltFrac() float64 { return s.fleet.MeltFrac(s.id) }
 
 // ReportedMeltFrac returns the melt fraction from the server's
 // lookup-table estimator — the value the cluster scheduler actually
-// sees (VMT-WA consumes this, not ground truth).
-func (s *Server) ReportedMeltFrac() float64 { return s.est.MeltFrac() }
+// sees (VMT-WA consumes this, not ground truth) — rewritten by the
+// report filter when one is installed.
+func (s *Server) ReportedMeltFrac() float64 {
+	f := s.est.MeltFrac()
+	if s.filter != nil {
+		return s.filter.FilterMeltFrac(f)
+	}
+	return f
+}
+
+// ReportedUtilization returns the utilization the server claims to the
+// scheduler: the true value unless a report filter (Byzantine fault)
+// rewrites it. Placement bookkeeping never consumes this — it exists
+// for telemetry-driven checks, which is exactly why the defense layer
+// cross-validates it against the power draw.
+func (s *Server) ReportedUtilization() float64 {
+	u := s.Utilization()
+	if s.filter != nil {
+		return s.filter.FilterUtilization(u)
+	}
+	return u
+}
+
+// SetReportFilter installs (or, with nil, removes) a report filter.
+func (s *Server) SetReportFilter(f ReportFilter) { s.filter = f }
+
+// ReportsQuarantined reports whether the defense layer currently
+// distrusts this server's telemetry.
+//
+//vmt:hotpath
+func (s *Server) ReportsQuarantined() bool { return s.quarantined }
+
+// SetReportsQuarantined flags or clears telemetry quarantine.
+func (s *Server) SetReportsQuarantined(q bool) { s.quarantined = q }
 
 // InletTempC returns the server's inlet temperature.
 func (s *Server) InletTempC() float64 { return s.fleet.InletTempC(s.id) }

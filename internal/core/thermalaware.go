@@ -66,11 +66,18 @@ func (t *ThermalAware) HotGroupSize() int { return t.g.hotSize }
 func (t *ThermalAware) IsHot(s *cluster.Server) bool { return t.g.isHot(s) }
 
 // Tick implements sched.Scheduler. VMT-TA has no periodic state of
-// its own, but under fault injection it re-stretches the hot-group
-// prefix over crashed servers so the Equation-1 count of working hot
-// servers is preserved. Fault-free this is the identity.
+// its own, but under fault injection it re-evaluates Equation 1 over
+// the surviving capacity (losing a whole rack shrinks the intended
+// hot count proportionally, not just the prefix stretch) and
+// re-stretches the hot-group prefix over crashed servers so the
+// policy keeps that count of working hot machines. Fault-free this is
+// the identity.
 func (t *ThermalAware) Tick(time.Duration) {
-	if size := t.g.sizeForAlive(t.target); size != t.g.hotSize {
+	target := t.target
+	if failed := t.g.c.FailedServers(); failed > 0 {
+		target = HotGroupSize(t.cfg.GV, t.pmtC, t.g.c.Len()-failed)
+	}
+	if size := t.g.sizeForAlive(target); size != t.g.hotSize {
 		t.g.hotSize = size
 		t.resizes.Inc()
 	}

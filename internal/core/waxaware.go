@@ -19,9 +19,17 @@ import (
 // while steering fresh hot load onto newly added servers with
 // unmelted wax.
 type WaxAware struct {
-	g       groups
-	cfg     Config
+	g   groups
+	cfg Config
+	// baseHot is the fault-free Equation-1 minimum; effBase is the
+	// capacity-loss-aware minimum actually in effect this tick. With
+	// no crashed servers effBase == baseHot, so fault-free runs are
+	// bit-identical to the pre-topology behavior. When whole domains
+	// disappear, Equation 1 is re-evaluated over the surviving
+	// capacity — the hot fraction is a property of the fleet that
+	// exists, not the fleet that was provisioned.
 	baseHot int
+	effBase int
 	pmtC    float64
 	// kAirWPerK and powerScale are hoisted spec scalars; reading them
 	// through Config() would copy the whole spec struct once per
@@ -69,6 +77,7 @@ func NewWaxAware(c *cluster.Cluster, cfg Config) (*WaxAware, error) {
 		g:          groups{c: c, hotSize: base},
 		cfg:        cfg,
 		baseHot:    base,
+		effBase:    base,
 		pmtC:       pmt,
 		kAirWPerK:  c.Config().Server.AirConductanceWPerK,
 		powerScale: c.Config().Server.PowerScale,
@@ -94,9 +103,21 @@ func (wa *WaxAware) BaseHotGroupSize() int { return wa.baseHot }
 func (wa *WaxAware) SetGV(gv float64) {
 	wa.cfg.GV = gv
 	wa.baseHot = HotGroupSize(gv, wa.pmtC, wa.g.c.Len())
-	if wa.g.hotSize < wa.baseHot {
-		wa.g.hotSize = wa.baseHot
+	wa.effBase = wa.effectiveBase()
+	if wa.g.hotSize < wa.effBase {
+		wa.g.hotSize = wa.effBase
 	}
+}
+
+// effectiveBase returns the Equation-1 minimum over the surviving
+// capacity: identical to baseHot with no failures (the common case
+// pays one counter read), re-derived from the alive count otherwise.
+func (wa *WaxAware) effectiveBase() int {
+	failed := wa.g.c.FailedServers()
+	if failed == 0 {
+		return wa.baseHot
+	}
+	return HotGroupSize(wa.cfg.GV, wa.pmtC, wa.g.c.Len()-failed)
 }
 
 // IsHot reports whether server s currently belongs to the hot group.
@@ -127,7 +148,12 @@ func (wa *WaxAware) refreshHealth() {
 	for i, s := range servers {
 		d := s.Failed()
 		if !d && !wa.cfg.OracleWaxState {
-			if s.Estimator().StaleFor() > DefaultMaxEstimateAge {
+			if s.ReportsQuarantined() {
+				// The guard's cross-checks caught this server lying
+				// about its reports; distrust its melt state until the
+				// quarantine lifts.
+				d = true
+			} else if s.Estimator().StaleFor() > DefaultMaxEstimateAge {
 				d = true
 			} else if frac := s.ReportedMeltFrac(); frac < -0.01 || frac > 1.01 {
 				d = true
@@ -167,7 +193,8 @@ func (wa *WaxAware) Tick(time.Duration) {
 		wa.trips.Add(uint64(meltedCount - wa.prevMelted))
 	}
 	wa.prevMelted = meltedCount
-	size := wa.baseHot + meltedCount
+	wa.effBase = wa.effectiveBase()
+	size := wa.effBase + meltedCount
 	if size > wa.g.c.Len() {
 		size = wa.g.c.Len()
 	}
@@ -249,7 +276,7 @@ func (wa *WaxAware) swapOne() bool {
 		if src.PowerW()-hot.PerCorePowerW()*wa.powerScale < keep {
 			continue
 		}
-		for j := wa.baseHot; j < wa.g.hotSize; j++ {
+		for j := wa.effBase; j < wa.g.hotSize; j++ {
 			e := wa.g.c.Server(j)
 			if e.ID() == src.ID() || !wa.canMeltMore(e) {
 				continue
@@ -303,7 +330,7 @@ func (wa *WaxAware) shedOneHot() bool {
 // being filled, onto a melted hot-group server with a free core (where
 // extra heat is thermally harmless), making room for hot load.
 func (wa *WaxAware) clearOneCold() bool {
-	for i := wa.baseHot; i < wa.g.hotSize; i++ {
+	for i := wa.effBase; i < wa.g.hotSize; i++ {
 		e := wa.g.c.Server(i)
 		if !wa.canMeltMore(e) {
 			continue
@@ -356,7 +383,7 @@ func (wa *WaxAware) meltTarget(w workload.Workload, excludeID int) *cluster.Serv
 	keep := func(s *cluster.Server) bool {
 		return s.ID() != excludeID && wa.canMeltMore(s)
 	}
-	base := wa.baseHot
+	base := wa.effBase
 	if base > wa.g.hotSize {
 		base = wa.g.hotSize
 	}

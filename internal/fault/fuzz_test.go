@@ -21,6 +21,14 @@ func FuzzPlanJSON(f *testing.F) {
 	f.Add([]byte(`{"sensors":[{"server":0,"kind":"dropout","start_min":10},{"server":0,"kind":"stuck","start_min":20,"end_min":30}]}`))
 	f.Add([]byte(`{"crashes":[{"server":0,"at_min":1e999}]}`))
 	f.Add([]byte(`{"stochastic":{"rate_per_hour":-1}}`))
+	f.Add([]byte(`{"topology":{"servers_per_rack":4,"racks_per_row":3,"rows_per_zone":2},"domains":[{"kind":"rack","index":1,"at_min":60,"repair_after_min":120}]}`))
+	f.Add([]byte(`{"topology":{"servers_per_rack":4,"racks_per_row":3,"rows_per_zone":2},"domains":[{"kind":"zone","index":0,"mode":"derate","at_min":30,"repair_after_min":60,"derate_inlet_delta_c":5}]}`))
+	f.Add([]byte(`{"topology":{"servers_per_rack":8,"racks_per_row":2,"rows_per_zone":1},"stochastic_domains":{"kind":"rack","rate_per_hour":0.01,"repair_after_min":90}}`))
+	f.Add([]byte(`{"byzantine":[{"server":0,"kind":"melt","start_min":10,"bias":0.5,"jitter":0.1},{"server":1,"kind":"util","start_min":20,"end_min":90,"bias":-0.3}]}`))
+	f.Add([]byte(`{"domains":[{"kind":"rack","index":0,"at_min":5}]}`))
+	f.Add([]byte(`{"topology":{"servers_per_rack":4,"racks_per_row":3,"rows_per_zone":2},"domains":[{"kind":"pdu","index":0,"at_min":5}]}`))
+	f.Add([]byte(`{"topology":{"servers_per_rack":0,"racks_per_row":3,"rows_per_zone":2}}`))
+	f.Add([]byte(`{"byzantine":[{"server":0,"kind":"melt","start_min":10,"bias":7}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := json.NewDecoder(bytes.NewReader(data))
 		dec.DisallowUnknownFields()

@@ -11,6 +11,7 @@ import (
 	"vmt/internal/reliability"
 	"vmt/internal/stats"
 	"vmt/internal/telemetry"
+	"vmt/internal/topology"
 )
 
 // Host is the scheduler-side contract the injector needs on a crash:
@@ -35,15 +36,43 @@ type Injector struct {
 	crashes   []Crash // sorted by (AtMin, Server)
 	nextCrash int
 
-	rng   *stats.RNG // stochastic crash draws only
+	rng   *stats.RNG // stochastic per-server crash draws only
 	model reliability.Model
 
 	down     []bool
 	repairAt []time.Duration // 0 = no repair pending
 	sensors  []*sensorState
 
-	injected, repaired, evacJobs, lostJobs                         uint64
-	crashCount, repairCount, evacCount, lostCount, migrationsCount *telemetry.Counter
+	// Correlated failure domains. topo is nil unless the plan carries a
+	// topology; domains is the scheduled trip list sorted by fire time;
+	// domainRNG drives stochastic domain draws on its own stream so
+	// adding a domain process never perturbs the per-server draws.
+	topo            *topology.Topology
+	domains         []DomainFault // sorted by (AtMin, Kind, Index)
+	nextDomain      int
+	domainRNG       *stats.RNG
+	stochDomainDown []time.Duration // per-domain busy-until for the stochastic kind
+	baseInlet       []float64       // pre-fault inlet temps, derate baseline
+	derates         []activeDerate
+
+	// Byzantine reporters: byz[id] is non-nil for servers with lying
+	// report channels; byzServers lists them in ID order for the
+	// per-tick refresh.
+	byz        []*byzState
+	byzServers []int
+
+	injected, repaired, evacJobs, lostJobs, domainTrips uint64
+
+	crashCount, repairCount, evacCount, lostCount, migrationsCount, domainTripCount *telemetry.Counter
+}
+
+// activeDerate is one in-effect cooling derate over the contiguous
+// server range [lo, hi): every member's inlet is raised by deltaC
+// until endAt (0 = never repairs). Overlapping derates stack.
+type activeDerate struct {
+	lo, hi int
+	deltaC float64
+	endAt  time.Duration
 }
 
 // NewInjector wires a plan onto a cluster. The plan must already be
@@ -67,6 +96,7 @@ func NewInjector(p *Plan, c *cluster.Cluster, host Host, reg *telemetry.Registry
 		evacCount:       reg.Counter("fault_evacuated_jobs"),
 		lostCount:       reg.Counter("fault_lost_jobs"),
 		migrationsCount: reg.Counter("sched_migrations"),
+		domainTripCount: reg.Counter("fault_domain_trips"),
 	}
 	if st := p.Stochastic; st != nil && st.MTBFHours > 0 {
 		inj.model.MTBFHours = st.MTBFHours
@@ -89,13 +119,76 @@ func NewInjector(p *Plan, c *cluster.Cluster, host Host, reg *telemetry.Registry
 		inj.sensors[i] = ss
 		c.Server(i).Estimator().SetSensor(ss)
 	}
+	if p.Topology != nil {
+		topo, err := topology.Build(*p.Topology, n)
+		if err != nil {
+			// The plan was validated for this cluster size (ValidateFor
+			// builds the same topology); reaching here is a bug, not an
+			// input error.
+			panic(err)
+		}
+		inj.topo = topo
+		inj.domains = append([]DomainFault(nil), p.Domains...)
+		sort.Slice(inj.domains, func(i, j int) bool {
+			a, b := inj.domains[i], inj.domains[j]
+			if a.AtMin != b.AtMin { //vmtlint:allow floateq exact schedule times tie-break on (kind, index); equal-bit times sort identically on every run
+				return a.AtMin < b.AtMin
+			}
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			return a.Index < b.Index
+		})
+		inj.baseInlet = make([]float64, n)
+		for i := 0; i < n; i++ {
+			inj.baseInlet[i] = c.Server(i).InletTempC()
+		}
+		if sd := p.StochasticDomains; sd != nil {
+			count, err := topo.DomainCount(sd.Kind)
+			if err != nil {
+				panic(err) // kind validated in Plan.Validate
+			}
+			inj.domainRNG = stats.NewRNG(p.Seed ^ 0x71c9d1eadf5a6c8f)
+			inj.stochDomainDown = make([]time.Duration, count)
+		}
+	}
+	if len(p.Byzantine) > 0 {
+		inj.byz = make([]*byzState, n)
+		for _, b := range p.Byzantine {
+			bz := inj.byz[b.Server]
+			if bz == nil {
+				bz = &byzState{rng: stats.NewRNG(byzSeed(p.Seed, b.Server))}
+				inj.byz[b.Server] = bz
+				inj.byzServers = append(inj.byzServers, b.Server)
+			}
+			bz.faults = append(bz.faults, b)
+		}
+		sort.Ints(inj.byzServers)
+		for _, id := range inj.byzServers {
+			bz := inj.byz[id]
+			sort.Slice(bz.faults, func(a, b int) bool {
+				fa, fb := bz.faults[a], bz.faults[b]
+				if fa.StartMin != fb.StartMin { //vmtlint:allow floateq exact schedule times tie-break on kind; equal-bit times sort identically on every run
+					return fa.StartMin < fb.StartMin
+				}
+				return fa.Kind < fb.Kind
+			})
+			c.Server(id).SetReportFilter(bz)
+		}
+	}
 	return inj
 }
 
 // Tick processes faults due at sim time now, covering the step
-// interval (now-dt, now]: repairs first, then scheduled crashes, then
-// stochastic draws over the alive servers in ID order.
+// interval (now-dt, now]: derate expiries and repairs first, then
+// scheduled per-server crashes, then scheduled domain trips, then
+// stochastic draws (per-server, then per-domain) in ID order, and
+// finally the per-tick refresh of Byzantine report lies. Everything
+// here runs on the sequential fault band, so cluster mutation order —
+// and therefore every downstream scheduler decision — is identical for
+// any PhysicsWorkers setting.
 func (inj *Injector) Tick(now, dt time.Duration) error {
+	inj.expireDerates(now)
 	for id := range inj.repairAt {
 		if inj.down[id] && inj.repairAt[id] > 0 && inj.repairAt[id] <= now {
 			inj.repair(id)
@@ -108,6 +201,13 @@ func (inj *Injector) Tick(now, dt time.Duration) error {
 			continue // already down via a stochastic crash; scheduled repair still governed by that crash
 		}
 		if err := inj.crash(c.Server, c.RepairAfterMin, now); err != nil {
+			return err
+		}
+	}
+	for inj.nextDomain < len(inj.domains) && durMin(inj.domains[inj.nextDomain].AtMin) <= now {
+		d := inj.domains[inj.nextDomain]
+		inj.nextDomain++
+		if err := inj.tripDomain(d.Kind, d.Index, d.EffectiveMode(), d.RepairAfterMin, d.DerateInletDeltaC, now); err != nil {
 			return err
 		}
 	}
@@ -129,7 +229,97 @@ func (inj *Injector) Tick(now, dt time.Duration) error {
 			}
 		}
 	}
+	if sd := inj.plan.StochasticDomains; sd != nil && inj.topo != nil {
+		p := -math.Expm1(-sd.RatePerHour * dt.Hours())
+		for idx := range inj.stochDomainDown {
+			if inj.stochDomainDown[idx] > now {
+				continue // domain still in its correlated repair window
+			}
+			if inj.domainRNG.Float64() >= p {
+				continue
+			}
+			if err := inj.tripDomain(sd.Kind, idx, sd.EffectiveMode(), sd.RepairAfterMin, sd.DerateInletDeltaC, now); err != nil {
+				return err
+			}
+			if sd.RepairAfterMin > 0 {
+				inj.stochDomainDown[idx] = now + durMin(sd.RepairAfterMin)
+			} else {
+				inj.stochDomainDown[idx] = time.Duration(math.MaxInt64)
+			}
+		}
+	}
+	for _, id := range inj.byzServers {
+		inj.byz[id].refresh(now)
+	}
 	return nil
+}
+
+// tripDomain fires one correlated failure over the domain's contiguous
+// server range: crash mode downs every alive member atomically with a
+// shared repair window; derate mode raises every member's inlet
+// temperature until the derate expires.
+func (inj *Injector) tripDomain(kind string, index int, mode string, repairAfterMin, derateDeltaC float64, now time.Duration) error {
+	lo, hi, err := inj.topo.DomainRange(kind, index)
+	if err != nil {
+		return fmt.Errorf("fault: domain trip: %w", err)
+	}
+	inj.domainTrips++
+	inj.domainTripCount.Inc()
+	if mode == ModeDerate {
+		end := time.Duration(0)
+		if repairAfterMin > 0 {
+			end = now + durMin(repairAfterMin)
+		}
+		inj.derates = append(inj.derates, activeDerate{lo: lo, hi: hi, deltaC: derateDeltaC, endAt: end})
+		inj.recomputeInlets(lo, hi)
+		return nil
+	}
+	for id := lo; id < hi; id++ {
+		if inj.down[id] {
+			continue
+		}
+		if err := inj.crash(id, repairAfterMin, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recomputeInlets resets inlet temperatures over [lo, hi) to the
+// pre-fault baseline plus every in-effect derate covering each server,
+// in derate list order — so inlets return exactly (bit-identically) to
+// baseline once all derates expire.
+func (inj *Injector) recomputeInlets(lo, hi int) {
+	for id := lo; id < hi; id++ {
+		c := inj.baseInlet[id]
+		for _, d := range inj.derates {
+			if id >= d.lo && id < d.hi {
+				c += d.deltaC
+			}
+		}
+		inj.c.Server(id).SetInletTempC(c)
+	}
+}
+
+// expireDerates drops derates whose repair time has arrived and
+// restores the affected inlet ranges.
+func (inj *Injector) expireDerates(now time.Duration) {
+	if len(inj.derates) == 0 {
+		return
+	}
+	kept := inj.derates[:0]
+	var expired []activeDerate
+	for _, d := range inj.derates {
+		if d.endAt > 0 && d.endAt <= now {
+			expired = append(expired, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	inj.derates = kept
+	for _, d := range expired {
+		inj.recomputeInlets(d.lo, d.hi)
+	}
 }
 
 func (inj *Injector) crash(id int, repairAfterMin float64, now time.Duration) error {
@@ -183,6 +373,10 @@ func (inj *Injector) Evacuated() uint64 { return inj.evacJobs }
 // Lost returns the number of jobs dropped during evacuation because
 // the surviving servers had no capacity.
 func (inj *Injector) Lost() uint64 { return inj.lostJobs }
+
+// DomainTrips returns the number of correlated domain failures fired
+// so far (scheduled and stochastic, crash and derate modes alike).
+func (inj *Injector) DomainTrips() uint64 { return inj.domainTrips }
 
 // sensorState interposes on one server's melt-estimator input. Sense
 // runs inside the (possibly parallel) physics phase, but only ever
@@ -247,4 +441,81 @@ func sensorSeed(seed uint64, server int) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// byzSeed derives a per-server Byzantine RNG stream, decorrelated from
+// the same server's sensor stream by salting the plan seed first.
+func byzSeed(seed uint64, server int) uint64 {
+	return sensorSeed(seed^0xa24baed4963ee407, server)
+}
+
+// byzState holds one lying server's per-tick report offsets. refresh
+// runs once per fault-band tick and consumes randomness; the Filter
+// methods are pure reads of the refreshed state, because scheduler
+// scans may consult a server's reports several times per tick and an
+// RNG draw on the read path would break bit-identity across worker
+// counts.
+type byzState struct {
+	faults []ByzantineFault // this server's, sorted by (StartMin, Kind)
+	rng    *stats.RNG
+
+	utilActive, meltActive bool
+	utilOffset, meltOffset float64
+}
+
+var _ cluster.ReportFilter = (*byzState)(nil)
+
+// refresh recomputes the active lie on each report channel at sim time
+// at. The jitter draw happens here, once per active fault per tick, in
+// the fault slice's deterministic order.
+func (bz *byzState) refresh(at time.Duration) {
+	bz.utilActive, bz.meltActive = false, false
+	for i := range bz.faults {
+		f := &bz.faults[i]
+		if at < durMin(f.StartMin) {
+			break // sorted: later windows start later still
+		}
+		if f.EndMin > 0 && at >= durMin(f.EndMin) {
+			continue
+		}
+		off := f.Bias
+		if f.Jitter > 0 {
+			off += bz.rng.Normal(0, f.Jitter)
+		}
+		switch f.Kind {
+		case ByzUtil:
+			bz.utilActive, bz.utilOffset = true, off
+		case ByzMelt:
+			bz.meltActive, bz.meltOffset = true, off
+		}
+	}
+}
+
+// FilterUtilization applies the active utilization lie, clamped into
+// the plausible [0, 1] range — a Byzantine reporter never claims an
+// impossible value, which is exactly what makes it hard to detect.
+func (bz *byzState) FilterUtilization(trueUtil float64) float64 {
+	if !bz.utilActive {
+		return trueUtil
+	}
+	return clamp01(trueUtil + bz.utilOffset)
+}
+
+// FilterMeltFrac applies the active melt-fraction lie, clamped into
+// [0, 1].
+func (bz *byzState) FilterMeltFrac(estFrac float64) float64 {
+	if !bz.meltActive {
+		return estFrac
+	}
+	return clamp01(estFrac + bz.meltOffset)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
 }

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"vmt/internal/topology"
 )
 
 func TestPlanEmpty(t *testing.T) {
@@ -25,6 +27,18 @@ func TestPlanEmpty(t *testing.T) {
 	}
 	if (&Plan{Sensors: []SensorFault{{Kind: KindDropout}}}).Empty() {
 		t.Error("plan with a sensor fault should not be empty")
+	}
+	if !(&Plan{Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2}}).Empty() {
+		t.Error("topology-only plan should be empty: geometry alone changes no behavior")
+	}
+	if (&Plan{Domains: []DomainFault{{Kind: topology.DomainRack, AtMin: 1}}}).Empty() {
+		t.Error("plan with a domain fault should not be empty")
+	}
+	if (&Plan{StochasticDomains: &StochasticDomains{Kind: topology.DomainRack, RatePerHour: 0.01}}).Empty() {
+		t.Error("plan with stochastic domain trips should not be empty")
+	}
+	if (&Plan{Byzantine: []ByzantineFault{{Kind: ByzMelt, Bias: 0.5}}}).Empty() {
+		t.Error("plan with a byzantine fault should not be empty")
 	}
 }
 
@@ -157,6 +171,131 @@ func TestPlanValidate(t *testing.T) {
 				{Server: 1, Kind: KindDropout, StartMin: 10},
 			}},
 		},
+		{
+			name: "valid domain plan",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains: []DomainFault{
+					{Kind: topology.DomainRack, Index: 1, AtMin: 60, RepairAfterMin: 120},
+					{Kind: topology.DomainRack, Index: 1, AtMin: 300, RepairAfterMin: 60},
+					{Kind: topology.DomainZone, Index: 0, Mode: ModeDerate, AtMin: 30, RepairAfterMin: 45, DerateInletDeltaC: 5},
+				},
+				StochasticDomains: &StochasticDomains{Kind: topology.DomainRow, RatePerHour: 0.01, RepairAfterMin: 90},
+			},
+		},
+		{
+			name:    "domains without topology",
+			plan:    Plan{Domains: []DomainFault{{Kind: topology.DomainRack, AtMin: 5}}},
+			wantErr: "need a topology",
+		},
+		{
+			name: "unknown domain kind",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains:  []DomainFault{{Kind: "pdu", AtMin: 5}},
+			},
+			wantErr: "unknown domain kind",
+		},
+		{
+			name: "invalid topology geometry",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 0, RacksPerRow: 3, RowsPerZone: 2},
+				Domains:  []DomainFault{{Kind: topology.DomainRack, AtMin: 5}},
+			},
+			wantErr: "servers_per_rack",
+		},
+		{
+			name: "derate without delta",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains:  []DomainFault{{Kind: topology.DomainZone, Mode: ModeDerate, AtMin: 5}},
+			},
+			wantErr: "derate needs derate_inlet_delta_c",
+		},
+		{
+			name: "derate delta above cap",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains:  []DomainFault{{Kind: topology.DomainZone, Mode: ModeDerate, AtMin: 5, DerateInletDeltaC: MaxDerateDeltaC + 1}},
+			},
+			wantErr: "derate needs derate_inlet_delta_c",
+		},
+		{
+			name: "crash mode with derate delta",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains:  []DomainFault{{Kind: topology.DomainRack, AtMin: 5, DerateInletDeltaC: 3}},
+			},
+			wantErr: "requires mode",
+		},
+		{
+			name: "overlapping domain trips",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains: []DomainFault{
+					{Kind: topology.DomainRack, Index: 1, AtMin: 60, RepairAfterMin: 120},
+					{Kind: topology.DomainRack, Index: 1, AtMin: 100, RepairAfterMin: 30},
+				},
+			},
+			wantErr: "overlaps window",
+		},
+		{
+			name: "unrepaired domain trip overlaps later trip",
+			plan: Plan{
+				Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				Domains: []DomainFault{
+					{Kind: topology.DomainRack, Index: 1, AtMin: 60},
+					{Kind: topology.DomainRack, Index: 1, AtMin: 700},
+				},
+			},
+			wantErr: "overlaps window",
+		},
+		{
+			name: "stochastic domains zero rate",
+			plan: Plan{
+				Topology:          &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+				StochasticDomains: &StochasticDomains{Kind: topology.DomainRack, RatePerHour: 0},
+			},
+			wantErr: "rate_per_hour",
+		},
+		{
+			name: "valid byzantine plan",
+			plan: Plan{Byzantine: []ByzantineFault{
+				{Server: 0, Kind: ByzMelt, StartMin: 10, Bias: 0.5, Jitter: 0.1},
+				{Server: 0, Kind: ByzUtil, StartMin: 10, EndMin: 60, Bias: -0.3},
+				{Server: 1, Kind: ByzMelt, StartMin: 10, Jitter: 0.2},
+			}},
+		},
+		{
+			name:    "byzantine unknown kind",
+			plan:    Plan{Byzantine: []ByzantineFault{{Server: 0, Kind: "temp", StartMin: 0, Bias: 0.5}}},
+			wantErr: "unknown kind",
+		},
+		{
+			name:    "byzantine bias out of range",
+			plan:    Plan{Byzantine: []ByzantineFault{{Server: 0, Kind: ByzMelt, StartMin: 0, Bias: 1.5}}},
+			wantErr: "bias",
+		},
+		{
+			name:    "byzantine no lie at all",
+			plan:    Plan{Byzantine: []ByzantineFault{{Server: 0, Kind: ByzMelt, StartMin: 0}}},
+			wantErr: "non-zero bias or jitter",
+		},
+		{
+			name: "byzantine overlapping windows on one channel",
+			plan: Plan{Byzantine: []ByzantineFault{
+				{Server: 0, Kind: ByzMelt, StartMin: 10, EndMin: 60, Bias: 0.5},
+				{Server: 0, Kind: ByzMelt, StartMin: 30, Bias: -0.5},
+			}},
+			wantErr: "overlaps window",
+		},
+		{
+			name: "byzantine same window on different channels",
+			plan: Plan{Byzantine: []ByzantineFault{
+				{Server: 0, Kind: ByzMelt, StartMin: 10, Bias: 0.5},
+				{Server: 0, Kind: ByzUtil, StartMin: 10, Bias: 0.5},
+			}},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -190,6 +329,95 @@ func TestPlanValidateFor(t *testing.T) {
 	if err := nilPlan.ValidateFor(1); err != nil {
 		t.Fatalf("nil plan: %v", err)
 	}
+	b := Plan{Byzantine: []ByzantineFault{{Server: 7, Kind: ByzMelt, StartMin: 0, Bias: 0.5}}}
+	if err := b.ValidateFor(8); err != nil {
+		t.Fatalf("byzantine server 7 of 8: %v", err)
+	}
+	if err := b.ValidateFor(7); err == nil {
+		t.Fatal("byzantine server 7 of 7 should be out of range")
+	}
+}
+
+// TestPlanValidateForDomainBounds is the regression test for domain
+// references that validate in the abstract but exceed the domain count
+// the topology spans at the actual cluster size: Validate cannot catch
+// them (the count depends on the fleet), ValidateFor must.
+func TestPlanValidateForDomainBounds(t *testing.T) {
+	spec := &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2}
+	// 26 servers → 7 racks (last partial), 3 rows, 2 zones.
+	mk := func(kind string, index int) Plan {
+		return Plan{
+			Topology: spec,
+			Domains:  []DomainFault{{Kind: kind, Index: index, AtMin: 60, RepairAfterMin: 30}},
+		}
+	}
+	for _, tc := range []struct {
+		kind  string
+		index int
+		ok    bool
+	}{
+		{topology.DomainRack, 6, true},
+		{topology.DomainRack, 7, false},
+		{topology.DomainRow, 2, true},
+		{topology.DomainRow, 3, false},
+		{topology.DomainZone, 1, true},
+		{topology.DomainZone, 2, false},
+	} {
+		p := mk(tc.kind, tc.index)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s %d: Validate() = %v, want nil (bounds are ValidateFor's job)", tc.kind, tc.index, err)
+		}
+		err := p.ValidateFor(26)
+		if tc.ok && err != nil {
+			t.Errorf("%s %d of 26 servers: ValidateFor = %v, want nil", tc.kind, tc.index, err)
+		}
+		if !tc.ok && (err == nil || !strings.Contains(err.Error(), "out of range")) {
+			t.Errorf("%s %d of 26 servers: ValidateFor = %v, want out-of-range error", tc.kind, tc.index, err)
+		}
+	}
+}
+
+// TestPlanValidateForDomainCrashOverlap rejects a scheduled domain
+// crash whose downtime intersects a member server's own scheduled
+// crash window — the injector cannot crash a server twice.
+func TestPlanValidateForDomainCrashOverlap(t *testing.T) {
+	spec := &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2}
+	base := func() Plan {
+		return Plan{
+			Topology: spec,
+			Domains:  []DomainFault{{Kind: topology.DomainRack, Index: 1, AtMin: 60, RepairAfterMin: 120}},
+		}
+	}
+	// Server 5 is in rack 1 ([4, 8)); server 10 is not.
+	p := base()
+	p.Crashes = []Crash{{Server: 5, AtMin: 100, RepairAfterMin: 30}}
+	if err := p.ValidateFor(26); err == nil || !strings.Contains(err.Error(), "overlaps crash") {
+		t.Errorf("member crash inside domain window: ValidateFor = %v, want overlap error", err)
+	}
+	p = base()
+	p.Crashes = []Crash{{Server: 5, AtMin: 10, RepairAfterMin: 20}}
+	if err := p.ValidateFor(26); err != nil {
+		t.Errorf("member crash repaired before domain trip: ValidateFor = %v, want nil", err)
+	}
+	p = base()
+	p.Crashes = []Crash{{Server: 10, AtMin: 100, RepairAfterMin: 30}}
+	if err := p.ValidateFor(26); err != nil {
+		t.Errorf("crash outside the domain: ValidateFor = %v, want nil", err)
+	}
+	// Unrepaired member crash before the trip: the window never closes.
+	p = base()
+	p.Crashes = []Crash{{Server: 5, AtMin: 10}}
+	if err := p.ValidateFor(26); err == nil || !strings.Contains(err.Error(), "overlaps crash") {
+		t.Errorf("unrepaired member crash: ValidateFor = %v, want overlap error", err)
+	}
+	// Derate domains never crash members, so no overlap constraint.
+	p = base()
+	p.Domains[0].Mode = ModeDerate
+	p.Domains[0].DerateInletDeltaC = 5
+	p.Crashes = []Crash{{Server: 5, AtMin: 100, RepairAfterMin: 30}}
+	if err := p.ValidateFor(26); err != nil {
+		t.Errorf("derate domain over member crash: ValidateFor = %v, want nil", err)
+	}
 }
 
 func TestPlanJSONRoundTrip(t *testing.T) {
@@ -199,6 +427,15 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 		Stochastic: &Stochastic{Arrhenius: true, MTBFHours: 5000, RepairAfterMin: 60},
 		Sensors: []SensorFault{
 			{Server: 0, Kind: KindNoise, StartMin: 10, EndMin: 60, StdevC: 0.25},
+		},
+		Topology: &topology.Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2},
+		Domains: []DomainFault{
+			{Kind: topology.DomainRack, Index: 1, AtMin: 60, RepairAfterMin: 120},
+			{Kind: topology.DomainZone, Index: 0, Mode: ModeDerate, AtMin: 400, RepairAfterMin: 60, DerateInletDeltaC: 4},
+		},
+		StochasticDomains: &StochasticDomains{Kind: topology.DomainRow, RatePerHour: 0.005, RepairAfterMin: 90},
+		Byzantine: []ByzantineFault{
+			{Server: 1, Kind: ByzMelt, StartMin: 30, EndMin: 200, Bias: 0.4, Jitter: 0.05},
 		},
 	}
 	b, err := json.Marshal(p)

@@ -55,16 +55,20 @@ type StreamManager struct {
 	evictions    *telemetry.Counter
 	taskArrivals *telemetry.Counter
 	taskDrops    *telemetry.Counter
+	shed         *telemetry.Counter
 }
 
 // SetMetrics registers the stream manager's counters in r:
-// sched_placements, sched_evictions, sched_task_arrivals, and
-// sched_task_drops. A nil registry leaves it uninstrumented.
+// sched_placements, sched_evictions, sched_task_arrivals,
+// sched_task_drops, and sched_jobs_shed (work explicitly shed because
+// the cluster had no capacity for it — a subset of the drops). A nil
+// registry leaves it uninstrumented.
 func (m *StreamManager) SetMetrics(r *telemetry.Registry) {
 	m.placements = r.Counter("sched_placements")
 	m.evictions = r.Counter("sched_evictions")
 	m.taskArrivals = r.Counter("sched_task_arrivals")
 	m.taskDrops = r.Counter("sched_task_drops")
+	m.shed = r.Counter("sched_jobs_shed")
 }
 
 // DefaultTaskDurations returns the task model for the paper mix:
@@ -210,8 +214,10 @@ func (m *StreamManager) resizeFluid(w workload.Workload, target int, now time.Du
 		if err != nil {
 			// The cluster is momentarily full of tasks; serve what we
 			// can and try again next period (counted as degradation).
+			// The whole remaining shortfall is shed at once.
 			m.dropped++
 			m.taskDrops.Inc()
+			m.shed.Add(uint64(target - cur))
 			break
 		}
 		if err := s.Place(w); err != nil {
@@ -256,6 +262,7 @@ func (m *StreamManager) arrivals(now, dt time.Duration) error {
 			if err != nil {
 				m.dropped++
 				m.taskDrops.Inc()
+				m.shed.Inc()
 				continue
 			}
 			if err := s.Place(e.Workload); err != nil {
@@ -294,6 +301,7 @@ func (m *StreamManager) Evacuate(s *cluster.Server) (moved, lost int, err error)
 			dst, perr := m.sched.Place(w)
 			if perr != nil {
 				lost++
+				m.shed.Inc()
 				if task {
 					m.taskCounts[w]--
 					m.lostCredits[w]++

@@ -29,17 +29,19 @@ type LoadManager struct {
 	entries []workload.MixEntry
 	shares  []float64
 	counts  []int
-	// placements/evictions are optional instruments (nil-safe).
+	// placements/evictions/shed are optional instruments (nil-safe).
 	placements *telemetry.Counter
 	evictions  *telemetry.Counter
+	shed       *telemetry.Counter
 }
 
 // SetMetrics registers the load manager's counters (sched_placements,
-// sched_evictions) in r. A nil registry leaves the manager
-// uninstrumented.
+// sched_evictions, sched_jobs_shed) in r. A nil registry leaves the
+// manager uninstrumented.
 func (m *LoadManager) SetMetrics(r *telemetry.Registry) {
 	m.placements = r.Counter("sched_placements")
 	m.evictions = r.Counter("sched_evictions")
+	m.shed = r.Counter("sched_jobs_shed")
 }
 
 // NewLoadManager binds a cluster, workload mix, job source, and
@@ -93,6 +95,8 @@ func (m *LoadManager) Reconcile(now time.Duration) error {
 					// once fault injection takes servers down. The
 					// shortfall is not an error: capacity returns with
 					// the repairs, and the run must survive the gap.
+					// sched_jobs_shed records the explicit load shed.
+					m.shed.Add(uint64(target - cur))
 					break
 				}
 				return fmt.Errorf("sched: placing %s at %v: %w", e.Workload.Name, now, err)
@@ -137,6 +141,7 @@ func (m *LoadManager) Evacuate(s *cluster.Server) (moved, lost int, err error) {
 				if errors.Is(perr, ErrNoCapacity) {
 					m.counts[k]--
 					lost++
+					m.shed.Inc()
 					continue
 				}
 				return moved, lost, perr

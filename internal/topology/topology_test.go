@@ -1,0 +1,162 @@
+package topology
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func testSpec() Spec {
+	return Spec{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 2}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := testSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Spec{
+		{ServersPerRack: 0, RacksPerRow: 3, RowsPerZone: 2},
+		{ServersPerRack: 4, RacksPerRow: -1, RowsPerZone: 2},
+		{ServersPerRack: 4, RacksPerRow: 3, RowsPerZone: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v should fail validation", bad)
+		}
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Errorf("nil spec should validate (absent topology): %v", err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"servers_per_rack":4,"racks_per_row":3,"rows_per_zone":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec([]byte(`{"servers_per_rack":4,"racks_per_row":3,"rows_per_zone":2,"typo":1}`)); err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+	if _, err := ParseSpec([]byte(`{"servers_per_rack":0}`)); err == nil {
+		t.Fatal("invalid spec should be rejected on decode")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := testSpec()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != s {
+		t.Fatalf("round trip changed the spec: %+v != %+v", *got, s)
+	}
+}
+
+// TestDomainGeometry pins the ID-order layout: 26 servers in racks of
+// 4, rows of 3 racks, zones of 2 rows — a partially filled tail at
+// every level.
+func TestDomainGeometry(t *testing.T) {
+	topo, err := Build(testSpec(), 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Racks(); got != 7 {
+		t.Errorf("Racks() = %d, want 7", got)
+	}
+	if got := topo.Rows(); got != 3 {
+		t.Errorf("Rows() = %d, want 3", got)
+	}
+	if got := topo.Zones(); got != 2 {
+		t.Errorf("Zones() = %d, want 2", got)
+	}
+
+	cases := []struct {
+		kind   string
+		index  int
+		lo, hi int
+	}{
+		{DomainRack, 0, 0, 4},
+		{DomainRack, 6, 24, 26}, // partial tail rack
+		{DomainRow, 0, 0, 12},
+		{DomainRow, 2, 24, 26}, // partial tail row
+		{DomainZone, 0, 0, 24},
+		{DomainZone, 1, 24, 26},
+	}
+	for _, c := range cases {
+		lo, hi, err := topo.DomainRange(c.kind, c.index)
+		if err != nil {
+			t.Errorf("DomainRange(%s, %d): %v", c.kind, c.index, err)
+			continue
+		}
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("DomainRange(%s, %d) = [%d,%d), want [%d,%d)", c.kind, c.index, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestMembershipMatchesRanges: the Of accessors agree with the range
+// resolution for every server.
+func TestMembershipMatchesRanges(t *testing.T) {
+	topo, err := Build(testSpec(), 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < topo.NumServers(); id++ {
+		for kind, of := range map[string]int{
+			DomainRack: topo.RackOf(id),
+			DomainRow:  topo.RowOf(id),
+			DomainZone: topo.ZoneOf(id),
+		} {
+			lo, hi, err := topo.DomainRange(kind, of)
+			if err != nil {
+				t.Fatalf("server %d: DomainRange(%s, %d): %v", id, kind, of, err)
+			}
+			if id < lo || id >= hi {
+				t.Errorf("server %d: %s %d spans [%d,%d), excludes its member", id, kind, of, lo, hi)
+			}
+		}
+	}
+}
+
+func TestDomainRangeErrors(t *testing.T) {
+	topo, err := Build(testSpec(), 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := topo.DomainRange("pdu", 0); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, _, err := topo.DomainRange(DomainRack, 7); err == nil {
+		t.Error("rack index past the fleet should error")
+	}
+	if _, _, err := topo.DomainRange(DomainRack, -1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := topo.DomainCount("pod"); err == nil {
+		t.Error("unknown kind should error in DomainCount")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Spec{}, 10); err == nil {
+		t.Error("zero spec should not build")
+	}
+	if _, err := Build(testSpec(), 0); err == nil {
+		t.Error("empty fleet should not build")
+	}
+}
+
+func TestKnownKind(t *testing.T) {
+	for _, k := range []string{DomainRack, DomainRow, DomainZone} {
+		if !KnownKind(k) {
+			t.Errorf("KnownKind(%q) = false", k)
+		}
+	}
+	if KnownKind("pdu") || KnownKind("") {
+		t.Error("unknown kinds should not be known")
+	}
+}

@@ -6,11 +6,11 @@
 # Usage: scripts/bench.sh [count] [out.json]
 #
 #   count     repetitions per benchmark (go test -count; default 5)
-#   out.json  output path (default BENCH_PR8.json in the repo root)
+#   out.json  output path (default BENCH_PR10.json in the repo root)
 #
 # Medians over several -count repetitions are the comparison currency:
 # single runs on shared machines swing tens of percent. Compare the
-# committed BENCH_PR8.json against a fresh run on the same host, not
+# committed BENCH_PR10.json against a fresh run on the same host, not
 # across hosts. The BenchmarkSessionStep median vs BenchmarkRun is the
 # session-seam overhead bound (acceptance: ≤5%).
 #
@@ -24,7 +24,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT=${1:-5}
-OUT=${2:-BENCH_PR8.json}
+OUT=${2:-BENCH_PR10.json}
 TMP=$(mktemp)
 BASETREE=
 cleanup() {

@@ -47,13 +47,13 @@ go test -count=1 \
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/telemetry/ ./internal/cliobs/ ./internal/experiment/ \
-    ./internal/sched/ ./internal/fault/ \
+    ./internal/sched/ ./internal/fault/ ./internal/topology/ \
     -run 'Test' -count=1
 go test -race -short ./internal/cluster/ \
     -run 'TestStepPhysicsWorkersBitIdentical|TestStepAggregates|TestEnergyConservationRandomJobs|TestFleetStoreInvariants' -count=1
 go test -race ./internal/thermal/ \
     -run 'TestFleetOracleChunkedStepping|TestFleetViewAliasesState|TestSnapshotRoundTripBitIdentical' -count=1
-go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded|TestSession' -count=1
+go test -race . -run 'TestRunMany|TestInstrumented|TestDefaultObservers|TestDefaultObservability|TestPhysicsWorkers|TestFaultRunBitIdentical|TestCorrelatedFault|TestCacheCorruptionQuarantine|TestStreamMemoryIsBounded|TestSession' -count=1
 go test -race ./internal/workload/ -count=1
 
 echo "== vmtdiff self-check (determinism, end to end)"

@@ -46,6 +46,7 @@ type Session struct {
 	src       workload.JobSource
 	stream    *sched.StreamManager
 	injector  *fault.Injector
+	guard     *sched.Guard
 
 	res        *Result
 	step       time.Duration
@@ -206,10 +207,16 @@ func OpenCtx(ctx context.Context, cfg Config) (*Session, error) {
 
 	// Fault injection: the injector interposes sensors at construction
 	// and ticks on the engine's fault band (after physics, before the
-	// scheduler). Nil plan → nil injector → zero overhead.
+	// scheduler). Nil plan → nil injector → zero overhead. The guard
+	// is the matching defense: whenever faults are in play it
+	// cross-checks every server's reported telemetry against power
+	// residuals and melt-rate physics, quarantining implausible
+	// reporters (see internal/sched.Guard).
 	var injector *fault.Injector
+	var guard *sched.Guard
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
 		injector = fault.NewInjector(cfg.Faults, cl, reconcile, cfg.Metrics)
+		guard = sched.NewGuard(cl, cfg.Mix, cfg.Step, cfg.Metrics)
 	}
 
 	// One sample lands per step over the horizon; preallocating the
@@ -248,6 +255,7 @@ func OpenCtx(ctx context.Context, cfg Config) (*Session, error) {
 		src:       src,
 		stream:    stream,
 		injector:  injector,
+		guard:     guard,
 		res:       res,
 		step:      cfg.Step,
 		horizon:   horizon,
@@ -370,6 +378,18 @@ func OpenCtx(ctx context.Context, cfg Config) (*Session, error) {
 			if err := injector.Tick(now, cfg.Step); err != nil {
 				fail(err)
 			}
+		}, nil)); err != nil {
+			return nil, err
+		}
+		// The guard shares the fault band, registered after the
+		// injector so same-time events fire injector-then-guard: trust
+		// decisions are made on the tick's settled reports, before the
+		// scheduler band reads them.
+		if _, err := eng.Every(cfg.Step, cfg.Step, sim.PriorityFault, span("guard", func(now time.Duration) {
+			if s.runErr != nil {
+				return
+			}
+			guard.Tick(now)
 		}, nil)); err != nil {
 			return nil, err
 		}
@@ -686,6 +706,10 @@ func (s *Session) Close() (*Result, error) {
 			s.res.FaultRepairs = s.injector.Repairs()
 			s.res.EvacuatedJobs = s.injector.Evacuated()
 			s.res.LostJobs = s.injector.Lost()
+			s.res.DomainTrips = s.injector.DomainTrips()
+		}
+		if s.guard != nil {
+			s.res.ReportsQuarantined = s.guard.Quarantined()
 		}
 	}
 	return s.res, s.runErr

@@ -6,6 +6,7 @@ import (
 
 	"vmt/internal/experiment"
 	"vmt/internal/fault"
+	"vmt/internal/topology"
 	"vmt/internal/trace"
 )
 
@@ -274,6 +275,107 @@ func FaultStudySpec(servers int, rates []float64, gv float64, seed uint64) exper
 		Baseline: &experiment.Baseline{
 			Set:  baselineRR(),
 			Vary: []string{"fault_rate"},
+		},
+		Reducer: experiment.ReducePeakReduction,
+	}
+}
+
+// correlatedTopology returns the topology every correlated-fault case
+// shares: racks of six servers, five racks per row, one row per
+// cooling zone — so a 60-server cluster has 10 racks, 2 rows, and 2
+// zones, and a rack trip takes out 10% of the fleet at once.
+func correlatedTopology() *topology.Spec {
+	return &topology.Spec{ServersPerRack: 6, RacksPerRow: 5, RowsPerZone: 1}
+}
+
+// correlationCases builds the correlation-degree axis of the
+// correlated fault study. Every faulty case is seeded identically, so
+// each policy (and the round-robin baseline) faces the same injected
+// history; the degrees step from independent crashes (the PR 5 model)
+// through rack-atomic crashes and zone-wide cooling derates to
+// Byzantine reports and the combined worst case.
+func correlationCases(seed uint64) []experiment.Case {
+	topo := correlatedTopology()
+	// Two rack trips of 6 servers × 180 min ≈ the expected downtime of
+	// independent crashes at 0.01 / server-hour over the 24 h trace, so
+	// "independent" and "rack" differ in correlation, not in total
+	// injected downtime.
+	rackTrips := []fault.DomainFault{
+		{Kind: topology.DomainRack, Index: 1, AtMin: 360, RepairAfterMin: 180},
+		{Kind: topology.DomainRack, Index: 4, AtMin: 780, RepairAfterMin: 180},
+	}
+	byz := []fault.ByzantineFault{
+		// Hot-group servers overstating melt progress (VMT-WA resizes
+		// on these) and understating load.
+		{Server: 0, Kind: fault.ByzMelt, StartMin: 120, Bias: 0.6, Jitter: 0.05},
+		{Server: 1, Kind: fault.ByzMelt, StartMin: 120, Bias: 0.6, Jitter: 0.05},
+		{Server: 2, Kind: fault.ByzMelt, StartMin: 180, Bias: -0.5, Jitter: 0.05},
+		{Server: 0, Kind: fault.ByzUtil, StartMin: 120, Bias: -0.4, Jitter: 0.02},
+		{Server: 3, Kind: fault.ByzUtil, StartMin: 240, Bias: 0.4, Jitter: 0.02},
+	}
+	return []experiment.Case{
+		{Name: "none"},
+		{Name: "independent", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:       seed,
+			Stochastic: &fault.Stochastic{RatePerHour: 0.01, RepairAfterMin: 120},
+		})}},
+		{Name: "rack", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:     seed,
+			Topology: topo,
+			Domains:  rackTrips,
+		})}},
+		{Name: "zone-derate", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:     seed,
+			Topology: topo,
+			Domains: []fault.DomainFault{{
+				Kind: topology.DomainZone, Index: 0, Mode: fault.ModeDerate,
+				AtMin: 360, RepairAfterMin: 240, DerateInletDeltaC: 6,
+			}},
+		})}},
+		{Name: "stochastic-rack", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:     seed,
+			Topology: topo,
+			StochasticDomains: &fault.StochasticDomains{
+				Kind: topology.DomainRack, RatePerHour: 0.005, RepairAfterMin: 180,
+			},
+		})}},
+		{Name: "byzantine", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:      seed,
+			Byzantine: byz,
+		})}},
+		{Name: "rack-byzantine", Set: experiment.Settings{"faults": faultSetting(fault.Plan{
+			Seed:      seed,
+			Topology:  topo,
+			Domains:   rackTrips,
+			Byzantine: byz,
+		})}},
+	}
+}
+
+// CorrelatedFaultStudySpec is the declarative form of
+// RunCorrelatedFaultStudy: VMT-TA and VMT-WA under correlated failure
+// domains (rack/PDU trips, cooling-zone derates, their stochastic
+// variants) and Byzantine report faults, each measured against a
+// round-robin baseline suffering the identical plan. The independent
+// crash case carries comparable total downtime, so the axis isolates
+// the *correlation degree* rather than the fault volume.
+func CorrelatedFaultStudySpec(servers int, gv float64, seed uint64) experiment.Spec {
+	return experiment.Spec{
+		Name:        "correlated-fault-study",
+		Description: "Cooling reduction under correlated domain failures and Byzantine reports",
+		Base: experiment.Settings{
+			"servers": servers, "gv": gv, "job_stream": true, "seed": float64(seed),
+		},
+		Axes: []experiment.Axis{
+			{Name: "correlation", Cases: correlationCases(seed)},
+			{Name: "variant", Cases: []experiment.Case{
+				{Name: "ta", Set: experiment.Settings{"policy": string(PolicyVMTTA)}},
+				{Name: "wa", Set: experiment.Settings{"policy": string(PolicyVMTWA)}},
+			}},
+		},
+		Baseline: &experiment.Baseline{
+			Set:  baselineRR(),
+			Vary: []string{"correlation"},
 		},
 		Reducer: experiment.ReducePeakReduction,
 	}

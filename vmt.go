@@ -311,6 +311,12 @@ type Result struct {
 	// capacity. All zero without Config.Faults.
 	FaultCrashes, FaultRepairs uint64
 	EvacuatedJobs, LostJobs    uint64
+	// DomainTrips counts correlated failure-domain activations (PDU
+	// trips, cooling-zone failures); ReportsQuarantined counts
+	// defense-layer quarantine transitions of servers whose telemetry
+	// failed the plausibility cross-checks. Zero without Config.Faults.
+	DomainTrips        uint64
+	ReportsQuarantined uint64
 	// AirTempGrid and MeltFracGrid are [sample][server] snapshots,
 	// recorded only with Config.RecordGrids (Figures 9–11, 14).
 	AirTempGrid  [][]float64
